@@ -1,0 +1,216 @@
+package adhocroute
+
+// bench_test.go holds one benchmark per experiment in the DESIGN.md index
+// (F1, E1–E9) — each bench runs the corresponding harness runner in quick
+// mode — plus micro-benchmarks for the core operations (sequence oracle,
+// walk step, degree reduction, header codec, routing on standard
+// families). Regenerate the full tables with: go run ./cmd/experiments
+import (
+	"testing"
+
+	"repro/internal/degred"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/route"
+	"repro/internal/ues"
+)
+
+func benchOpts() exp.Options { return exp.Options{Quick: true, Seed: 7} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1DegreeReduction(b *testing.B) { runExperiment(b, "F1") }
+func BenchmarkE1Delivery2D(b *testing.B)      { runExperiment(b, "E1") }
+func BenchmarkE2Delivery3D(b *testing.B)      { runExperiment(b, "E2") }
+func BenchmarkE3HopsVsN(b *testing.B)         { runExperiment(b, "E3") }
+func BenchmarkE4CoverTime(b *testing.B)       { runExperiment(b, "E4") }
+func BenchmarkE5FailureDetect(b *testing.B)   { runExperiment(b, "E5") }
+func BenchmarkE6CountNodes(b *testing.B)      { runExperiment(b, "E6") }
+func BenchmarkE7SpaceOverhead(b *testing.B)   { runExperiment(b, "E7") }
+func BenchmarkE8ZigZag(b *testing.B)          { runExperiment(b, "E8") }
+func BenchmarkE9Hybrid(b *testing.B)          { runExperiment(b, "E9") }
+
+// BenchmarkE10StaticAssumption covers the extension experiment (message
+// loss + churn robustness).
+func BenchmarkE10StaticAssumption(b *testing.B) { runExperiment(b, "E10") }
+
+// Ablation benches (DESIGN.md §5).
+func BenchmarkA1ConfirmMode(b *testing.B)         { runExperiment(b, "A1") }
+func BenchmarkA2GrowthFactor(b *testing.B)        { runExperiment(b, "A2") }
+func BenchmarkA3LengthFactor(b *testing.B)        { runExperiment(b, "A3") }
+func BenchmarkA4DegreeReduction(b *testing.B)     { runExperiment(b, "A4") }
+func BenchmarkA5AdversarialLabeling(b *testing.B) { runExperiment(b, "A5") }
+
+// --- Micro-benchmarks for the core operations ---
+
+// BenchmarkSequenceAt measures the O(log n)-space T[i] oracle — the
+// operation every node performs once per message activation.
+func BenchmarkSequenceAt(b *testing.B) {
+	seq := &ues.Pseudorandom{Seed: 1, N: 1 << 16, Base: 3}
+	l := seq.Len()
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += seq.At(i%l + 1)
+	}
+	_ = sink
+}
+
+// BenchmarkWalkStep measures one exploration step on the reduced graph.
+func BenchmarkWalkStep(b *testing.B) {
+	red, err := degred.Reduce(gen.Grid(16, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := red.Graph()
+	seq := &ues.Pseudorandom{Seed: 1, N: g.NumNodes(), Base: 3}
+	pos := ues.Start(0)
+	l := seq.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := ues.Step(g, pos, seq.At(i%l+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos = next
+	}
+}
+
+// BenchmarkDegreeReduction measures the Figure 1 construction.
+func BenchmarkDegreeReduction(b *testing.B) {
+	g := gen.UDG2D(256, 0.15, 3).G
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := degred.Reduce(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeaderCodec measures the O(log n) header round trip.
+func BenchmarkHeaderCodec(b *testing.B) {
+	h := netsim.Header{Src: 123456, Dst: 654321, Dir: netsim.Forward, Index: 1 << 30}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := h.Encode()
+		if _, err := netsim.DecodeHeader(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteGrid measures end-to-end routing (known bound, single
+// round) on a 8x8 grid.
+func BenchmarkRouteGrid(b *testing.B) {
+	g := gen.Grid(8, 8)
+	red, err := degred.Reduce(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	np := red.Graph().NumNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := route.New(g, route.Config{Seed: uint64(i), KnownN: np})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Route(0, 63)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != netsim.StatusSuccess {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+// BenchmarkRouteUnknownBound measures the full doubling loop on a cycle.
+func BenchmarkRouteUnknownBound(b *testing.B) {
+	g := gen.Cycle(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := route.New(g, route.Config{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Route(0, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcast measures a full component broadcast with confirmation.
+func BenchmarkBroadcast(b *testing.B) {
+	g := gen.Grid(6, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := route.New(g, route.Config{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Broadcast(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reached != 36 {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+}
+
+// BenchmarkShuffleLabels measures adversarial relabeling (test tooling).
+func BenchmarkShuffleLabels(b *testing.B) {
+	g := gen.Grid(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShuffleLabels(uint64(i))
+	}
+}
+
+// BenchmarkPublicAPIRoute measures the facade overhead end to end.
+func BenchmarkPublicAPIRoute(b *testing.B) {
+	nw := NewGrid(6, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := nw.Route(0, 35, WithSeed(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != StatusSuccess {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+// BenchmarkGraphNeighbor measures the port lookup at the heart of every
+// hop.
+func BenchmarkGraphNeighbor(b *testing.B) {
+	g := gen.Grid(16, 16)
+	b.ReportAllocs()
+	var sink graph.NodeID
+	for i := 0; i < b.N; i++ {
+		h, err := g.Neighbor(graph.NodeID(i%256), i%2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = h.To
+	}
+	_ = sink
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func genFile(t *testing.T, args ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.txt")
+	full := append([]string{"gen", "-out", path}, args...)
+	var out bytes.Buffer
+	if err := run(full, &out); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return path
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no args should error")
+	}
+	if err := run([]string{"bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown subcommand should error")
+	}
+}
+
+func TestGenAllKinds(t *testing.T) {
+	for _, kind := range []string{"udg2d", "udg3d", "grid", "cycle", "path", "tree", "lollipop", "regular3"} {
+		t.Run(kind, func(t *testing.T) {
+			path := genFile(t, "-kind", kind, "-n", "20", "-seed", "3")
+			if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+				t.Fatalf("no output written: %v", err)
+			}
+		})
+	}
+	if err := run([]string{"gen", "-kind", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestRouteCommand(t *testing.T) {
+	path := genFile(t, "-kind", "cycle", "-n", "12")
+	var out bytes.Buffer
+	if err := run([]string{"route", "-in", path, "-from", "0", "-to", "6", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "status: success") {
+		t.Fatalf("output missing success status:\n%s", got)
+	}
+	if !strings.Contains(got, "hops:") || !strings.Contains(got, "max header:") {
+		t.Fatalf("output missing accounting:\n%s", got)
+	}
+}
+
+func TestRouteCommandVerbose(t *testing.T) {
+	path := genFile(t, "-kind", "path", "-n", "4")
+	var out bytes.Buffer
+	if err := run([]string{"route", "-in", path, "-from", "0", "-to", "3", "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hop ") {
+		t.Fatal("verbose mode printed no hops")
+	}
+}
+
+func TestRouteCommandFailureVerdict(t *testing.T) {
+	path := genFile(t, "-kind", "cycle", "-n", "8")
+	var out bytes.Buffer
+	if err := run([]string{"route", "-in", path, "-from", "0", "-to", "4242"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "status: failure") {
+		t.Fatalf("expected failure verdict:\n%s", out.String())
+	}
+}
+
+func TestRouteCommandNoReduce(t *testing.T) {
+	path := genFile(t, "-kind", "grid", "-n", "16")
+	var out bytes.Buffer
+	if err := run([]string{"route", "-in", path, "-from", "0", "-to", "8", "-noreduce"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "status: success") {
+		t.Fatal("ablation route failed")
+	}
+}
+
+func TestBroadcastCommand(t *testing.T) {
+	path := genFile(t, "-kind", "cycle", "-n", "9")
+	var out bytes.Buffer
+	if err := run([]string{"bcast", "-in", path, "-from", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reached: 9 nodes") {
+		t.Fatalf("broadcast output wrong:\n%s", out.String())
+	}
+}
+
+func TestCountCommand(t *testing.T) {
+	path := genFile(t, "-kind", "path", "-n", "7")
+	var out bytes.Buffer
+	if err := run([]string{"count", "-in", path, "-from", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "component size: 7 original nodes") {
+		t.Fatalf("count output wrong:\n%s", out.String())
+	}
+}
+
+func TestCountCommandMessages(t *testing.T) {
+	path := genFile(t, "-kind", "path", "-n", "2")
+	var out bytes.Buffer
+	if err := run([]string{"count", "-in", path, "-from", "0", "-messages", "-factor", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hops:") {
+		t.Fatalf("message mode output missing hops:\n%s", out.String())
+	}
+}
+
+func TestReduceCommand(t *testing.T) {
+	path := genFile(t, "-kind", "grid", "-n", "16")
+	var out bytes.Buffer
+	if err := run([]string{"reduce", "-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3-regular: true") {
+		t.Fatalf("reduce output wrong:\n%s", out.String())
+	}
+}
+
+func TestLoadGraphMissingFile(t *testing.T) {
+	if err := run([]string{"route", "-in", "/nonexistent/x.txt", "-from", "0", "-to", "1"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"route", "-bogusflag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

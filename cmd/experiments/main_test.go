@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-only", "F1", "-quick", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	md, err := os.ReadFile(filepath.Join(dir, "F1.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "Degree reduction") {
+		t.Fatalf("F1.md content wrong:\n%s", md)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "F1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "family,") {
+		t.Fatalf("F1.csv header wrong:\n%s", csv)
+	}
+}
+
+func TestRunLowercaseID(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "a3", "-quick", "-out", dir}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "A3.md")); err != nil {
+		t.Fatal("lowercase -only did not resolve")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E42", "-quick", "-out", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunAllQuickWritesCombined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep in -short mode")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	all, err := os.ReadFile(filepath.Join(dir, "ALL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"F1", "E1", "E5", "E9", "A1", "A4"} {
+		if !strings.Contains(string(all), "## "+id) {
+			t.Fatalf("ALL.md missing %s", id)
+		}
+	}
+}

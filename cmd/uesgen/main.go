@@ -1,0 +1,182 @@
+// Command uesgen works with universal exploration sequences: emit the
+// first symbols of T_n, verify universality against a corpus of labeled
+// cubic multigraphs, and report cover times.
+//
+// Usage:
+//
+//	uesgen emit   -n 16 -seed 2026 -count 64
+//	uesgen verify -n 12 -seed 2026 [-samples 3] [-labelings 2]
+//	uesgen cover  -n 64 -seed 2026 -kind lollipop
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/degred"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ues"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "uesgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: uesgen <emit|verify|cover> [flags]")
+	}
+	switch args[0] {
+	case "emit":
+		return runEmit(args[1:], out)
+	case "verify":
+		return runVerify(args[1:], out)
+	case "cover":
+		return runCover(args[1:], out)
+	case "find":
+		return runFind(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// runFind searches for a certified universal exploration sequence over the
+// exhaustive corpus of labeled cubic multigraphs on ≤ maxn nodes and prints
+// the locally minimal certificate.
+func runFind(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("find", flag.ContinueOnError)
+	var (
+		maxN = fs.Int("maxn", 4, "certify for all labeled cubic multigraphs up to this size (2 or 4)")
+		seed = fs.Uint64("seed", 2026, "search seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seq, err := ues.CertifiedSmall(*maxN, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "certified universal exploration sequence for ALL labeled cubic multigraphs on <= %d nodes\n", *maxN)
+	fmt.Fprintf(out, "length: %d (locally minimal prefix)\n", seq.Len())
+	for i := 1; i <= seq.Len(); i++ {
+		if i > 1 {
+			fmt.Fprint(out, " ")
+		}
+		fmt.Fprint(out, seq.At(i))
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runEmit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("emit", flag.ContinueOnError)
+	var (
+		n     = fs.Int("n", 16, "graph size bound")
+		seed  = fs.Uint64("seed", 2026, "sequence seed")
+		count = fs.Int("count", 64, "symbols to emit (0 = full length)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seq := &ues.Pseudorandom{Seed: *seed, N: *n, Base: 3}
+	total := seq.Len()
+	fmt.Fprintf(out, "# T_%d seed=%d length=%d\n", *n, *seed, total)
+	emit := *count
+	if emit <= 0 || emit > total {
+		emit = total
+	}
+	for i := 1; i <= emit; i++ {
+		if i > 1 {
+			fmt.Fprint(out, " ")
+		}
+		fmt.Fprint(out, seq.At(i))
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 12, "verify against cubic multigraphs up to this size")
+		seed      = fs.Uint64("seed", 2026, "sequence seed")
+		samples   = fs.Int("samples", 3, "random graphs per size above the exhaustive range")
+		labelings = fs.Int("labelings", 2, "extra shuffled labelings per graph")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	corpus, err := ues.CubicCorpus(ues.CorpusOptions{
+		MaxN:              *n,
+		SamplesPerSize:    *samples,
+		LabelingsPerGraph: *labelings,
+		Seed:              *seed ^ 0xc0de,
+	})
+	if err != nil {
+		return err
+	}
+	seq := &ues.Pseudorandom{Seed: *seed, N: *n, Base: 3}
+	fmt.Fprintf(out, "verifying T_%d (seed %d, length %d) against %d labeled cubic multigraphs...\n",
+		*n, *seed, seq.Len(), len(corpus))
+	if err := ues.Verify(seq, corpus); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "OK: every graph covered from every initial edge (Definition 3)")
+	return nil
+}
+
+func runCover(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cover", flag.ContinueOnError)
+	var (
+		n    = fs.Int("n", 64, "graph size")
+		seed = fs.Uint64("seed", 2026, "sequence seed")
+		kind = fs.String("kind", "grid", "graph kind: grid, cycle, lollipop, tree")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Graph
+	switch *kind {
+	case "grid":
+		k := 1
+		for (k+1)*(k+1) <= *n {
+			k++
+		}
+		g = gen.Grid(k, k)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "lollipop":
+		g = gen.Lollipop(*n/2, *n-*n/2)
+	case "tree":
+		g = gen.RandomTree(*n, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	red, err := degred.Reduce(g)
+	if err != nil {
+		return err
+	}
+	gp := red.Graph()
+	seq := &ues.Pseudorandom{Seed: *seed, N: gp.NumNodes(), Base: 3}
+	start, _ := red.Entry(0)
+	steps, ok, err := ues.CoverSteps(gp, ues.Start(start), seq)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s n=%d: reduced to %d nodes\n", *kind, g.NumNodes(), gp.NumNodes())
+	if !ok {
+		fmt.Fprintf(out, "NOT covered within L = %d\n", seq.Len())
+		return nil
+	}
+	np := float64(gp.NumNodes())
+	fmt.Fprintf(out, "covered in %d steps (L = %d, steps/n'^2 = %.3f)\n",
+		steps, seq.Len(), float64(steps)/(np*np))
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no args should error")
+	}
+	if err := run([]string{"nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown subcommand should error")
+	}
+}
+
+func TestEmit(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"emit", "-n", "8", "-seed", "5", "-count", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# T_8 seed=5") {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	fields := strings.Fields(strings.Split(got, "\n")[1])
+	if len(fields) != 20 {
+		t.Fatalf("emitted %d symbols, want 20", len(fields))
+	}
+	for _, f := range fields {
+		if f != "0" && f != "1" && f != "2" {
+			t.Fatalf("symbol %q outside {0,1,2}", f)
+		}
+	}
+}
+
+func TestEmitFullLength(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"emit", "-n", "2", "-count", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.String()) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"verify", "-n", "6", "-samples", "2", "-labelings", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OK: every graph covered") {
+		t.Fatalf("verify output wrong:\n%s", out.String())
+	}
+}
+
+func TestCoverAllKinds(t *testing.T) {
+	for _, kind := range []string{"grid", "cycle", "lollipop", "tree"} {
+		t.Run(kind, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{"cover", "-kind", kind, "-n", "16"}, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "covered in") {
+				t.Fatalf("cover output wrong:\n%s", out.String())
+			}
+		})
+	}
+	if err := run([]string{"cover", "-kind", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestFind(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"find", "-maxn", "2", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "certified universal exploration sequence") {
+		t.Fatalf("find output wrong:\n%s", out.String())
+	}
+	if err := run([]string{"find", "-maxn", "8"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("maxn=8 should be rejected")
+	}
+}

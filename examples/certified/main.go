@@ -1,0 +1,83 @@
+// Certified demonstrates end-to-end routing with a *certified* universal
+// exploration sequence: an explicit sequence verified against every labeled
+// 3-regular multigraph on ≤ 4 nodes, from every initial edge — the finite
+// analogue of the object Theorem 4 promises asymptotically. A 3-node path
+// network reduces to exactly 4 gadget nodes, so routing on it with the
+// certified sequence is guaranteed by exhaustive verification, with no
+// empirical assumptions anywhere in the chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/route"
+	"repro/internal/ues"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("searching for a certified universal exploration sequence (n <= 4)...")
+	seq, err := ues.CertifiedSmall(4, 2026)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("found and minimized: length %d\n  ", seq.Len())
+	for i := 1; i <= seq.Len(); i++ {
+		fmt.Printf("%d", seq.At(i))
+	}
+	fmt.Println()
+
+	// The certificate quantifies over EVERY labeled cubic multigraph on
+	// <= 4 nodes: re-verify it here, from scratch.
+	var count int
+	for _, n := range []int{2, 4} {
+		gs, err := ues.EnumerateCubicPairings(n)
+		if err != nil {
+			return err
+		}
+		count += len(gs)
+		if err := ues.Verify(seq, gs); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("verified against all %d connected labeled cubic multigraphs on <= 4 nodes\n\n", count)
+
+	// A 3-node path reduces (Figure 1) to a 4-node 3-regular multigraph —
+	// inside the certified class. Routing with this sequence is therefore
+	// guaranteed by certification alone.
+	g := gen.Path(3)
+	r, err := route.New(g, route.Config{
+		KnownN:          4,
+		SequenceFactory: func(bound int) ues.Sequence { return seq },
+		WireFormat:      true, // serialize headers on every hop, like a real link
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: path of 3 nodes (reduces to %d gadget nodes)\n", r.WorkGraph().NumNodes())
+	for _, target := range []graph.NodeID{1, 2} {
+		res, err := r.Route(0, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("route 0 -> %d: %s in %d hops (certified sequence, wire-format headers)\n",
+			target, res.Status, res.Hops)
+	}
+
+	// Failure detection is certified too: an unknown destination bounces
+	// back after the sequence is exhausted.
+	res, err := r.Route(0, 99)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("route 0 -> 99: %s after %d hops — certified termination\n", res.Status, res.Hops)
+	return nil
+}

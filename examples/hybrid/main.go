@@ -1,0 +1,60 @@
+// Hybrid demonstrates Corollary 2: racing a fast-but-fallible random-walk
+// router against the guaranteed UES router, step for step. On easy
+// instances the random walk wins and the hybrid matches its speed (×2);
+// on impossible instances the guaranteed side delivers a verdict the
+// random walk never could.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adhocroute "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Easy instance: a well-connected mesh.
+	easy := adhocroute.NewGrid(6, 6)
+	res, err := easy.RouteHybrid(0, 35, adhocroute.WithSeed(11))
+	if err != nil {
+		return err
+	}
+	fmt.Println("easy instance (6x6 mesh, 0 -> 35):")
+	fmt.Printf("  verdict:  %s\n", res.Status)
+	fmt.Printf("  winner:   %s\n", res.Winner)
+	fmt.Printf("  combined: %d interleaved steps\n\n", res.CombinedSteps)
+
+	// Impossible instance: two islands.
+	hard := adhocroute.NewNetwork()
+	for i := 0; i < 8; i++ {
+		if err := hard.AddNode(adhocroute.NodeID(i)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := hard.AddLink(adhocroute.NodeID(i), adhocroute.NodeID(i+1)); err != nil {
+			return err
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if err := hard.AddLink(adhocroute.NodeID(i), adhocroute.NodeID(i+1)); err != nil {
+			return err
+		}
+	}
+	res, err = hard.RouteHybrid(0, 7, adhocroute.WithSeed(11))
+	if err != nil {
+		return err
+	}
+	fmt.Println("impossible instance (two islands, 0 -> 7):")
+	fmt.Printf("  verdict:  %s (definitive — t is provably unreachable)\n", res.Status)
+	fmt.Printf("  winner:   %s\n", res.Winner)
+	fmt.Printf("  combined: %d interleaved steps\n", res.CombinedSteps)
+	fmt.Println("  (the random-walk half alone would never have terminated)")
+	return nil
+}

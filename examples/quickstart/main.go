@@ -1,0 +1,58 @@
+// Quickstart: build a small ad hoc network, route a message with
+// guaranteed delivery, and inspect the resource accounting of Theorem 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adhocroute "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A random 2-D unit-disk network: 60 sensors in the unit square,
+	// radios with range 0.25.
+	nw := adhocroute.NewUnitDisk2D(60, 0.25, 42)
+	fmt.Printf("network: %d nodes, %d links\n", nw.NumNodes(), nw.NumLinks())
+
+	// Pick a connected pair using the oracle (tooling only — the protocol
+	// itself needs no global knowledge).
+	nodes := nw.Nodes()
+	s := nodes[0]
+	var t adhocroute.NodeID = -1
+	for _, v := range nodes[1:] {
+		if nw.ConnectedTo(s, v) {
+			t = v // farthest-inserted connected node wins
+		}
+	}
+	if t < 0 {
+		return fmt.Errorf("seed produced an isolated source; try another seed")
+	}
+
+	// Route with guaranteed delivery. No node stores routing state; the
+	// message header carries O(log n) bits.
+	res, err := nw.Route(s, t, adhocroute.WithSeed(2026))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("route %d -> %d: %s\n", s, t, res.Status)
+	fmt.Printf("  hops: %d (target found at exploration step %d)\n", res.Hops, res.ForwardSteps)
+	fmt.Printf("  doubling rounds: %d (final bound %d)\n", res.Rounds, res.Bound)
+	fmt.Printf("  max header: %d bits, peak node memory: %d bits\n",
+		res.HeaderBits, res.NodeMemoryBits)
+
+	// Routing to a name that does not exist terminates too — with a
+	// definitive failure verdict (Theorem 1's guarantee).
+	ghost, err := nw.Route(s, 999999, adhocroute.WithSeed(2026))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("route %d -> 999999: %s (terminated after %d hops)\n", s, ghost.Status, ghost.Hops)
+	return nil
+}

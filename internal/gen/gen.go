@@ -1,0 +1,418 @@
+// Package gen builds the graph families used as workloads throughout the
+// evaluation: structured topologies (paths, grids, tori, hypercubes, trees),
+// random families (Erdős–Rényi, random regular), adversarial random-walk
+// instances (barbell, lollipop), and the ad hoc wireless model itself —
+// unit-disk graphs in 2 and 3 dimensions with optional Gabriel
+// planarization.
+//
+// Every generator is deterministic: randomized families take an explicit
+// seed. Node IDs are always 0..n-1.
+package gen
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// ErrGeneratorFailed reports that a randomized generator could not satisfy
+// its constraints (e.g. simple random regular graph) within its retry budget.
+var ErrGeneratorFailed = errors.New("gen: generator failed to satisfy constraints")
+
+// Geometric couples a graph with node coordinates; the geometric baselines
+// (greedy, face routing) need positions, and the paper's model notes that
+// physical locations can serve as the universal names.
+type Geometric struct {
+	G   *graph.Graph
+	Pos map[graph.NodeID]geom.Point
+}
+
+// Path returns the path graph on n nodes 0-1-…-(n-1).
+func Path(n int) *graph.Graph {
+	g := withNodes(n)
+	for i := 0; i < n-1; i++ {
+		mustEdge(g, i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n nodes.
+func Cycle(n int) *graph.Graph {
+	g := Path(n)
+	if n >= 3 {
+		mustEdge(g, n-1, 0)
+	} else if n == 2 {
+		mustEdge(g, 1, 0) // 2-cycle: a pair of parallel edges
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	g := withNodes(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustEdge(g, i, j)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{m,n}: parts {0..m-1} and {m..m+n-1}.
+func CompleteBipartite(m, n int) *graph.Graph {
+	g := withNodes(m + n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			mustEdge(g, i, m+j)
+		}
+	}
+	return g
+}
+
+// CircularLadder returns CL_n = C_n × K_2 (the n-prism), a 3-regular graph
+// on 2n nodes. n must be ≥ 3.
+func CircularLadder(n int) *graph.Graph {
+	g := withNodes(2 * n)
+	for i := 0; i < n; i++ {
+		mustEdge(g, i, (i+1)%n)     // outer cycle
+		mustEdge(g, n+i, n+(i+1)%n) // inner cycle
+		mustEdge(g, i, n+i)         // rungs
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph: 10 nodes, 3-regular, girth 5 — a
+// standard stress case for exploration sequences.
+func Petersen() *graph.Graph {
+	g := withNodes(10)
+	for i := 0; i < 5; i++ {
+		mustEdge(g, i, (i+1)%5)     // outer 5-cycle
+		mustEdge(g, 5+i, 5+(i+2)%5) // inner pentagram
+		mustEdge(g, i, 5+i)         // spokes
+	}
+	return g
+}
+
+// Star returns the star with one hub (node 0) and n-1 leaves.
+func Star(n int) *graph.Graph {
+	g := withNodes(n)
+	for i := 1; i < n; i++ {
+		mustEdge(g, 0, i)
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	g := withNodes(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustEdge(g, at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				mustEdge(g, at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the rows×cols torus (grid with wraparound). rows and cols
+// should be ≥ 3 to avoid parallel edges; smaller values still produce a
+// valid multigraph.
+func Torus(rows, cols int) *graph.Graph {
+	g := withNodes(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			mustEdge(g, at(r, c), at(r, (c+1)%cols))
+			mustEdge(g, at(r, c), at((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes.
+func Hypercube(dim int) *graph.Graph {
+	n := 1 << uint(dim)
+	g := withNodes(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				mustEdge(g, v, w)
+			}
+		}
+	}
+	return g
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (a single root for levels = 1).
+func BinaryTree(levels int) *graph.Graph {
+	n := 1<<uint(levels) - 1
+	g := withNodes(n)
+	for v := 1; v < n; v++ {
+		mustEdge(g, (v-1)/2, v)
+	}
+	return g
+}
+
+// RandomTree returns a uniform random attachment tree on n nodes: node i
+// attaches to a uniformly random earlier node.
+func RandomTree(n int, seed uint64) *graph.Graph {
+	g := withNodes(n)
+	src := prng.New(seed)
+	for v := 1; v < n; v++ {
+		mustEdge(g, src.Intn(v), v)
+	}
+	return g
+}
+
+// Barbell returns two cliques K_k joined by a path of pathLen edges.
+func Barbell(k, pathLen int) *graph.Graph {
+	n := 2*k + max(0, pathLen-1)
+	g := withNodes(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			mustEdge(g, i, j)
+			mustEdge(g, k+i, k+j)
+		}
+	}
+	// Path from node 0 of clique A to node k of clique B through the
+	// pathLen-1 intermediate nodes.
+	prev := 0
+	for i := 0; i < pathLen-1; i++ {
+		mid := 2*k + i
+		mustEdge(g, prev, mid)
+		prev = mid
+	}
+	mustEdge(g, prev, k)
+	return g
+}
+
+// Lollipop returns the lollipop graph: a clique K_k with a path of pathLen
+// nodes attached — the classic worst case for random-walk cover time
+// (Θ(n³)), used by experiment E4 to contrast UES with the random walk.
+func Lollipop(k, pathLen int) *graph.Graph {
+	n := k + pathLen
+	g := withNodes(n)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			mustEdge(g, i, j)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		mustEdge(g, prev, k+i)
+		prev = k + i
+	}
+	return g
+}
+
+// ErdosRenyi returns G(n, p): each of the n·(n-1)/2 possible edges is
+// present independently with probability p.
+func ErdosRenyi(n int, p float64, seed uint64) *graph.Graph {
+	g := withNodes(n)
+	src := prng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if src.Float64() < p {
+				mustEdge(g, i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegularMulti returns a random d-regular multigraph on n nodes via
+// the configuration (pairing) model. Self-loops and parallel edges may
+// occur. n·d must be even.
+func RandomRegularMulti(n, d int, seed uint64) (*graph.Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("%w: n*d = %d*%d is odd", ErrGeneratorFailed, n, d)
+	}
+	g := withNodes(n)
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, v)
+		}
+	}
+	src := prng.New(seed)
+	src.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i < len(stubs); i += 2 {
+		mustEdge(g, stubs[i], stubs[i+1])
+	}
+	return g, nil
+}
+
+// RandomRegularSimple returns a random simple d-regular graph on n nodes,
+// retrying the pairing model until no self-loops or parallel edges occur.
+// It fails with ErrGeneratorFailed after maxTries attempts.
+func RandomRegularSimple(n, d int, seed uint64, maxTries int) (*graph.Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("%w: n*d = %d*%d is odd", ErrGeneratorFailed, n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("%w: degree %d >= n %d", ErrGeneratorFailed, d, n)
+	}
+	for try := 0; try < maxTries; try++ {
+		g, err := RandomRegularMulti(n, d, seed+uint64(try)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		if isSimple(g) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no simple %d-regular graph on %d nodes in %d tries",
+		ErrGeneratorFailed, d, n, maxTries)
+}
+
+// UDG2D returns the unit-disk graph of n points placed uniformly in the
+// unit square, connecting points within radius.
+func UDG2D(n int, radius float64, seed uint64) *Geometric {
+	src := prng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64(), Y: src.Float64()}
+	}
+	return fromPoints(pts, radius)
+}
+
+// UDG3D returns the unit-disk (unit-ball) graph of n points placed
+// uniformly in the unit cube — the 3-dimensional networks for which the
+// paper notes guaranteed geometric routing "appears to be hard".
+func UDG3D(n int, radius float64, seed uint64) *Geometric {
+	src := prng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64(), Y: src.Float64(), Z: src.Float64()}
+	}
+	return fromPoints(pts, radius)
+}
+
+// Gabriel returns the Gabriel-planarized version of a geometric graph: same
+// nodes and positions, edges filtered by the empty-diameter-disk rule. Face
+// routing requires this planar subgraph.
+func Gabriel(in *Geometric) *Geometric {
+	n := in.G.NumNodes()
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = in.Pos[graph.NodeID(i)]
+	}
+	var udg [][2]int
+	for i := 0; i < n; i++ {
+		for p := 0; p < in.G.Degree(graph.NodeID(i)); p++ {
+			h, err := in.G.Neighbor(graph.NodeID(i), p)
+			if err == nil && int(h.To) > i {
+				udg = append(udg, [2]int{i, int(h.To)})
+			}
+		}
+	}
+	gg := geom.GabrielEdges(pts, udg)
+	g := withNodes(n)
+	for _, e := range gg {
+		mustEdge(g, e[0], e[1])
+	}
+	return &Geometric{G: g, Pos: clonePos(in.Pos)}
+}
+
+// DisjointUnion returns a graph holding a copy of a and a copy of b with
+// b's node IDs shifted by offset. Used to build graphs with multiple
+// components for the failure-detection experiments. offset must exceed
+// every node ID in a.
+func DisjointUnion(a, b *graph.Graph, offset graph.NodeID) (*graph.Graph, error) {
+	g := a.Clone()
+	for _, v := range a.Nodes() {
+		if v >= offset {
+			return nil, fmt.Errorf("gen: offset %d not above node %d", offset, v)
+		}
+	}
+	for _, v := range b.Nodes() {
+		if err := g.AddNode(v + offset); err != nil {
+			return nil, fmt.Errorf("disjoint union: %w", err)
+		}
+	}
+	// Re-add b's edges by scanning half-edges once (To > v, or self-loop
+	// counted at its first port).
+	for _, v := range b.Nodes() {
+		for p := 0; p < b.Degree(v); p++ {
+			h, err := b.Neighbor(v, p)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case h.To > v:
+				if _, _, err := g.AddEdge(v+offset, h.To+offset); err != nil {
+					return nil, err
+				}
+			case h.To == v && h.ToPort > p:
+				if _, _, err := g.AddEdge(v+offset, v+offset); err != nil {
+					return nil, err
+				}
+			case h.To < v:
+				// counted from the other side
+			}
+		}
+	}
+	return g, nil
+}
+
+func withNodes(n int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(graph.NodeID(i))
+	}
+	return g
+}
+
+func mustEdge(g *graph.Graph, u, v int) {
+	if _, _, err := g.AddEdge(graph.NodeID(u), graph.NodeID(v)); err != nil {
+		// All callers add edges between nodes they just created; a failure
+		// is a programming error in this package.
+		panic(fmt.Sprintf("gen: internal edge add failed: %v", err))
+	}
+}
+
+func isSimple(g *graph.Graph) bool {
+	simple := true
+	g.ForEachNode(func(v graph.NodeID) {
+		seen := make(map[graph.NodeID]bool, g.Degree(v))
+		for p := 0; p < g.Degree(v); p++ {
+			h, err := g.Neighbor(v, p)
+			if err != nil || h.To == v || seen[h.To] {
+				simple = false
+				return
+			}
+			seen[h.To] = true
+		}
+	})
+	return simple
+}
+
+func fromPoints(pts []geom.Point, radius float64) *Geometric {
+	g := withNodes(len(pts))
+	for _, e := range geom.UnitDiskEdges(pts, radius) {
+		mustEdge(g, e[0], e[1])
+	}
+	pos := make(map[graph.NodeID]geom.Point, len(pts))
+	for i, p := range pts {
+		pos[graph.NodeID(i)] = p
+	}
+	return &Geometric{G: g, Pos: pos}
+}
+
+func clonePos(in map[graph.NodeID]geom.Point) map[graph.NodeID]geom.Point {
+	out := make(map[graph.NodeID]geom.Point, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

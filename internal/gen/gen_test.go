@@ -1,0 +1,359 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func checkValid(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	checkValid(t, g)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("path(5): %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("path should be connected")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Fatal("path degrees wrong")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		g := Cycle(n)
+		checkValid(t, g)
+		if !g.IsRegular(2) {
+			t.Fatalf("cycle(%d) not 2-regular", n)
+		}
+		if g.NumEdges() != n {
+			t.Fatalf("cycle(%d) has %d edges", n, g.NumEdges())
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	checkValid(t, g)
+	if g.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d, want 15", g.NumEdges())
+	}
+	if !g.IsRegular(5) {
+		t.Fatal("K6 should be 5-regular")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(7)
+	checkValid(t, g)
+	if g.Degree(0) != 6 {
+		t.Fatalf("hub degree = %d", g.Degree(0))
+	}
+	for i := graph.NodeID(1); i < 7; i++ {
+		if g.Degree(i) != 1 {
+			t.Fatalf("leaf %d degree = %d", i, g.Degree(i))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	checkValid(t, g)
+	if g.NumNodes() != 12 {
+		t.Fatalf("grid nodes = %d", g.NumNodes())
+	}
+	// Edges: 3 rows × 3 horizontal + 2×4 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("grid edges = %d, want 17", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("grid should be connected")
+	}
+	if g.Degree(0) != 2 || g.Degree(5) != 4 {
+		t.Fatal("grid corner/interior degrees wrong")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	checkValid(t, g)
+	if !g.IsRegular(4) {
+		t.Fatal("torus should be 4-regular")
+	}
+	if g.NumEdges() != 2*4*5 {
+		t.Fatalf("torus edges = %d, want 40", g.NumEdges())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	checkValid(t, g)
+	if g.NumNodes() != 16 || !g.IsRegular(4) {
+		t.Fatal("Q4 should have 16 nodes and be 4-regular")
+	}
+	if !g.IsConnected() {
+		t.Fatal("hypercube should be connected")
+	}
+	// Diameter of Q4 is 4.
+	dist := g.BFSDist(0)
+	if dist[15] != 4 {
+		t.Fatalf("dist(0,15) = %d, want 4", dist[15])
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(4)
+	checkValid(t, g)
+	if g.NumNodes() != 15 || g.NumEdges() != 14 {
+		t.Fatalf("binary tree: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("tree should be connected")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(50, 3)
+	checkValid(t, g)
+	if g.NumEdges() != 49 || !g.IsConnected() {
+		t.Fatal("random tree should be a connected tree")
+	}
+	// Determinism.
+	h := RandomTree(50, 3)
+	for _, v := range g.Nodes() {
+		if g.Degree(v) != h.Degree(v) {
+			t.Fatal("same-seed random trees differ")
+		}
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 4)
+	checkValid(t, g)
+	if !g.IsConnected() {
+		t.Fatal("barbell should be connected")
+	}
+	if g.NumNodes() != 13 {
+		t.Fatalf("barbell nodes = %d, want 13", g.NumNodes())
+	}
+	// dist from clique A interior to clique B interior crosses the path.
+	dist := g.BFSDist(1)
+	if dist[6] < 5 {
+		t.Fatalf("barbell too short: dist = %d", dist[6])
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(6, 10)
+	checkValid(t, g)
+	if !g.IsConnected() {
+		t.Fatal("lollipop should be connected")
+	}
+	if g.NumNodes() != 16 {
+		t.Fatalf("lollipop nodes = %d", g.NumNodes())
+	}
+	// The path tip is at distance pathLen from the clique attachment.
+	dist := g.BFSDist(0)
+	if dist[15] != 10 {
+		t.Fatalf("lollipop tip distance = %d, want 10", dist[15])
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(60, 0.1, 7)
+	checkValid(t, g)
+	// Expected edges = C(60,2)*0.1 = 177; allow wide slack.
+	if e := g.NumEdges(); e < 100 || e > 260 {
+		t.Fatalf("G(60,0.1) edges = %d, outside sanity window", e)
+	}
+	// p=0 and p=1 extremes.
+	if ErdosRenyi(10, 0, 1).NumEdges() != 0 {
+		t.Fatal("G(n,0) should be empty")
+	}
+	if ErdosRenyi(10, 1.1, 1).NumEdges() != 45 {
+		t.Fatal("G(n,>=1) should be complete")
+	}
+}
+
+func TestRandomRegularMulti(t *testing.T) {
+	g, err := RandomRegularMulti(20, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g)
+	if !g.IsRegular(3) {
+		t.Fatal("configuration model output not 3-regular")
+	}
+	if _, err := RandomRegularMulti(5, 3, 1); !errors.Is(err, ErrGeneratorFailed) {
+		t.Fatalf("odd n*d should fail, got %v", err)
+	}
+}
+
+func TestRandomRegularSimple(t *testing.T) {
+	g, err := RandomRegularSimple(24, 3, 11, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, g)
+	if !g.IsRegular(3) || !isSimple(g) {
+		t.Fatal("output not a simple 3-regular graph")
+	}
+	if _, err := RandomRegularSimple(4, 5, 1, 10); !errors.Is(err, ErrGeneratorFailed) {
+		t.Fatalf("d >= n should fail, got %v", err)
+	}
+}
+
+func TestUDG2D(t *testing.T) {
+	ud := UDG2D(80, 0.25, 13)
+	checkValid(t, ud.G)
+	if ud.G.NumNodes() != 80 || len(ud.Pos) != 80 {
+		t.Fatal("UDG2D sizes wrong")
+	}
+	// Every edge respects the radius; every non-edge pair exceeds it.
+	for _, v := range ud.G.Nodes() {
+		for p := 0; p < ud.G.Degree(v); p++ {
+			h, err := ud.G.Neighbor(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if geom.Dist(ud.Pos[v], ud.Pos[h.To]) > 0.25+1e-12 {
+				t.Fatalf("edge (%d,%d) exceeds radius", v, h.To)
+			}
+		}
+	}
+	// All points in the unit square, Z = 0.
+	for _, p := range ud.Pos {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 || p.Z != 0 {
+			t.Fatalf("bad 2D point %+v", p)
+		}
+	}
+}
+
+func TestUDG3D(t *testing.T) {
+	ud := UDG3D(60, 0.4, 17)
+	checkValid(t, ud.G)
+	hasZ := false
+	for _, p := range ud.Pos {
+		if p.Z != 0 {
+			hasZ = true
+		}
+	}
+	if !hasZ {
+		t.Fatal("UDG3D points are all planar")
+	}
+}
+
+func TestGabrielSubgraph(t *testing.T) {
+	ud := UDG2D(60, 0.3, 19)
+	gg := Gabriel(ud)
+	checkValid(t, gg.G)
+	if gg.G.NumEdges() > ud.G.NumEdges() {
+		t.Fatal("Gabriel graph has more edges than UDG")
+	}
+	// Every Gabriel edge is a UDG edge.
+	for _, v := range gg.G.Nodes() {
+		for p := 0; p < gg.G.Degree(v); p++ {
+			h, _ := gg.G.Neighbor(v, p)
+			if !ud.G.HasEdge(v, h.To) {
+				t.Fatalf("Gabriel edge (%d,%d) not in UDG", v, h.To)
+			}
+		}
+	}
+}
+
+// TestGabrielPreservesConnectivity is the key correctness property the face
+// routing baseline relies on.
+func TestGabrielPreservesConnectivity(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		ud := UDG2D(70, 0.3, seed)
+		gg := Gabriel(ud)
+		wantComps := len(ud.G.Components())
+		gotComps := len(gg.G.Components())
+		if gotComps != wantComps {
+			t.Fatalf("seed %d: Gabriel has %d components, UDG has %d", seed, gotComps, wantComps)
+		}
+	}
+}
+
+func TestDisjointUnion(t *testing.T) {
+	a := Cycle(4)
+	b := Path(3)
+	u, err := DisjointUnion(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, u)
+	if u.NumNodes() != 7 || u.NumEdges() != 4+2 {
+		t.Fatalf("union: %d nodes %d edges", u.NumNodes(), u.NumEdges())
+	}
+	if len(u.Components()) != 2 {
+		t.Fatal("union should have 2 components")
+	}
+	if u.IsConnected() {
+		t.Fatal("union should be disconnected")
+	}
+	// Offset collision must fail.
+	if _, err := DisjointUnion(a, b, 2); err == nil {
+		t.Fatal("offset below max node ID should fail")
+	}
+}
+
+func TestDisjointUnionWithSelfLoops(t *testing.T) {
+	b := graph.New()
+	b.EnsureNode(0)
+	b.EnsureNode(1)
+	if _, _, err := b.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	u, err := DisjointUnion(Path(2), b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, u)
+	if u.NumEdges() != 1+2 {
+		t.Fatalf("union edges = %d, want 3", u.NumEdges())
+	}
+	if u.Degree(10) != 3 { // self-loop (2) + edge to 11 (1)
+		t.Fatalf("degree of copied self-loop node = %d, want 3", u.Degree(10))
+	}
+}
+
+// TestGeneratorsAlwaysValid property-tests validity across the whole suite
+// for arbitrary small sizes.
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz%20) + 3
+		graphs := []*graph.Graph{
+			Path(n), Cycle(n), Complete(n), Star(n),
+			Grid(n/3+1, 3), Torus(3, n/3+1), BinaryTree(n%5 + 1),
+			RandomTree(n, seed), Barbell(n/4+2, n/4+1), Lollipop(n/4+2, n/2+1),
+			ErdosRenyi(n, 0.3, seed),
+		}
+		if rr, err := RandomRegularMulti(n+n%2, 3, seed); err == nil {
+			graphs = append(graphs, rr)
+		}
+		for _, g := range graphs {
+			if g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	checkValid(t, g)
+	if g.NumNodes() != 7 || g.NumEdges() != 12 {
+		t.Fatalf("K_{3,4}: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// Bipartite: no edges within parts.
+	for i := graph.NodeID(0); i < 3; i++ {
+		for j := graph.NodeID(0); j < 3; j++ {
+			if i != j && g.HasEdge(i, j) {
+				t.Fatalf("edge inside left part: (%d,%d)", i, j)
+			}
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("K_{3,4} should be connected")
+	}
+	// K_{3,3} is 3-regular.
+	if !CompleteBipartite(3, 3).IsRegular(3) {
+		t.Fatal("K_{3,3} should be 3-regular")
+	}
+}
+
+func TestCircularLadder(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		g := CircularLadder(n)
+		checkValid(t, g)
+		if g.NumNodes() != 2*n || !g.IsRegular(3) {
+			t.Fatalf("CL_%d: %d nodes, 3-regular=%v", n, g.NumNodes(), g.IsRegular(3))
+		}
+		if !g.IsConnected() {
+			t.Fatalf("CL_%d should be connected", n)
+		}
+		if g.NumEdges() != 3*n {
+			t.Fatalf("CL_%d edges = %d, want %d", n, g.NumEdges(), 3*n)
+		}
+	}
+}
+
+func TestPetersenProperties(t *testing.T) {
+	g := Petersen()
+	checkValid(t, g)
+	if g.NumNodes() != 10 || g.NumEdges() != 15 || !g.IsRegular(3) {
+		t.Fatal("Petersen basic counts wrong")
+	}
+	if !g.IsConnected() {
+		t.Fatal("Petersen should be connected")
+	}
+	// Girth 5: no cycles of length 3 or 4. Check via neighborhood: no two
+	// adjacent vertices share a neighbour (no triangles), and no two
+	// non-adjacent vertices share more than one neighbour (no 4-cycles).
+	neighbors := func(v graph.NodeID) map[graph.NodeID]bool {
+		out := make(map[graph.NodeID]bool)
+		for p := 0; p < g.Degree(v); p++ {
+			h, err := g.Neighbor(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[h.To] = true
+		}
+		return out
+	}
+	for u := graph.NodeID(0); u < 10; u++ {
+		nu := neighbors(u)
+		for v := graph.NodeID(u + 1); v < 10; v++ {
+			nv := neighbors(v)
+			shared := 0
+			for w := range nu {
+				if nv[w] {
+					shared++
+				}
+			}
+			if nu[v] && shared > 0 {
+				t.Fatalf("triangle through edge (%d,%d)", u, v)
+			}
+			if !nu[v] && shared > 1 {
+				t.Fatalf("4-cycle through (%d,%d): %d shared neighbours", u, v, shared)
+			}
+		}
+	}
+	// Diameter 2.
+	dist := g.BFSDist(0)
+	for v, d := range dist {
+		if d > 2 {
+			t.Fatalf("dist(0,%d) = %d, Petersen has diameter 2", v, d)
+		}
+	}
+}

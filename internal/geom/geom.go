@@ -1,0 +1,148 @@
+// Package geom provides the light geometric substrate used by the
+// position-based baselines (greedy and face routing, the prior work the
+// paper positions against) and by the unit-disk graph generators.
+//
+// Points are 3-dimensional; 2-D scenarios simply keep Z = 0. Unit-disk
+// graphs, Gabriel-graph planarization and counter-clockwise orientation
+// tests are implemented here.
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a point in 3-space. 2-D workloads use Z = 0.
+type Point struct {
+	X, Y, Z float64
+}
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point {
+	return Point{X: p.X - q.X, Y: p.Y - q.Y, Z: p.Z - q.Z}
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point {
+	return Point{X: p.X + q.X, Y: p.Y + q.Y, Z: p.Z + q.Z}
+}
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point {
+	return Point{X: p.X * f, Y: p.Y * f, Z: p.Z * f}
+}
+
+// Dot returns the dot product of p and q.
+func (p Point) Dot(q Point) float64 {
+	return p.X*q.X + p.Y*q.Y + p.Z*q.Z
+}
+
+// Norm returns the Euclidean norm of p.
+func (p Point) Norm() float64 {
+	return math.Sqrt(p.Dot(p))
+}
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 {
+	return p.Sub(q).Norm()
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func Dist2(p, q Point) float64 {
+	d := p.Sub(q)
+	return d.Dot(d)
+}
+
+// Midpoint returns the midpoint of p and q.
+func Midpoint(p, q Point) Point {
+	return p.Add(q).Scale(0.5)
+}
+
+// CCW returns a positive value if going p -> q -> r turns counter-clockwise
+// in the XY plane, negative if clockwise, and 0 if collinear.
+func CCW(p, q, r Point) float64 {
+	return (q.X-p.X)*(r.Y-p.Y) - (q.Y-p.Y)*(r.X-p.X)
+}
+
+// Angle returns the angle of the XY-plane vector from p to q, in (-π, π].
+func Angle(p, q Point) float64 {
+	return math.Atan2(q.Y-p.Y, q.X-p.X)
+}
+
+// UnitDiskEdges returns the index pairs (i < j) of all points within radius
+// r of each other — the unit-disk graph connectivity rule.
+func UnitDiskEdges(pts []Point, r float64) [][2]int {
+	r2 := r * r
+	var out [][2]int
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if Dist2(pts[i], pts[j]) <= r2 {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// GabrielEdges filters the given unit-disk edges down to the Gabriel graph:
+// edge (u,v) survives iff no other point lies strictly inside the disk with
+// diameter uv. The Gabriel graph of points in general position in the plane
+// is planar and connected whenever the unit-disk graph is, which is what the
+// GFG/GPSR face-routing baseline requires.
+func GabrielEdges(pts []Point, edges [][2]int) [][2]int {
+	var out [][2]int
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		mid := Midpoint(pts[u], pts[v])
+		rad2 := Dist2(pts[u], pts[v]) / 4
+		ok := true
+		for w := range pts {
+			if w == u || w == v {
+				continue
+			}
+			if Dist2(pts[w], mid) < rad2-1e-12 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SortByAngle sorts neighbour indices of node u counter-clockwise by the
+// angle of the vector from pts[u]. Face routing uses this angular order as
+// the planar embedding's rotation system.
+func SortByAngle(pts []Point, u int, neighbors []int) {
+	sort.Slice(neighbors, func(a, b int) bool {
+		return Angle(pts[u], pts[neighbors[a]]) < Angle(pts[u], pts[neighbors[b]])
+	})
+}
+
+// NextCCW returns the neighbour of u that follows the edge (u, from) in
+// counter-clockwise angular order — the "right-hand rule" successor used to
+// walk the face of a planar graph. neighbors must be non-empty.
+func NextCCW(pts []Point, u, from int, neighbors []int) int {
+	base := Angle(pts[u], pts[from])
+	best := -1
+	bestDelta := math.Inf(1)
+	for _, w := range neighbors {
+		if w == from && len(neighbors) > 1 {
+			continue
+		}
+		delta := Angle(pts[u], pts[w]) - base
+		for delta <= 1e-12 {
+			delta += 2 * math.Pi
+		}
+		if delta < bestDelta {
+			bestDelta = delta
+			best = w
+		}
+	}
+	if best == -1 {
+		return from
+	}
+	return best
+}

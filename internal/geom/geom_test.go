@@ -1,0 +1,211 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{X: 1, Y: 2, Z: 3}
+	q := Point{X: 4, Y: 6, Z: 3}
+	if d := p.Sub(q); d != (Point{X: -3, Y: -4, Z: 0}) {
+		t.Errorf("Sub = %+v", d)
+	}
+	if s := p.Add(q); s != (Point{X: 5, Y: 8, Z: 6}) {
+		t.Errorf("Add = %+v", s)
+	}
+	if sc := p.Scale(2); sc != (Point{X: 2, Y: 4, Z: 6}) {
+		t.Errorf("Scale = %+v", sc)
+	}
+	if dot := p.Dot(q); !almostEqual(dot, 1*4+2*6+3*3) {
+		t.Errorf("Dot = %v", dot)
+	}
+	if !almostEqual(Dist(p, q), 5) {
+		t.Errorf("Dist = %v, want 5", Dist(p, q))
+	}
+	if !almostEqual(Dist2(p, q), 25) {
+		t.Errorf("Dist2 = %v, want 25", Dist2(p, q))
+	}
+	if m := Midpoint(p, q); m != (Point{X: 2.5, Y: 4, Z: 3}) {
+		t.Errorf("Midpoint = %+v", m)
+	}
+}
+
+func TestCCW(t *testing.T) {
+	o := Point{}
+	right := Point{X: 1}
+	up := Point{Y: 1}
+	if CCW(o, right, up) <= 0 {
+		t.Error("o->right->up should be CCW")
+	}
+	if CCW(o, up, right) >= 0 {
+		t.Error("o->up->right should be CW")
+	}
+	if CCW(o, right, Point{X: 2}) != 0 {
+		t.Error("collinear points should give 0")
+	}
+}
+
+func TestAngle(t *testing.T) {
+	o := Point{}
+	tests := []struct {
+		q    Point
+		want float64
+	}{
+		{Point{X: 1}, 0},
+		{Point{Y: 1}, math.Pi / 2},
+		{Point{X: -1}, math.Pi},
+		{Point{Y: -1}, -math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := Angle(o, tt.q); !almostEqual(got, tt.want) {
+			t.Errorf("Angle to %+v = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestUnitDiskEdges(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0},
+		{X: 1, Y: 0},
+		{X: 5, Y: 0},
+		{X: 0.5, Y: 0.5},
+	}
+	edges := UnitDiskEdges(pts, 1.0)
+	want := map[[2]int]bool{{0, 1}: true, {0, 3}: true, {1, 3}: true}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges %v, want %d", len(edges), edges, len(want))
+	}
+	for _, e := range edges {
+		if !want[e] {
+			t.Errorf("unexpected edge %v", e)
+		}
+	}
+}
+
+func TestUnitDiskRadiusBoundaryInclusive(t *testing.T) {
+	pts := []Point{{X: 0}, {X: 1}}
+	if edges := UnitDiskEdges(pts, 1.0); len(edges) != 1 {
+		t.Fatalf("boundary distance should be connected, got %v", edges)
+	}
+	if edges := UnitDiskEdges(pts, 0.999); len(edges) != 0 {
+		t.Fatalf("beyond radius should be disconnected, got %v", edges)
+	}
+}
+
+func TestGabrielRemovesCoveredEdge(t *testing.T) {
+	// w sits at the midpoint of uv, so edge (u,v) must be removed while
+	// (u,w) and (w,v) survive.
+	pts := []Point{
+		{X: 0, Y: 0},   // u
+		{X: 2, Y: 0},   // v
+		{X: 1, Y: 0.1}, // w, inside the uv diameter disk
+	}
+	udg := UnitDiskEdges(pts, 3)
+	gg := GabrielEdges(pts, udg)
+	for _, e := range gg {
+		if e == [2]int{0, 1} {
+			t.Fatal("Gabriel graph kept covered edge (0,1)")
+		}
+	}
+	if len(gg) != 2 {
+		t.Fatalf("Gabriel edges = %v, want 2 surviving edges", gg)
+	}
+}
+
+func TestGabrielKeepsEmptyDiskEdges(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: 5}}
+	udg := [][2]int{{0, 1}}
+	gg := GabrielEdges(pts, udg)
+	if len(gg) != 1 {
+		t.Fatalf("far-away point should not remove edge, got %v", gg)
+	}
+}
+
+// TestGabrielPlanarity checks the defining planarity property on random
+// point sets: no two Gabriel edges cross in the plane.
+func TestGabrielPlanarity(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := src.Intn(20) + 4
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: src.Float64(), Y: src.Float64()}
+		}
+		gg := GabrielEdges(pts, UnitDiskEdges(pts, 0.5))
+		for i := 0; i < len(gg); i++ {
+			for j := i + 1; j < len(gg); j++ {
+				a, b := pts[gg[i][0]], pts[gg[i][1]]
+				c, d := pts[gg[j][0]], pts[gg[j][1]]
+				if gg[i][0] == gg[j][0] || gg[i][0] == gg[j][1] ||
+					gg[i][1] == gg[j][0] || gg[i][1] == gg[j][1] {
+					continue // shared endpoint
+				}
+				if segmentsCross(a, b, c, d) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func segmentsCross(a, b, c, d Point) bool {
+	d1 := CCW(c, d, a)
+	d2 := CCW(c, d, b)
+	d3 := CCW(a, b, c)
+	d4 := CCW(a, b, d)
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}
+
+func TestSortByAngle(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0}, // center
+		{X: 1, Y: 0},
+		{X: 0, Y: 1},
+		{X: -1, Y: 0},
+		{X: 0, Y: -1},
+	}
+	neighbors := []int{2, 4, 1, 3}
+	SortByAngle(pts, 0, neighbors)
+	want := []int{4, 1, 2, 3} // angles: -π/2, 0, π/2, π
+	for i := range want {
+		if neighbors[i] != want[i] {
+			t.Fatalf("SortByAngle = %v, want %v", neighbors, want)
+		}
+	}
+}
+
+func TestNextCCW(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0},  // u = 0
+		{X: 1, Y: 0},  // east
+		{X: 0, Y: 1},  // north
+		{X: -1, Y: 0}, // west
+		{X: 0, Y: -1}, // south
+	}
+	neighbors := []int{1, 2, 3, 4}
+	// Coming from east (1), next CCW is north (2).
+	if got := NextCCW(pts, 0, 1, neighbors); got != 2 {
+		t.Errorf("NextCCW from east = %d, want 2 (north)", got)
+	}
+	// Coming from south (4), next CCW is east (1).
+	if got := NextCCW(pts, 0, 4, neighbors); got != 1 {
+		t.Errorf("NextCCW from south = %d, want 1 (east)", got)
+	}
+	// A single neighbour bounces back.
+	if got := NextCCW(pts, 0, 1, []int{1}); got != 1 {
+		t.Errorf("NextCCW with single neighbour = %d, want 1", got)
+	}
+}

@@ -1,0 +1,517 @@
+// Package graph implements port-labeled undirected multigraphs, the network
+// model of the paper (§1.1, §2).
+//
+// Each vertex v assigns local labels ("ports") 0..deg(v)-1 to its incident
+// half-edges, as an arbitrary permutation; the two endpoints of an edge do
+// not need to agree on labels. Self-loops and parallel edges are allowed —
+// the degree-reduction gadget of Figure 1 produces both. This is exactly the
+// rotation-system model on which exploration sequences are defined.
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/prng"
+)
+
+// NodeID is the universal name of a node, drawn from a namespace of size n
+// (the paper's example: physical locations, or IPv4 addresses with n = 2^32).
+type NodeID int64
+
+// Half identifies the far end of a half-edge: the neighbouring node and the
+// port (local label) under which the same edge is known at that neighbour.
+type Half struct {
+	To     NodeID
+	ToPort int
+}
+
+// Errors reported by graph operations.
+var (
+	ErrNodeExists   = errors.New("graph: node already exists")
+	ErrNodeNotFound = errors.New("graph: node not found")
+	ErrPortRange    = errors.New("graph: port out of range")
+)
+
+// Graph is a mutable port-labeled undirected multigraph. The zero value is
+// not usable; construct with New.
+type Graph struct {
+	order []NodeID
+	adj   map[NodeID][]Half
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID][]Half)}
+}
+
+// NewFromAdjacency builds a graph directly from a port table: adj[v][p] is
+// the half-edge leaving v through port p. The input is copied and validated
+// (every half-edge must have a mutual partner). This constructor exists for
+// callers that need exact control over port labels, such as the exhaustive
+// enumeration of labeled cubic multigraphs.
+func NewFromAdjacency(order []NodeID, adj map[NodeID][]Half) (*Graph, error) {
+	g := &Graph{
+		order: make([]NodeID, len(order)),
+		adj:   make(map[NodeID][]Half, len(adj)),
+	}
+	copy(g.order, order)
+	for v, hs := range adj {
+		cp := make([]Half, len(hs))
+		copy(cp, hs)
+		g.adj[v] = cp
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// AddNode inserts an isolated node. It returns ErrNodeExists if the ID is
+// already present.
+func (g *Graph) AddNode(id NodeID) error {
+	if _, ok := g.adj[id]; ok {
+		return fmt.Errorf("%w: %d", ErrNodeExists, id)
+	}
+	g.adj[id] = nil
+	g.order = append(g.order, id)
+	return nil
+}
+
+// EnsureNode inserts the node if it is not already present.
+func (g *Graph) EnsureNode(id NodeID) {
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = nil
+		g.order = append(g.order, id)
+	}
+}
+
+// AddEdge inserts an undirected edge between u and v (which may be equal: a
+// self-loop), assigning the next free port at each endpoint. It returns the
+// two assigned ports. Both nodes must already exist.
+func (g *Graph) AddEdge(u, v NodeID) (portU, portV int, err error) {
+	if _, ok := g.adj[u]; !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrNodeNotFound, u)
+	}
+	if _, ok := g.adj[v]; !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrNodeNotFound, v)
+	}
+	if u == v {
+		p1 := len(g.adj[u])
+		p2 := p1 + 1
+		g.adj[u] = append(g.adj[u], Half{To: u, ToPort: p2}, Half{To: u, ToPort: p1})
+		return p1, p2, nil
+	}
+	pu := len(g.adj[u])
+	pv := len(g.adj[v])
+	g.adj[u] = append(g.adj[u], Half{To: v, ToPort: pv})
+	g.adj[v] = append(g.adj[v], Half{To: u, ToPort: pu})
+	return pu, pv, nil
+}
+
+// RemoveEdge deletes the edge attached to port p of node v (and its mutual
+// half at the other endpoint). Port labels stay compact: the last port of
+// each affected endpoint is swapped into the freed slot, and the mutual
+// reference of the swapped half-edge is updated. Self-loops (both halves on
+// v) are handled. Used by dynamic-topology experiments; the routing
+// algorithms themselves assume a static graph.
+func (g *Graph) RemoveEdge(v NodeID, p int) error {
+	hs, ok := g.adj[v]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, v)
+	}
+	if p < 0 || p >= len(hs) {
+		return fmt.Errorf("%w: node %d port %d (degree %d)", ErrPortRange, v, p, len(hs))
+	}
+	other := hs[p]
+	if other.To == v {
+		// Self-loop: delete the two halves at v, higher port first so the
+		// lower index stays valid.
+		hi, lo := p, other.ToPort
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		g.removeHalf(v, hi)
+		g.removeHalf(v, lo)
+		return nil
+	}
+	g.removeHalf(v, p)
+	g.removeHalf(other.To, other.ToPort)
+	return nil
+}
+
+// removeHalf deletes port p of node v by swapping the last port into its
+// place and fixing the mutual pointer of the moved half-edge. The caller
+// is responsible for removing the partner half too; a half-edge cannot be
+// its own partner, so the far-end fix below is always well-defined.
+func (g *Graph) removeHalf(v NodeID, p int) {
+	hs := g.adj[v]
+	last := len(hs) - 1
+	if p != last {
+		moved := hs[last]
+		hs[p] = moved
+		// The far end of the moved half-edge must now point at port p.
+		// When moved.To == v this writes through the same slice, which is
+		// exactly the intended in-place fix.
+		g.adj[moved.To][moved.ToPort] = Half{To: v, ToPort: p}
+	}
+	g.adj[v] = hs[:last]
+}
+
+// HasNode reports whether id is a node of g.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// HasEdge reports whether at least one edge joins u and v.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	for _, h := range g.adj[u] {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.order) }
+
+// NumEdges returns the number of edges; a self-loop counts once.
+func (g *Graph) NumEdges() int {
+	halves := 0
+	for _, hs := range g.adj {
+		halves += len(hs)
+	}
+	return halves / 2
+}
+
+// Degree returns the degree of v (a self-loop contributes 2), or -1 if v is
+// not a node of g.
+func (g *Graph) Degree(v NodeID) int {
+	hs, ok := g.adj[v]
+	if !ok {
+		return -1
+	}
+	return len(hs)
+}
+
+// Neighbor returns the half-edge leaving v through the given port.
+func (g *Graph) Neighbor(v NodeID, port int) (Half, error) {
+	hs, ok := g.adj[v]
+	if !ok {
+		return Half{}, fmt.Errorf("%w: %d", ErrNodeNotFound, v)
+	}
+	if port < 0 || port >= len(hs) {
+		return Half{}, fmt.Errorf("%w: node %d port %d (degree %d)", ErrPortRange, v, port, len(hs))
+	}
+	return hs[port], nil
+}
+
+// Nodes returns a copy of the node IDs in insertion order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// ForEachNode calls f for every node in insertion order.
+func (g *Graph) ForEachNode(f func(NodeID)) {
+	for _, id := range g.order {
+		f(id)
+	}
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for _, hs := range g.adj {
+		if len(hs) > maxDeg {
+			maxDeg = len(hs)
+		}
+	}
+	return maxDeg
+}
+
+// MinDegree returns the minimum degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.order) == 0 {
+		return 0
+	}
+	minDeg := int(^uint(0) >> 1)
+	for _, hs := range g.adj {
+		if len(hs) < minDeg {
+			minDeg = len(hs)
+		}
+	}
+	return minDeg
+}
+
+// IsRegular reports whether every node has degree d.
+func (g *Graph) IsRegular(d int) bool {
+	for _, hs := range g.adj {
+		if len(hs) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: every half-edge points to an
+// existing node and to the mutual half-edge that points back. A graph built
+// only through AddNode/AddEdge always validates; Validate guards hand-built
+// or decoded graphs.
+func (g *Graph) Validate() error {
+	if len(g.order) != len(g.adj) {
+		return fmt.Errorf("graph: order/adjacency size mismatch: %d vs %d", len(g.order), len(g.adj))
+	}
+	for v, hs := range g.adj {
+		for p, h := range hs {
+			back, ok := g.adj[h.To]
+			if !ok {
+				return fmt.Errorf("graph: node %d port %d points to missing node %d", v, p, h.To)
+			}
+			if h.ToPort < 0 || h.ToPort >= len(back) {
+				return fmt.Errorf("graph: node %d port %d points to %d port %d, out of range (degree %d)",
+					v, p, h.To, h.ToPort, len(back))
+			}
+			if mutual := back[h.ToPort]; mutual.To != v || mutual.ToPort != p {
+				return fmt.Errorf("graph: half-edge (%d,%d) -> (%d,%d) not mutual: reverse is (%d,%d)",
+					v, p, h.To, h.ToPort, mutual.To, mutual.ToPort)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		order: make([]NodeID, len(g.order)),
+		adj:   make(map[NodeID][]Half, len(g.adj)),
+	}
+	copy(c.order, g.order)
+	for v, hs := range g.adj {
+		cp := make([]Half, len(hs))
+		copy(cp, hs)
+		c.adj[v] = cp
+	}
+	return c
+}
+
+// ComponentOf returns the nodes of the connected component containing s, in
+// BFS order. It returns nil if s is not a node of g.
+func (g *Graph) ComponentOf(s NodeID) []NodeID {
+	if !g.HasNode(s) {
+		return nil
+	}
+	visited := map[NodeID]bool{s: true}
+	queue := []NodeID{s}
+	var out []NodeID
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		for _, h := range g.adj[v] {
+			if !visited[h.To] {
+				visited[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return out
+}
+
+// Components returns all connected components, each in BFS order, ordered by
+// their first node's insertion order.
+func (g *Graph) Components() [][]NodeID {
+	visited := make(map[NodeID]bool, len(g.order))
+	var comps [][]NodeID
+	for _, s := range g.order {
+		if visited[s] {
+			continue
+		}
+		comp := g.ComponentOf(s)
+		for _, v := range comp {
+			visited[v] = true
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether g is connected. The empty graph is connected.
+func (g *Graph) IsConnected() bool {
+	if len(g.order) == 0 {
+		return true
+	}
+	return len(g.ComponentOf(g.order[0])) == len(g.order)
+}
+
+// BFSDist returns the hop distance from s to every node reachable from s.
+func (g *Graph) BFSDist(s NodeID) map[NodeID]int {
+	if !g.HasNode(s) {
+		return nil
+	}
+	dist := map[NodeID]int{s: 0}
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[v] {
+			if _, ok := dist[h.To]; !ok {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// ShuffleLabels randomly permutes the port labels at every node, preserving
+// the underlying multigraph. Exploration-sequence universality must hold
+// "for any labeling" (Definition 3); tests use this to adversarially vary
+// the labeling. The permutation is deterministic in seed.
+func (g *Graph) ShuffleLabels(seed uint64) {
+	perms := make(map[NodeID][]int, len(g.adj))
+	src := prng.New(seed)
+	for _, v := range g.order {
+		perms[v] = src.Perm(len(g.adj[v]))
+	}
+	newAdj := make(map[NodeID][]Half, len(g.adj))
+	for _, v := range g.order {
+		hs := g.adj[v]
+		out := make([]Half, len(hs))
+		pv := perms[v]
+		for p, h := range hs {
+			out[pv[p]] = Half{To: h.To, ToPort: perms[h.To][h.ToPort]}
+		}
+		newAdj[v] = out
+	}
+	g.adj = newAdj
+}
+
+// Encode writes g in a line-oriented text format that round-trips exactly,
+// including port labels:
+//
+//	adhocgraph v1
+//	node <id> <half> <half> ...
+//
+// where each half is "to:toport".
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "adhocgraph v1"); err != nil {
+		return err
+	}
+	for _, v := range g.order {
+		var sb strings.Builder
+		sb.WriteString("node ")
+		sb.WriteString(strconv.FormatInt(int64(v), 10))
+		for _, h := range g.adj[v] {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatInt(int64(h.To), 10))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.Itoa(h.ToPort))
+		}
+		if _, err := fmt.Fprintln(bw, sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses the format produced by Encode and validates the result.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, errors.New("graph: empty input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "adhocgraph v1" {
+		return nil, fmt.Errorf("graph: bad header %q", got)
+	}
+	g := New()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "node" || len(fields) < 2 {
+			return nil, fmt.Errorf("graph: bad line %q", line)
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad node id %q: %w", fields[1], err)
+		}
+		v := NodeID(id)
+		g.EnsureNode(v)
+		hs := make([]Half, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			to, toPort, ok := strings.Cut(f, ":")
+			if !ok {
+				return nil, fmt.Errorf("graph: bad half %q", f)
+			}
+			toID, err := strconv.ParseInt(to, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad half target %q: %w", f, err)
+			}
+			port, err := strconv.Atoi(toPort)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad half port %q: %w", f, err)
+			}
+			hs = append(hs, Half{To: NodeID(toID), ToPort: port})
+		}
+		g.adj[v] = hs
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SortedNodes returns the node IDs in increasing order (a copy).
+func (g *Graph) SortedNodes() []NodeID {
+	out := g.Nodes()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Indexer assigns dense indices 0..n-1 to the nodes of a graph, in insertion
+// order, for algorithms that want array-based state.
+type Indexer struct {
+	ids   []NodeID
+	index map[NodeID]int
+}
+
+// NewIndexer builds an Indexer over the current nodes of g.
+func NewIndexer(g *Graph) *Indexer {
+	ix := &Indexer{
+		ids:   g.Nodes(),
+		index: make(map[NodeID]int, g.NumNodes()),
+	}
+	for i, id := range ix.ids {
+		ix.index[id] = i
+	}
+	return ix
+}
+
+// Len returns the number of indexed nodes.
+func (ix *Indexer) Len() int { return len(ix.ids) }
+
+// Index returns the dense index of id and whether it is known.
+func (ix *Indexer) Index(id NodeID) (int, bool) {
+	i, ok := ix.index[id]
+	return i, ok
+}
+
+// ID returns the NodeID at dense index i.
+func (ix *Indexer) ID(i int) NodeID { return ix.ids[i] }

@@ -1,0 +1,449 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v NodeID) (int, int) {
+	t.Helper()
+	pu, pv, err := g.AddEdge(u, v)
+	if err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+	return pu, pv
+}
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, id := range []NodeID{1, 2, 3} {
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 1)
+	return g
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	g := New()
+	if err := g.AddNode(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(5); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate AddNode error = %v, want ErrNodeExists", err)
+	}
+}
+
+func TestEnsureNodeIdempotent(t *testing.T) {
+	g := New()
+	g.EnsureNode(1)
+	g.EnsureNode(1)
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+}
+
+func TestAddEdgeMissingNode(t *testing.T) {
+	g := New()
+	g.EnsureNode(1)
+	if _, _, err := g.AddEdge(1, 2); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("AddEdge to missing node error = %v, want ErrNodeNotFound", err)
+	}
+	if _, _, err := g.AddEdge(9, 1); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("AddEdge from missing node error = %v, want ErrNodeNotFound", err)
+	}
+}
+
+func TestTriangleBasics(t *testing.T) {
+	g := buildTriangle(t)
+	if got := g.NumNodes(); got != 3 {
+		t.Errorf("NumNodes = %d, want 3", got)
+	}
+	if got := g.NumEdges(); got != 3 {
+		t.Errorf("NumEdges = %d, want 3", got)
+	}
+	for _, v := range []NodeID{1, 2, 3} {
+		if d := g.Degree(v); d != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", v, d)
+		}
+	}
+	if !g.IsRegular(2) {
+		t.Error("triangle should be 2-regular")
+	}
+	if !g.IsConnected() {
+		t.Error("triangle should be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New()
+	g.EnsureNode(7)
+	p1, p2, err := g.AddEdge(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatalf("self-loop ports equal: %d", p1)
+	}
+	if d := g.Degree(7); d != 2 {
+		t.Fatalf("self-loop degree = %d, want 2", d)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	// Traversing out of one loop port arrives on the other.
+	h, err := g.Neighbor(7, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.To != 7 || h.ToPort != p2 {
+		t.Fatalf("loop traversal = %+v, want to 7 port %d", h, p2)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New()
+	g.EnsureNode(1)
+	g.EnsureNode(2)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 1, 2)
+	if d := g.Degree(1); d != 3 {
+		t.Fatalf("Degree(1) = %d, want 3", d)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if !g.IsRegular(3) {
+		t.Fatal("theta graph should be 3-regular")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborErrors(t *testing.T) {
+	g := buildTriangle(t)
+	if _, err := g.Neighbor(99, 0); !errors.Is(err, ErrNodeNotFound) {
+		t.Errorf("missing node error = %v", err)
+	}
+	if _, err := g.Neighbor(1, 5); !errors.Is(err, ErrPortRange) {
+		t.Errorf("bad port error = %v", err)
+	}
+	if _, err := g.Neighbor(1, -1); !errors.Is(err, ErrPortRange) {
+		t.Errorf("negative port error = %v", err)
+	}
+}
+
+func TestPortMutuality(t *testing.T) {
+	g := buildTriangle(t)
+	g.ForEachNode(func(v NodeID) {
+		for p := 0; p < g.Degree(v); p++ {
+			h, err := g.Neighbor(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := g.Neighbor(h.To, h.ToPort)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.To != v || back.ToPort != p {
+				t.Fatalf("half-edge (%d,%d) not mutual: back = %+v", v, p, back)
+			}
+		}
+	})
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	for id := NodeID(1); id <= 6; id++ {
+		g.EnsureNode(id)
+	}
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 4, 5)
+	// 6 is isolated.
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1]), len(comps[2])}
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("component sizes = %v, want [3 2 1]", sizes)
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if comp := g.ComponentOf(4); len(comp) != 2 {
+		t.Errorf("ComponentOf(4) = %v, want 2 nodes", comp)
+	}
+	if comp := g.ComponentOf(99); comp != nil {
+		t.Errorf("ComponentOf(missing) = %v, want nil", comp)
+	}
+}
+
+func TestBFSDist(t *testing.T) {
+	// Path 1-2-3-4 plus disconnected 5.
+	g := New()
+	for id := NodeID(1); id <= 5; id++ {
+		g.EnsureNode(id)
+	}
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 4)
+	dist := g.BFSDist(1)
+	want := map[NodeID]int{1: 0, 2: 1, 3: 2, 4: 3}
+	if len(dist) != len(want) {
+		t.Fatalf("BFSDist size = %d, want %d", len(dist), len(want))
+	}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], d)
+		}
+	}
+	if g.BFSDist(99) != nil {
+		t.Error("BFSDist of missing node should be nil")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildTriangle(t)
+	c := g.Clone()
+	mustEdge(t, c, 1, 2)
+	if g.Degree(1) != 2 {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.Degree(1) != 3 {
+		t.Fatal("clone did not take mutation")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleLabelsPreservesGraph(t *testing.T) {
+	g := buildTriangle(t)
+	g.EnsureNode(4)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 4, 4) // self-loop survives shuffling too
+
+	before := g.Clone()
+	g.ShuffleLabels(12345)
+
+	if err := g.Validate(); err != nil {
+		t.Fatalf("shuffled graph invalid: %v", err)
+	}
+	if g.NumNodes() != before.NumNodes() || g.NumEdges() != before.NumEdges() {
+		t.Fatal("shuffle changed node/edge counts")
+	}
+	// Multiset of neighbours per node must be unchanged.
+	g.ForEachNode(func(v NodeID) {
+		gotCount := make(map[NodeID]int)
+		wantCount := make(map[NodeID]int)
+		for p := 0; p < g.Degree(v); p++ {
+			h, _ := g.Neighbor(v, p)
+			gotCount[h.To]++
+			hb, _ := before.Neighbor(v, p)
+			wantCount[hb.To]++
+		}
+		for to, c := range wantCount {
+			if gotCount[to] != c {
+				t.Fatalf("node %d neighbour multiset changed: %v vs %v", v, gotCount, wantCount)
+			}
+		}
+	})
+}
+
+func TestShuffleLabelsDeterministic(t *testing.T) {
+	a := buildTriangle(t)
+	b := buildTriangle(t)
+	a.ShuffleLabels(9)
+	b.ShuffleLabels(9)
+	for _, v := range a.Nodes() {
+		for p := 0; p < a.Degree(v); p++ {
+			ha, _ := a.Neighbor(v, p)
+			hb, _ := b.Neighbor(v, p)
+			if ha != hb {
+				t.Fatalf("same-seed shuffles differ at node %d port %d", v, p)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := buildTriangle(t)
+	g.EnsureNode(10)
+	mustEdge(t, g, 10, 10)
+	mustEdge(t, g, 1, 10)
+	g.ShuffleLabels(77)
+
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for _, v := range g.Nodes() {
+		for p := 0; p < g.Degree(v); p++ {
+			ha, _ := g.Neighbor(v, p)
+			hb, err := got.Neighbor(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ha != hb {
+				t.Fatalf("round trip changed half-edge at %d:%d", v, p)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty", in: ""},
+		{name: "bad header", in: "wrong v9\n"},
+		{name: "bad line", in: "adhocgraph v1\nblah\n"},
+		{name: "bad half", in: "adhocgraph v1\nnode 1 2\n"},
+		{name: "bad id", in: "adhocgraph v1\nnode x\n"},
+		{name: "dangling", in: "adhocgraph v1\nnode 1 2:0\n"},
+		{name: "non-mutual", in: "adhocgraph v1\nnode 1 2:0\nnode 2 1:5\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(bytes.NewBufferString(tt.in)); err == nil {
+				t.Fatalf("Decode(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestSortedNodes(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{5, 1, 3} {
+		g.EnsureNode(id)
+	}
+	got := g.SortedNodes()
+	want := []NodeID{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedNodes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIndexer(t *testing.T) {
+	g := buildTriangle(t)
+	ix := NewIndexer(g)
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for i := 0; i < ix.Len(); i++ {
+		id := ix.ID(i)
+		j, ok := ix.Index(id)
+		if !ok || j != i {
+			t.Fatalf("Index(ID(%d)) = %d,%v", i, j, ok)
+		}
+	}
+	if _, ok := ix.Index(99); ok {
+		t.Fatal("Index of unknown node reported ok")
+	}
+}
+
+func TestDegreeOfMissingNode(t *testing.T) {
+	g := New()
+	if d := g.Degree(1); d != -1 {
+		t.Fatalf("Degree(missing) = %d, want -1", d)
+	}
+}
+
+// TestRandomGraphInvariants property-tests that arbitrary AddNode/AddEdge
+// build sequences always produce valid graphs and that shuffling labels
+// never breaks validity.
+func TestRandomGraphInvariants(t *testing.T) {
+	f := func(seed uint64, nNodes uint8, nEdges uint8) bool {
+		n := int(nNodes%30) + 1
+		g := New()
+		for i := 0; i < n; i++ {
+			g.EnsureNode(NodeID(i))
+		}
+		src := prng.New(seed)
+		for i := 0; i < int(nEdges); i++ {
+			u := NodeID(src.Intn(n))
+			v := NodeID(src.Intn(n))
+			if _, _, err := g.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		g.ShuffleLabels(seed ^ 0xabcdef)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeQuick property-tests the codec over random graphs.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := src.Intn(20) + 1
+		g := New()
+		for i := 0; i < n; i++ {
+			g.EnsureNode(NodeID(i))
+		}
+		for i := 0; i < n*2; i++ {
+			if _, _, err := g.AddEdge(NodeID(src.Intn(n)), NodeID(src.Intn(n))); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if g.Encode(&buf) != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, v := range g.Nodes() {
+			for p := 0; p < g.Degree(v); p++ {
+				ha, _ := g.Neighbor(v, p)
+				hb, err := got.Neighbor(v, p)
+				if err != nil || ha != hb {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestRemoveEdgeSimple(t *testing.T) {
+	g := buildTriangle(t)
+	// Remove edge between 1 and 2 (port 0 of node 1 by construction).
+	h, err := g.Neighbor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.To != 2 {
+		t.Fatalf("unexpected construction: port 0 of 1 goes to %d", h.To)
+	}
+	if err := g.RemoveEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid after removal: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge 1-2 still present")
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees = %d/%d, want 1/1", g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestRemoveEdgeErrors(t *testing.T) {
+	g := buildTriangle(t)
+	if err := g.RemoveEdge(99, 0); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+	if err := g.RemoveEdge(1, 9); !errors.Is(err, ErrPortRange) {
+		t.Fatalf("error = %v", err)
+	}
+	if err := g.RemoveEdge(1, -1); !errors.Is(err, ErrPortRange) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestRemoveSelfLoop(t *testing.T) {
+	g := New()
+	g.EnsureNode(0)
+	g.EnsureNode(1)
+	mustEdge(t, g, 0, 1)
+	p1, _ := mustEdge(t, g, 0, 0)
+	if err := g.RemoveEdge(0, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid after loop removal: %v", err)
+	}
+	if g.Degree(0) != 1 || g.NumEdges() != 1 {
+		t.Fatalf("degree %d edges %d, want 1/1", g.Degree(0), g.NumEdges())
+	}
+}
+
+func TestRemoveSelfLoopViaSecondPort(t *testing.T) {
+	g := New()
+	g.EnsureNode(0)
+	_, p2, err := g.AddEdge(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, g, 0, 0) // second loop
+	if err := g.RemoveEdge(0, p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if g.Degree(0) != 2 || g.NumEdges() != 1 {
+		t.Fatalf("degree %d edges %d, want 2/1", g.Degree(0), g.NumEdges())
+	}
+}
+
+func TestRemoveParallelEdgeKeepsOther(t *testing.T) {
+	g := New()
+	g.EnsureNode(0)
+	g.EnsureNode(1)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 1)
+	if err := g.RemoveEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || g.NumEdges() != 1 {
+		t.Fatal("parallel edge handling wrong")
+	}
+}
+
+func TestRemoveLastPortNoSwap(t *testing.T) {
+	g := New()
+	for i := NodeID(0); i < 3; i++ {
+		g.EnsureNode(i)
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2) // port 1 of 0 = last
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 2) || !g.HasEdge(0, 1) {
+		t.Fatal("wrong edge removed")
+	}
+}
+
+// TestRemoveEdgeQuick property-tests: build a random multigraph, remove a
+// random sequence of edges, and require validity plus correct counts after
+// every removal.
+func TestRemoveEdgeQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := src.Intn(12) + 2
+		g := New()
+		for i := 0; i < n; i++ {
+			g.EnsureNode(NodeID(i))
+		}
+		edges := src.Intn(4*n) + 1
+		for i := 0; i < edges; i++ {
+			if _, _, err := g.AddEdge(NodeID(src.Intn(n)), NodeID(src.Intn(n))); err != nil {
+				return false
+			}
+		}
+		removals := src.Intn(edges)
+		for i := 0; i < removals; i++ {
+			// Pick a random node with positive degree.
+			var v NodeID = -1
+			for try := 0; try < 50; try++ {
+				cand := NodeID(src.Intn(n))
+				if g.Degree(cand) > 0 {
+					v = cand
+					break
+				}
+			}
+			if v < 0 {
+				break
+			}
+			before := g.NumEdges()
+			if err := g.RemoveEdge(v, src.Intn(g.Degree(v))); err != nil {
+				return false
+			}
+			if g.Validate() != nil {
+				return false
+			}
+			if g.NumEdges() != before-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package hybrid implements Corollary 2 of the paper: running a fast
+// probabilistic routing algorithm in parallel with the guaranteed UES
+// router and terminating as soon as either succeeds. If the probabilistic
+// algorithm has expected routing time T(n) and negligible failure
+// probability, the composition keeps O(T(n)) expected time while
+// inheriting guaranteed termination (success or definitive failure) from
+// Theorem 1.
+//
+// "In parallel" is realized as strict step-interleaving: the combined cost
+// is at most 2·min(T_prob, T_guaranteed) + 1 steps, which is the
+// constant-factor overhead Corollary 2 pays.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/prng"
+	"repro/internal/route"
+)
+
+// ErrStepCap reports that the interleaved race exceeded its safety cap
+// without either prober terminating (indicates a configuration bug: the
+// guaranteed prober always terminates).
+var ErrStepCap = errors.New("hybrid: combined step cap exceeded")
+
+// Prober is a steppable routing process.
+type Prober interface {
+	// Step advances one hop; it returns true when the process terminated.
+	Step() bool
+	// Done reports whether the process has terminated.
+	Done() bool
+	// Delivered reports whether the process terminated by reaching the
+	// target (valid once Done).
+	Delivered() bool
+	// Steps returns the number of steps consumed so far.
+	Steps() int64
+	// Name identifies the prober in results.
+	Name() string
+}
+
+// Result reports a hybrid race.
+type Result struct {
+	// Status is StatusSuccess if either prober delivered; StatusFailure if
+	// the guaranteed prober proved t unreachable.
+	Status netsim.Status
+	// Winner names the prober that terminated the race.
+	Winner string
+	// CombinedSteps is the total cost of the interleaved execution.
+	CombinedSteps int64
+	// ProbSteps and GuarSteps break the cost down per prober.
+	ProbSteps int64
+	GuarSteps int64
+}
+
+// Race interleaves prob and guar one step at a time until either delivers,
+// or guar terminates with a definitive failure. maxCombined caps the total
+// (0 = 8·expected guaranteed worst case is the caller's problem; a cap is
+// strongly recommended).
+func Race(prob, guar Prober, maxCombined int64) (*Result, error) {
+	res := &Result{}
+	for {
+		// Terminal checks first, so already-terminated probers are handled
+		// uniformly. A successful probabilistic prober wins ties.
+		if prob.Done() && prob.Delivered() {
+			res.Status = netsim.StatusSuccess
+			res.Winner = prob.Name()
+			break
+		}
+		if guar.Done() {
+			if gw, ok := guar.(*Guaranteed); ok && gw.Err() != nil {
+				return res, gw.Err()
+			}
+			if guar.Delivered() {
+				res.Status = netsim.StatusSuccess
+			} else {
+				res.Status = netsim.StatusFailure
+			}
+			res.Winner = guar.Name()
+			break
+		}
+		if !prob.Done() {
+			prob.Step()
+			res.CombinedSteps++
+		}
+		if !guar.Done() && !(prob.Done() && prob.Delivered()) {
+			guar.Step()
+			res.CombinedSteps++
+		}
+		if maxCombined > 0 && res.CombinedSteps > maxCombined {
+			return res, fmt.Errorf("%w: %d", ErrStepCap, maxCombined)
+		}
+	}
+	res.ProbSteps = prob.Steps()
+	res.GuarSteps = guar.Steps()
+	return res, nil
+}
+
+// RandomWalk is the probabilistic prober of §1.2: a uniform random walk on
+// the original graph. With ttl = 0 it never gives up on its own — the
+// configuration under which Corollary 2's guarantee matters most.
+type RandomWalk struct {
+	g         *graph.Graph
+	t         graph.NodeID
+	cur       graph.NodeID
+	src       *prng.Source
+	steps     int64
+	ttl       int64
+	done      bool
+	delivered bool
+}
+
+// NewRandomWalk builds a random-walk prober from s toward t.
+func NewRandomWalk(g *graph.Graph, s, t graph.NodeID, seed uint64, ttl int64) (*RandomWalk, error) {
+	if !g.HasNode(s) {
+		return nil, fmt.Errorf("hybrid: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	w := &RandomWalk{g: g, t: t, cur: s, src: prng.New(seed), ttl: ttl}
+	if s == t {
+		w.done, w.delivered = true, true
+	}
+	return w, nil
+}
+
+// Step implements Prober.
+func (w *RandomWalk) Step() bool {
+	if w.done {
+		return true
+	}
+	deg := w.g.Degree(w.cur)
+	if deg == 0 {
+		w.done = true
+		return true
+	}
+	h, err := w.g.Neighbor(w.cur, w.src.Intn(deg))
+	if err != nil {
+		w.done = true
+		return true
+	}
+	w.cur = h.To
+	w.steps++
+	if w.cur == w.t {
+		w.done, w.delivered = true, true
+	} else if w.ttl > 0 && w.steps >= w.ttl {
+		w.done = true
+	}
+	return w.done
+}
+
+// Done implements Prober.
+func (w *RandomWalk) Done() bool { return w.done }
+
+// Delivered implements Prober.
+func (w *RandomWalk) Delivered() bool { return w.delivered }
+
+// Steps implements Prober.
+func (w *RandomWalk) Steps() int64 { return w.steps }
+
+// Name implements Prober.
+func (w *RandomWalk) Name() string { return "random-walk" }
+
+// Greedy is a probabilistic-style geometric prober: greedy geographic
+// forwarding, which terminates quickly but may get stuck at a void.
+type Greedy struct {
+	ng        *gen.Geometric
+	t         graph.NodeID
+	cur       graph.NodeID
+	steps     int64
+	done      bool
+	delivered bool
+}
+
+// NewGreedy builds a greedy geographic prober.
+func NewGreedy(ng *gen.Geometric, s, t graph.NodeID) (*Greedy, error) {
+	if !ng.G.HasNode(s) || !ng.G.HasNode(t) {
+		return nil, fmt.Errorf("hybrid: %w: %d or %d", graph.ErrNodeNotFound, s, t)
+	}
+	g := &Greedy{ng: ng, t: t, cur: s}
+	if s == t {
+		g.done, g.delivered = true, true
+	}
+	return g, nil
+}
+
+// Step implements Prober.
+func (g *Greedy) Step() bool {
+	if g.done {
+		return true
+	}
+	tp := g.ng.Pos[g.t]
+	best := g.cur
+	bestDist := geom.Dist2(g.ng.Pos[g.cur], tp)
+	for p := 0; p < g.ng.G.Degree(g.cur); p++ {
+		h, err := g.ng.G.Neighbor(g.cur, p)
+		if err != nil {
+			continue
+		}
+		if d := geom.Dist2(g.ng.Pos[h.To], tp); d < bestDist {
+			bestDist = d
+			best = h.To
+		}
+	}
+	if best == g.cur {
+		g.done = true // stuck at a void
+		return true
+	}
+	g.cur = best
+	g.steps++
+	if g.cur == g.t {
+		g.done, g.delivered = true, true
+	}
+	return g.done
+}
+
+// Done implements Prober.
+func (g *Greedy) Done() bool { return g.done }
+
+// Delivered implements Prober.
+func (g *Greedy) Delivered() bool { return g.delivered }
+
+// Steps implements Prober.
+func (g *Greedy) Steps() int64 { return g.steps }
+
+// Name implements Prober.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Guaranteed wraps route.Walker as a Prober.
+type Guaranteed struct {
+	w *route.Walker
+}
+
+// NewGuaranteed builds the guaranteed prober from a configured Router.
+func NewGuaranteed(r *route.Router, s, t graph.NodeID) (*Guaranteed, error) {
+	w, err := r.Walker(s, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Guaranteed{w: w}, nil
+}
+
+// Step implements Prober.
+func (g *Guaranteed) Step() bool { return g.w.Step() }
+
+// Done implements Prober.
+func (g *Guaranteed) Done() bool { return g.w.Done() }
+
+// Delivered implements Prober.
+func (g *Guaranteed) Delivered() bool {
+	return g.w.Done() && g.w.Status() == netsim.StatusSuccess
+}
+
+// Steps implements Prober.
+func (g *Guaranteed) Steps() int64 { return g.w.Hops() }
+
+// Name implements Prober.
+func (g *Guaranteed) Name() string { return "guaranteed-ues" }
+
+// Err exposes the walker's terminal error.
+func (g *Guaranteed) Err() error { return g.w.Err() }
+
+// RouteHybrid is the convenience entry point: random-walk + guaranteed
+// race on graph g.
+func RouteHybrid(g *graph.Graph, s, t graph.NodeID, cfg route.Config, walkSeed uint64) (*Result, error) {
+	r, err := route.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := NewRandomWalk(g, s, t, walkSeed, 0)
+	if err != nil {
+		return nil, err
+	}
+	guar, err := NewGuaranteed(r, s, t)
+	if err != nil {
+		return nil, err
+	}
+	if s == t {
+		return &Result{Status: netsim.StatusSuccess, Winner: "trivial"}, nil
+	}
+	return Race(prob, guar, 0)
+}

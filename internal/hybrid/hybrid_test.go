@@ -1,0 +1,211 @@
+package hybrid
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/route"
+)
+
+func TestRouteHybridDelivers(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		s, d graph.NodeID
+	}{
+		{name: "cycle", g: gen.Cycle(12), s: 0, d: 6},
+		{name: "grid", g: gen.Grid(4, 4), s: 0, d: 15},
+		{name: "complete", g: gen.Complete(10), s: 1, d: 8},
+		{name: "lollipop", g: gen.Lollipop(6, 6), s: 0, d: 11},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := RouteHybrid(tt.g, tt.s, tt.d, route.Config{Seed: 3}, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != netsim.StatusSuccess {
+				t.Fatalf("status = %v", res.Status)
+			}
+			if res.Winner == "" || res.CombinedSteps <= 0 {
+				t.Fatalf("implausible result: %+v", res)
+			}
+		})
+	}
+}
+
+func TestRouteHybridSelf(t *testing.T) {
+	res, err := RouteHybrid(gen.Cycle(4), 1, 1, route.Config{Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != netsim.StatusSuccess {
+		t.Fatalf("self hybrid = %+v", res)
+	}
+}
+
+// TestRouteHybridGuaranteedTermination is the Corollary 2 payoff: the
+// random walk alone never terminates on a disconnected pair (ttl=0), but
+// the hybrid reaches a definitive failure.
+func TestRouteHybridGuaranteedTermination(t *testing.T) {
+	u, err := gen.DisjointUnion(gen.Cycle(6), gen.Cycle(6), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RouteHybrid(u, 0, 51, route.Config{Seed: 5}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != netsim.StatusFailure {
+		t.Fatalf("status = %v, want definitive failure", res.Status)
+	}
+	if res.Winner != "guaranteed-ues" {
+		t.Fatalf("winner = %q", res.Winner)
+	}
+	if res.ProbSteps == 0 {
+		t.Fatal("random walk never stepped")
+	}
+}
+
+// TestRaceCombinedCostBound checks the 2·min(...)+1 interleaving bound.
+func TestRaceCombinedCostBound(t *testing.T) {
+	g := gen.Complete(12)
+	r, err := route.New(g, route.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewRandomWalk(g, 0, 5, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guar, err := NewGuaranteed(r, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Race(prob, guar, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSteps := res.ProbSteps
+	if res.GuarSteps < minSteps {
+		minSteps = res.GuarSteps
+	}
+	if res.CombinedSteps > 2*minSteps+2 {
+		t.Fatalf("combined %d exceeds 2·min+2 = %d", res.CombinedSteps, 2*minSteps+2)
+	}
+}
+
+func TestRaceStepCap(t *testing.T) {
+	// Two probers that can never deliver, with a tiny cap.
+	u, err := gen.DisjointUnion(gen.Cycle(20), gen.Cycle(20), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := route.New(u, route.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewRandomWalk(u, 0, 101, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guar, err := NewGuaranteed(r, 0, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Race(prob, guar, 10); !errors.Is(err, ErrStepCap) {
+		t.Fatalf("error = %v, want ErrStepCap", err)
+	}
+}
+
+func TestRandomWalkProberTTL(t *testing.T) {
+	g := gen.Path(50)
+	w, err := NewRandomWalk(g, 0, 49, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !w.Step() {
+	}
+	if w.Delivered() {
+		t.Fatal("5-step TTL cannot reach the end of a 50-path")
+	}
+	if w.Steps() != 5 {
+		t.Fatalf("steps = %d, want 5", w.Steps())
+	}
+}
+
+func TestRandomWalkProberIsolated(t *testing.T) {
+	g := graph.New()
+	g.EnsureNode(0)
+	g.EnsureNode(1)
+	w, err := NewRandomWalk(g, 0, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Step() || w.Delivered() {
+		t.Fatal("isolated walk must terminate undelivered")
+	}
+}
+
+func TestGreedyProber(t *testing.T) {
+	ud := gen.UDG2D(60, 0.4, 5)
+	comp := ud.G.ComponentOf(0)
+	if len(comp) < 5 {
+		t.Skip("tiny component")
+	}
+	d := comp[len(comp)-1]
+	p, err := NewGreedy(ud, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !p.Step() {
+	}
+	if !p.Done() {
+		t.Fatal("greedy prober did not terminate")
+	}
+	// Either delivered or stuck — both are legitimate prober outcomes.
+	if p.Delivered() && p.Steps() == 0 {
+		t.Fatal("delivered with zero steps to a distinct node")
+	}
+	if p.Name() != "greedy" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestGuaranteedProberAlone(t *testing.T) {
+	g := gen.Grid(3, 4)
+	r, err := route.New(g, route.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewGuaranteed(r, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !p.Step() {
+		steps++
+		if steps > 1<<22 {
+			t.Fatal("guaranteed prober did not terminate")
+		}
+	}
+	if !p.Delivered() {
+		t.Fatalf("guaranteed prober failed: err=%v", p.Err())
+	}
+	if p.Steps() <= 0 {
+		t.Fatal("no steps recorded")
+	}
+}
+
+func TestHybridMissingNodes(t *testing.T) {
+	g := gen.Cycle(4)
+	if _, err := NewRandomWalk(g, 99, 0, 1, 0); !errors.Is(err, graph.ErrNodeNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+	if _, err := RouteHybrid(g, 99, 0, route.Config{Seed: 1}, 1); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}

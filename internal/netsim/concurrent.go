@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// envelope is a message in flight in the concurrent engine.
+type envelope struct {
+	session int64
+	inPort  int
+	header  Header
+	hops    int64
+}
+
+// session tracks one in-flight token run.
+type session struct {
+	results   chan concurrentResult
+	headerMax atomic.Int64
+}
+
+// Concurrent runs the same token protocol as Engine but with one goroutine
+// per node exchanging messages over channels — the protocol executing on an
+// actual (in-process) distributed system.
+//
+// Because handlers are stateless and all routing state lives in message
+// headers, *any number of sessions can run concurrently on one network
+// with zero coordination*: Run is safe to call from multiple goroutines,
+// and messages of different sessions interleave freely through the same
+// node goroutines. This is a direct, testable consequence of Theorem 1's
+// "intermediate nodes store no information".
+//
+// The zero value is not usable; construct with NewConcurrent and always
+// call Close (it is idempotent) to stop the node goroutines.
+type Concurrent struct {
+	g       *graph.Graph
+	handler Handler
+	inboxes map[graph.NodeID]chan envelope
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	maxHops  int64
+	sessions sync.Map // int64 -> *session
+	nextID   atomic.Int64
+}
+
+type concurrentResult struct {
+	res *Result
+	err error
+}
+
+// NewConcurrent spins up one goroutine per node of g. maxHops bounds every
+// run (0 means unbounded).
+func NewConcurrent(g *graph.Graph, h Handler, maxHops int64) *Concurrent {
+	c := &Concurrent{
+		g:       g,
+		handler: h,
+		inboxes: make(map[graph.NodeID]chan envelope, g.NumNodes()),
+		stop:    make(chan struct{}),
+		maxHops: maxHops,
+	}
+	g.ForEachNode(func(v graph.NodeID) {
+		// Each session is a token protocol (at most one message in flight
+		// per session), so a buffer equal to a small multiple of expected
+		// concurrent sessions keeps sends non-blocking in practice; the
+		// select below remains correct even if a buffer fills.
+		c.inboxes[v] = make(chan envelope, 8)
+	})
+	g.ForEachNode(func(v graph.NodeID) {
+		c.wg.Add(1)
+		go c.nodeLoop(v)
+	})
+	return c
+}
+
+// nodeLoop is the per-node agent: receive, run the handler, act.
+func (c *Concurrent) nodeLoop(self graph.NodeID) {
+	defer c.wg.Done()
+	inbox := c.inboxes[self]
+	for {
+		select {
+		case <-c.stop:
+			return
+		case env := <-inbox:
+			c.process(self, env)
+		}
+	}
+}
+
+func (c *Concurrent) process(self graph.NodeID, env envelope) {
+	sessVal, ok := c.sessions.Load(env.session)
+	if !ok {
+		return // session abandoned (timeout); drop silently
+	}
+	sess := sessVal.(*session)
+	if bits := int64(env.header.Bits()); bits > sess.headerMax.Load() {
+		sess.headerMax.Store(bits)
+	}
+	mem := NewMemory(0)
+	dec, err := c.handler.OnMessage(self, env.inPort, c.g.Degree(self), &env.header, mem)
+	if err != nil {
+		c.finish(sess, nil, fmt.Errorf("netsim: handler at %d: %w", self, err))
+		return
+	}
+	switch dec.Kind {
+	case Deliver, Drop:
+		c.finish(sess, &Result{
+			Final:         self,
+			Delivered:     dec.Kind == Deliver,
+			Hops:          env.hops,
+			Header:        env.header,
+			MaxHeaderBits: int(sess.headerMax.Load()),
+		}, nil)
+	case Send:
+		half, err := c.g.Neighbor(self, dec.OutPort)
+		if err != nil {
+			c.finish(sess, nil, fmt.Errorf("netsim: send from %d: %w", self, err))
+			return
+		}
+		hops := env.hops + 1
+		if c.maxHops > 0 && hops > c.maxHops {
+			c.finish(sess, nil, fmt.Errorf("%w: %d hops", ErrHopBudget, c.maxHops))
+			return
+		}
+		next := envelope{session: env.session, inPort: half.ToPort, header: env.header, hops: hops}
+		select {
+		case c.inboxes[half.To] <- next:
+		case <-c.stop:
+		}
+	default:
+		c.finish(sess, nil, ErrNoDecision)
+	}
+}
+
+func (c *Concurrent) finish(sess *session, res *Result, err error) {
+	select {
+	case sess.results <- concurrentResult{res: res, err: err}:
+	case <-c.stop:
+	}
+}
+
+// Run injects a message at start and blocks until that session terminates
+// or timeout elapses (timeout <= 0 means wait forever). Run is safe to
+// call concurrently from multiple goroutines: sessions share the node
+// goroutines but have independent results.
+func (c *Concurrent) Run(start graph.NodeID, startPort int, h Header, timeout time.Duration) (*Result, error) {
+	inbox, ok := c.inboxes[start]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", graph.ErrNodeNotFound, start)
+	}
+	id := c.nextID.Add(1)
+	sess := &session{results: make(chan concurrentResult, 1)}
+	c.sessions.Store(id, sess)
+	defer c.sessions.Delete(id)
+
+	select {
+	case inbox <- envelope{session: id, inPort: startPort, header: h}:
+	case <-c.stop:
+		return nil, fmt.Errorf("netsim: network closed")
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case r := <-sess.results:
+		return r.res, r.err
+	case <-timer:
+		return nil, fmt.Errorf("netsim: run timed out after %v", timeout)
+	case <-c.stop:
+		return nil, fmt.Errorf("netsim: network closed")
+	}
+}
+
+// Close stops all node goroutines and waits for them to exit. It is safe to
+// call multiple times.
+func (c *Concurrent) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.wg.Wait()
+}

@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestStepperMatchesRun(t *testing.T) {
+	g := gen.Cycle(7)
+	mk := func() (*Engine, Header) {
+		return NewEngine(g, &hopCountHandler{stopAt: 19}), Header{Src: 1, Dir: Forward}
+	}
+	eng, h := mk()
+	runRes, err := eng.Run(1, 0, h, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, h2 := mk()
+	st, err := eng2.Stepper(1, 0, h2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !st.Step() {
+		steps++
+		if steps > 1000 {
+			t.Fatal("stepper did not terminate")
+		}
+	}
+	got := st.Result()
+	if got.Final != runRes.Final || got.Hops != runRes.Hops || got.Delivered != runRes.Delivered {
+		t.Fatalf("stepper %+v != run %+v", got, runRes)
+	}
+	if st.Err() != nil {
+		t.Fatalf("unexpected error: %v", st.Err())
+	}
+	// Step after done is a no-op returning true.
+	if !st.Step() {
+		t.Fatal("Step after done = false")
+	}
+}
+
+func TestStepperHopBudget(t *testing.T) {
+	g := gen.Cycle(5)
+	eng := NewEngine(g, &hopCountHandler{stopAt: 1 << 40})
+	st, err := eng.Stepper(0, 0, Header{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.Step() {
+	}
+	if !errors.Is(st.Err(), ErrHopBudget) {
+		t.Fatalf("error = %v, want ErrHopBudget", st.Err())
+	}
+}
+
+func TestStepperMissingStart(t *testing.T) {
+	eng := NewEngine(gen.Cycle(3), dropHandler{})
+	if _, err := eng.Stepper(42, 0, Header{}, 10); !errors.Is(err, graph.ErrNodeNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestStepperHandlerError(t *testing.T) {
+	eng := NewEngine(gen.Cycle(3), badHandler{})
+	st, err := eng.Stepper(0, 0, Header{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Step() {
+		t.Fatal("bad handler should terminate immediately")
+	}
+	if !errors.Is(st.Err(), ErrNoDecision) {
+		t.Fatalf("error = %v, want ErrNoDecision", st.Err())
+	}
+}
+
+func TestStepperDrop(t *testing.T) {
+	eng := NewEngine(gen.Cycle(3), dropHandler{})
+	st, err := eng.Stepper(1, 0, Header{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Step() {
+		t.Fatal("drop should terminate on first step")
+	}
+	if st.Result().Delivered || st.Result().Final != 1 {
+		t.Fatalf("drop result = %+v", st.Result())
+	}
+}
+
+func TestStepperTraceAndMemory(t *testing.T) {
+	var traced int
+	eng := NewEngine(gen.Cycle(5), &hopCountHandler{stopAt: 4},
+		WithTrace(func(hop int64, at graph.NodeID, inPort int, h Header) { traced++ }),
+		WithMemoryBudget(1024))
+	st, err := eng.Stepper(0, 0, Header{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.Step() {
+	}
+	if traced != 5 { // 4 hops + terminal activation
+		t.Fatalf("trace fired %d times, want 5", traced)
+	}
+	if st.Result().PeakMemoryBits <= 0 {
+		t.Fatal("memory not metered")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	eng := NewEngine(gen.Cycle(6), &hopCountHandler{stopAt: 100},
+		WithFault(func(hop int64) bool { return hop == 3 }))
+	res, err := eng.Run(0, 0, Header{}, 1000)
+	if !errors.Is(err, ErrMessageLost) {
+		t.Fatalf("error = %v, want ErrMessageLost", err)
+	}
+	if res.Delivered {
+		t.Fatal("lost message cannot be delivered")
+	}
+	if res.Hops != 3 {
+		t.Fatalf("lost at hop %d, want 3", res.Hops)
+	}
+}
+
+func TestFaultNeverFiring(t *testing.T) {
+	eng := NewEngine(gen.Cycle(6), &hopCountHandler{stopAt: 10},
+		WithFault(func(hop int64) bool { return false }))
+	res, err := eng.Run(0, 0, Header{}, 1000)
+	if err != nil || !res.Delivered {
+		t.Fatalf("benign fault hook broke the run: %+v, %v", res, err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package prng provides small, deterministic pseudo-random primitives used
+// throughout the repository.
+//
+// The package exists for two reasons. First, every randomized component in
+// this reproduction (graph generators, labelings, random-walk baselines)
+// must be exactly reproducible from an explicit seed, so nothing in the
+// library reaches for ambient randomness. Second, the routing algorithm of
+// the paper requires an oracle that evaluates the i-th symbol of an
+// exploration sequence using O(log n) bits of working state; the stateless
+// mixers here (notably Mix64) are that oracle's engine: computing T[i]
+// touches only a constant number of 64-bit words.
+package prng
+
+import "math/bits"
+
+// Mix64 is the SplitMix64 finalizer: a bijective mixer on 64-bit words with
+// good avalanche behaviour. It is stateless, so callers can evaluate
+// pseudo-random streams at arbitrary indices in O(1) words of memory.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// At returns the i-th word of the pseudo-random stream identified by seed.
+// Distinct seeds give (for all practical purposes) independent streams.
+func At(seed, i uint64) uint64 {
+	return Mix64(seed ^ Mix64(i))
+}
+
+// Source is a tiny deterministic sequential generator (SplitMix64 state
+// walk). The zero value is a valid generator seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
+// math/rand; callers validate n at their boundary.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling, with a simple
+	// rejection loop to remove modulo bias.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

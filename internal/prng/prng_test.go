@@ -1,0 +1,163 @@
+package prng
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 is a bijection; over a sample of inputs there must be no
+	// collisions and reasonable avalanche.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		v := Mix64(i)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d) == %d", i, prev, v)
+		}
+		seen[v] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	var total, samples int
+	for i := uint64(1); i < 1000; i++ {
+		base := Mix64(i)
+		for b := 0; b < 64; b += 7 {
+			diff := base ^ Mix64(i^(1<<uint(b)))
+			total += bits.OnesCount64(diff)
+			samples++
+		}
+	}
+	avg := float64(total) / float64(samples)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("poor avalanche: average %.2f flipped bits, want ~32", avg)
+	}
+}
+
+func TestAtIsStateless(t *testing.T) {
+	// At must return the same value regardless of evaluation order.
+	forward := make([]uint64, 100)
+	for i := range forward {
+		forward[i] = At(42, uint64(i))
+	}
+	for i := len(forward) - 1; i >= 0; i-- {
+		if got := At(42, uint64(i)); got != forward[i] {
+			t.Fatalf("At(42,%d) order dependent: %d vs %d", i, got, forward[i])
+		}
+	}
+}
+
+func TestAtSeedSeparation(t *testing.T) {
+	matches := 0
+	for i := uint64(0); i < 1000; i++ {
+		if At(1, i) == At(2, i) {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Fatalf("streams for different seeds agree at %d/1000 indices", matches)
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-seed sources diverged at step %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared style sanity check over 10 buckets.
+	s := New(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := trials / n
+	for b, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("bucket %d count %d far from expected %d", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) returned %d elements", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) is not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleCoversArrangements(t *testing.T) {
+	// All 6 arrangements of 3 elements should occur across many shuffles.
+	s := New(11)
+	seen := make(map[[3]int]bool)
+	for i := 0; i < 600; i++ {
+		arr := [3]int{0, 1, 2}
+		s.Shuffle(3, func(i, j int) { arr[i], arr[j] = arr[j], arr[i] })
+		seen[arr] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("shuffle produced only %d/6 arrangements", len(seen))
+	}
+}
+
+func TestMix64Invertible(t *testing.T) {
+	// Mix64 is a bijection on uint64; quick.Check that distinct inputs map
+	// to distinct outputs (injectivity on sampled pairs).
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return Mix64(a) != Mix64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

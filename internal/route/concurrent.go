@@ -1,0 +1,53 @@
+package route
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+// RouteConcurrent routes s→t with one goroutine per network node (the
+// netsim.Concurrent engine), exercising the protocol under real message
+// passing. Semantics match Route with a known bound; it is an integration
+// vehicle, not a performance path. bound must be a promised upper bound on
+// |C_s| in G′ (use KnownN semantics); timeout bounds the wall-clock wait.
+func (r *Router) RouteConcurrent(s, t graph.NodeID, bound int, timeout time.Duration) (*Result, error) {
+	if !r.orig.HasNode(s) {
+		return nil, fmt.Errorf("route: source: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	if s == t {
+		return &Result{Status: netsim.StatusSuccess}, nil
+	}
+	start, err := r.entry(s)
+	if err != nil {
+		return nil, err
+	}
+	seq := r.sequence(bound)
+	handler := &routeHandler{seq: seq, originalOf: r.originalOf()}
+	net := netsim.NewConcurrent(r.work, handler, 2*int64(seq.Len())+8)
+	defer net.Close()
+
+	h := netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1}
+	out, err := net.Run(start, 0, h, timeout)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Status:        out.Header.Status,
+		Hops:          out.Hops,
+		Bound:         bound,
+		MaxHeaderBits: out.MaxHeaderBits,
+		Rounds: []RoundStat{{
+			Bound:   bound,
+			SeqLen:  seq.Len(),
+			Hops:    out.Hops,
+			Outcome: out.Header.Status,
+		}},
+	}
+	if out.Header.Status == netsim.StatusSuccess {
+		res.ForwardSteps = (out.Hops + out.Header.Index) / 2
+	}
+	return res, nil
+}

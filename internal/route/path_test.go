@@ -1,0 +1,139 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+func TestRouteWithPathEndpoints(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		s, d graph.NodeID
+	}{
+		{name: "path", g: gen.Path(8), s: 0, d: 7},
+		{name: "grid", g: gen.Grid(4, 4), s: 0, d: 15},
+		{name: "petersen", g: gen.Petersen(), s: 1, d: 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := newRouter(t, tt.g, Config{Seed: 7})
+			res, path, err := r.RouteWithPath(tt.s, tt.d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != netsim.StatusSuccess {
+				t.Fatalf("status = %v", res.Status)
+			}
+			if len(path) < 2 {
+				t.Fatalf("path too short: %v", path)
+			}
+			if path[0] != tt.s || path[len(path)-1] != tt.d {
+				t.Fatalf("path endpoints = %d..%d, want %d..%d",
+					path[0], path[len(path)-1], tt.s, tt.d)
+			}
+		})
+	}
+}
+
+// TestPathIsWalkInOriginalGraph verifies every consecutive pair of the
+// reconstructed path is an edge of the original graph (gadget-internal
+// moves collapse to nothing).
+func TestPathIsWalkInOriginalGraph(t *testing.T) {
+	g := gen.Grid(4, 5)
+	r := newRouter(t, g, Config{Seed: 11})
+	res, path, err := r.RouteWithPath(0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != netsim.StatusSuccess {
+		t.Fatal("route failed")
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Fatalf("path step %d: (%d,%d) is not an edge", i, path[i-1], path[i])
+		}
+	}
+}
+
+func TestRouteWithPathSelf(t *testing.T) {
+	r := newRouter(t, gen.Cycle(4), Config{Seed: 1})
+	res, path, err := r.RouteWithPath(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != netsim.StatusSuccess || len(path) != 1 || path[0] != 2 {
+		t.Fatalf("self path = %v", path)
+	}
+}
+
+func TestRouteWithPathFailure(t *testing.T) {
+	u, err := gen.DisjointUnion(gen.Cycle(4), gen.Cycle(3), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRouter(t, u, Config{Seed: 3})
+	res, path, err := r.RouteWithPath(0, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != netsim.StatusFailure || path != nil {
+		t.Fatalf("failure should carry no path: %v, %v", res.Status, path)
+	}
+}
+
+func TestPathOfBounds(t *testing.T) {
+	r := newRouter(t, gen.Cycle(5), Config{Seed: 1})
+	if _, err := r.PathOf(0, 8, -1); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+	if _, err := r.PathOf(0, 8, 1<<40); err == nil {
+		t.Fatal("overlong steps accepted")
+	}
+	if _, err := r.PathOf(99, 8, 1); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+func TestPathRestartModeAgrees(t *testing.T) {
+	// ForwardSteps reconstruction differs between confirmation modes; the
+	// replayed path must end at t in both.
+	g := gen.Grid(3, 4)
+	for _, mode := range []ConfirmMode{ConfirmBacktrack, ConfirmRestart} {
+		r := newRouter(t, g, Config{Seed: 13, Confirm: mode})
+		res, path, err := r.RouteWithPath(0, 11)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if res.Status != netsim.StatusSuccess {
+			t.Fatalf("mode %d failed", mode)
+		}
+		if path[len(path)-1] != 11 {
+			t.Fatalf("mode %d: path ends at %d, want 11", mode, path[len(path)-1])
+		}
+	}
+}
+
+// TestPathAblationMode checks path reconstruction without degree reduction.
+func TestPathAblationMode(t *testing.T) {
+	g := gen.Grid(3, 3)
+	r := newRouter(t, g, Config{Seed: 5, NoDegreeReduction: true})
+	res, path, err := r.RouteWithPath(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != netsim.StatusSuccess {
+		t.Fatal("route failed")
+	}
+	if path[0] != 0 || path[len(path)-1] != 8 {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Fatalf("non-edge in path: (%d,%d)", path[i-1], path[i])
+		}
+	}
+}

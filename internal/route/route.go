@@ -1,0 +1,517 @@
+// Package route implements the paper's primary contribution: Algorithm
+// Route (§3) — guaranteed-delivery ad hoc routing by universal exploration
+// sequence, with the broadcast variant and the doubling outer loop that
+// removes the need to know the component size in advance (§4).
+//
+// The message header carries (s, t, dir, status, i) and nothing else;
+// intermediate nodes keep no state between activations. A message walks the
+// degree-reduced 3-regular graph G′ following T_n; if it reaches (a gadget
+// node of) t it turns around with status success and backtracks along the
+// reversed sequence; if the index exceeds L_n it turns around with status
+// failure. The source learns the outcome in either case.
+//
+// Index discipline (1-based, matching the paper): a forward message at
+// position P_k (after k steps) carries i = k+1, the index of the next
+// direction to apply. A backward message at P_k carries i = k, the index of
+// the step to undo next; it is delivered as soon as it reaches any gadget
+// node of s.
+package route
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/degred"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/ues"
+)
+
+// Errors reported by the router.
+var (
+	// ErrSequenceExhausted means the doubling loop hit its safety cap
+	// without the exploration sequence covering the source component —
+	// empirically this would mean the pseudorandom sequence is not
+	// universal for the instance (never observed; the cap guards against
+	// it becoming an infinite loop).
+	ErrSequenceExhausted = errors.New("route: sequence bound cap reached without covering component")
+	// ErrIsolatedSource is returned by the no-reduction ablation when the
+	// source has no edges to walk (the reduced mode handles this case via
+	// the theta gadget).
+	ErrIsolatedSource = errors.New("route: source node is isolated")
+)
+
+// ConfirmMode selects how the source learns the outcome.
+type ConfirmMode int
+
+// Confirmation mechanisms.
+const (
+	// ConfirmBacktrack is the paper's mechanism: the confirmation retraces
+	// the forward walk using the reversibility of exploration sequences.
+	// The source always learns the outcome within 2·L_n hops.
+	ConfirmBacktrack ConfirmMode = iota
+	// ConfirmRestart is the ablation: on finding t (or exhausting the
+	// sequence), the confirmation is routed by a fresh forward exploration
+	// searching for s. Cheaper when s is found quickly, but a confirmation
+	// leg can exhaust its sequence at too-small doubling bounds, leaving
+	// the round inconclusive — the reliability gap §1.2 warns about for
+	// non-backtracking confirmations.
+	ConfirmRestart
+)
+
+// Config parameterizes a Router. The zero value is usable.
+type Config struct {
+	// Seed identifies the exploration sequence family T_n; it is shared
+	// protocol configuration, not per-node state.
+	Seed uint64
+	// LengthFactor scales sequence lengths (ues.Length); 0 = default.
+	LengthFactor int
+	// KnownN, if > 0, is a promised upper bound on the size of the source
+	// component of G′; the router runs a single round at this bound, as in
+	// the first part of §3. If 0, the router uses the doubling loop.
+	KnownN int
+	// MaxBound caps the doubling loop (0 = 4·|V(G′)|, always sufficient
+	// for a universal sequence).
+	MaxBound int
+	// MemoryBudgetBits enforces the per-activation working-memory budget;
+	// 0 derives an O(log n) default from the graph size.
+	MemoryBudgetBits int
+	// NoDegreeReduction runs the walk directly on G with full-range
+	// directions reduced mod deg(v) — the ablation of the Figure 1 gadget.
+	NoDegreeReduction bool
+	// Confirm selects the confirmation mechanism (default: the paper's
+	// reverse-walk backtracking).
+	Confirm ConfirmMode
+	// GrowthFactor is the doubling-loop multiplier (default 2, the
+	// paper's schedule; the ablation uses 4).
+	GrowthFactor int
+	// Trace observes every hop of every round.
+	Trace netsim.TraceFunc
+	// FaultHook, when set, injects message loss (see netsim.WithFault).
+	// The paper assumes a static, reliable network; the hook lets the
+	// robustness experiments verify that a violated assumption surfaces
+	// as netsim.ErrMessageLost and never as a wrong verdict.
+	FaultHook func(hop int64) bool
+	// SequenceFactory overrides the exploration sequence family: given a
+	// size bound it must return T_bound. The default is the PRF-derived
+	// ues.Pseudorandom; override to plug certified explicit sequences
+	// (ues.CertifiedSmall) or any future construction. The factory must be
+	// deterministic — all nodes consult the same T_n.
+	SequenceFactory func(bound int) ues.Sequence
+	// WireFormat round-trips the header through its serialized form on
+	// every hop (netsim.WithWireFormat), as a real link would.
+	WireFormat bool
+}
+
+// growth returns the sanitized growth factor.
+func (c Config) growth() int {
+	if c.GrowthFactor < 2 {
+		return 2
+	}
+	return c.GrowthFactor
+}
+
+// Router routes messages on a fixed graph. It precomputes the degree
+// reduction once; Route/Broadcast calls are independent and reusable.
+type Router struct {
+	orig *graph.Graph
+	red  *degred.Reduced // nil iff cfg.NoDegreeReduction
+	work *graph.Graph
+	cfg  Config
+}
+
+// RoundStat records one doubling round.
+type RoundStat struct {
+	// Bound is the sequence size bound n for this round.
+	Bound int
+	// SeqLen is L_n.
+	SeqLen int
+	// Hops is the number of message hops spent in this round.
+	Hops int64
+	// Outcome is the round's terminal status.
+	Outcome netsim.Status
+	// Covered reports whether the round's walk covered the source
+	// component (checked only after failed rounds).
+	Covered bool
+}
+
+// Result is the outcome of a Route call.
+type Result struct {
+	// Status is StatusSuccess if t was reached, StatusFailure if t is
+	// provably outside the source component.
+	Status netsim.Status
+	// Hops is the total message hops across all rounds, including
+	// backtracking.
+	Hops int64
+	// ForwardSteps is the exploration index at which t was found (0 on
+	// failure).
+	ForwardSteps int64
+	// Rounds holds per-round statistics.
+	Rounds []RoundStat
+	// Bound is the sequence bound of the terminal round.
+	Bound int
+	// MaxHeaderBits is the largest serialized header observed.
+	MaxHeaderBits int
+	// PeakMemoryBits is the peak per-activation working memory.
+	PeakMemoryBits int
+}
+
+// New builds a Router for g.
+func New(g *graph.Graph, cfg Config) (*Router, error) {
+	r := &Router{orig: g, cfg: cfg}
+	if cfg.NoDegreeReduction {
+		r.work = g
+		return r, nil
+	}
+	red, err := degred.Reduce(g)
+	if err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
+	r.red = red
+	r.work = red.Graph()
+	return r, nil
+}
+
+// WorkGraph returns the graph actually walked (G′, or G under the
+// ablation). Read-only.
+func (r *Router) WorkGraph() *graph.Graph { return r.work }
+
+// DefaultMemoryBudget returns the enforced per-activation budget for a work
+// graph of n nodes: Θ(log n) bits with a constant floor for the fixed
+// registers.
+func DefaultMemoryBudget(n int) int {
+	return 64*(bits.Len(uint(n))+4) + 512
+}
+
+// Route sends a message from s to t and returns the outcome learned at s.
+// Routing to t == s succeeds trivially with zero hops. t need not exist in
+// the graph — a name outside the component yields StatusFailure, which is
+// the point of guaranteed termination.
+func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
+	if !r.orig.HasNode(s) {
+		return nil, fmt.Errorf("route: source: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	if s == t {
+		return &Result{Status: netsim.StatusSuccess}, nil
+	}
+	start, err := r.entry(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	// runRound executes one round at the given bound. delivered reports
+	// whether the source learned an outcome; with ConfirmRestart a round
+	// can end inconclusively (the confirmation leg exhausted its
+	// sequence), which the doubling loop treats like an uncovered failure.
+	runRound := func(bound int) (st netsim.Status, delivered bool, err error) {
+		seq := r.sequence(bound)
+		h := netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1}
+		eng := netsim.NewEngine(r.work,
+			&routeHandler{seq: seq, originalOf: r.originalOf(), confirm: r.cfg.Confirm},
+			r.engineOptions()...)
+		out, err := eng.Run(start, 0, h, 2*int64(seq.Len())+8)
+		stat := RoundStat{Bound: bound, SeqLen: seq.Len()}
+		if out != nil {
+			stat.Hops = out.Hops
+			res.Hops += out.Hops
+			if out.MaxHeaderBits > res.MaxHeaderBits {
+				res.MaxHeaderBits = out.MaxHeaderBits
+			}
+			if out.PeakMemoryBits > res.PeakMemoryBits {
+				res.PeakMemoryBits = out.PeakMemoryBits
+			}
+		}
+		if err != nil {
+			return netsim.StatusNone, false, err
+		}
+		if !out.Delivered {
+			if r.cfg.Confirm == ConfirmRestart {
+				// Inconclusive: the restart confirmation ran out of
+				// sequence before reaching s.
+				stat.Outcome = netsim.StatusNone
+				res.Rounds = append(res.Rounds, stat)
+				res.Bound = bound
+				return netsim.StatusNone, false, nil
+			}
+			return netsim.StatusNone, false, fmt.Errorf("route: message dropped at %d", out.Final)
+		}
+		stat.Outcome = out.Header.Status
+		if out.Header.Status == netsim.StatusSuccess {
+			// Reconstruct the exploration index at which t was found.
+			// Backtrack: forward steps f and back steps b satisfy
+			// f + b = hops and b = f - indexAtDelivery, so
+			// f = (hops + index) / 2. Restart: the confirmation leg took
+			// index-1 steps after the turnaround reset the index to 1, so
+			// f = hops - (index - 1).
+			if r.cfg.Confirm == ConfirmRestart {
+				res.ForwardSteps = stat.Hops - (out.Header.Index - 1)
+			} else {
+				res.ForwardSteps = (stat.Hops + out.Header.Index) / 2
+			}
+		}
+		res.Rounds = append(res.Rounds, stat)
+		res.Bound = bound
+		return out.Header.Status, true, nil
+	}
+
+	if r.cfg.KnownN > 0 {
+		st, delivered, err := runRound(r.cfg.KnownN)
+		if err != nil {
+			return res, err
+		}
+		if !delivered {
+			return res, fmt.Errorf("%w: bound %d (restart confirmation inconclusive)",
+				ErrSequenceExhausted, r.cfg.KnownN)
+		}
+		res.Status = st
+		return res, nil
+	}
+
+	maxBound := r.cfg.MaxBound
+	if maxBound <= 0 {
+		maxBound = 4 * r.work.NumNodes()
+	}
+	growth := r.cfg.growth()
+	for bound := 4; ; bound *= growth {
+		if bound > maxBound {
+			bound = maxBound
+		}
+		st, delivered, err := runRound(bound)
+		if err != nil {
+			return res, err
+		}
+		if st == netsim.StatusSuccess {
+			res.Status = st
+			return res, nil
+		}
+		if delivered && st == netsim.StatusFailure {
+			// Failed round: decide whether the failure is definitive by
+			// the §4 closure check — did T_bound cover the source
+			// component?
+			covered, err := r.covered(start, bound)
+			if err != nil {
+				return res, err
+			}
+			res.Rounds[len(res.Rounds)-1].Covered = covered
+			if covered {
+				res.Status = netsim.StatusFailure
+				return res, nil
+			}
+		}
+		if bound >= maxBound {
+			return res, fmt.Errorf("%w: bound %d", ErrSequenceExhausted, bound)
+		}
+	}
+}
+
+// entry maps an original node to its walk entry point.
+func (r *Router) entry(s graph.NodeID) (graph.NodeID, error) {
+	if r.red == nil {
+		if r.orig.Degree(s) == 0 {
+			return 0, fmt.Errorf("%w: %d", ErrIsolatedSource, s)
+		}
+		return s, nil
+	}
+	e, ok := r.red.Entry(s)
+	if !ok {
+		return 0, fmt.Errorf("route: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	return e, nil
+}
+
+// originalOf returns the gadget-to-original projection (identity under the
+// ablation).
+func (r *Router) originalOf() func(graph.NodeID) graph.NodeID {
+	if r.red == nil {
+		return func(v graph.NodeID) graph.NodeID { return v }
+	}
+	red := r.red
+	return func(v graph.NodeID) graph.NodeID {
+		o, ok := red.Original(v)
+		if !ok {
+			return v
+		}
+		return o
+	}
+}
+
+// sequence returns T_bound for this protocol instance.
+func (r *Router) sequence(bound int) ues.Sequence {
+	if r.cfg.SequenceFactory != nil {
+		return r.cfg.SequenceFactory(bound)
+	}
+	base := 3
+	if r.cfg.NoDegreeReduction {
+		base = 0 // full-range directions, reduced mod deg(v) by the walk rule
+	}
+	return &ues.Pseudorandom{
+		Seed:         r.cfg.Seed,
+		N:            bound,
+		Base:         base,
+		LengthFactor: r.cfg.LengthFactor,
+	}
+}
+
+func (r *Router) engineOptions() []netsim.Option {
+	budget := r.cfg.MemoryBudgetBits
+	if budget == 0 {
+		budget = DefaultMemoryBudget(r.work.NumNodes())
+	}
+	opts := []netsim.Option{netsim.WithMemoryBudget(budget)}
+	if r.cfg.Trace != nil {
+		opts = append(opts, netsim.WithTrace(r.cfg.Trace))
+	}
+	if r.cfg.FaultHook != nil {
+		opts = append(opts, netsim.WithFault(r.cfg.FaultHook))
+	}
+	if r.cfg.WireFormat {
+		opts = append(opts, netsim.WithWireFormat())
+	}
+	return opts
+}
+
+// covered runs the §4 closure check for T_bound from the entry position:
+// it walks the sequence, collects the visited set V, and reports whether
+// every neighbour of V is in V (in which case V equals the component of s
+// and a failed search is definitive). This is the simulator-local
+// equivalent of CountNodes' Retrieve loops; the message-faithful version
+// with its full quadratic message cost lives in package count.
+func (r *Router) covered(start graph.NodeID, bound int) (bool, error) {
+	seq := r.sequence(bound)
+	visited := map[graph.NodeID]bool{start: true}
+	pos := ues.Start(start)
+	for i := 1; i <= seq.Len(); i++ {
+		next, err := ues.Step(r.work, pos, seq.At(i))
+		if err != nil {
+			return false, fmt.Errorf("route: cover check: %w", err)
+		}
+		pos = next
+		visited[pos.Node] = true
+	}
+	for v := range visited {
+		for p := 0; p < r.work.Degree(v); p++ {
+			h, err := r.work.Neighbor(v, p)
+			if err != nil {
+				return false, err
+			}
+			if !visited[h.To] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// routeHandler is Algorithm Route as a stateless per-node handler.
+type routeHandler struct {
+	seq        ues.Sequence
+	originalOf func(graph.NodeID) graph.NodeID
+	confirm    ConfirmMode
+}
+
+// charge meters the handler's working registers: a constant number of
+// words, each O(log n) bits. The meter aborts the run if a handler ever
+// exceeded its O(log n) budget.
+func charge(mem *netsim.Memory, values ...int64) error {
+	for _, v := range values {
+		w := bits.Len64(uint64(abs64(v))) + 1
+		if err := mem.Charge(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// OnMessage implements the pseudocode of §3 verbatim (with the index
+// discipline documented in the package comment).
+func (rh *routeHandler) OnMessage(self graph.NodeID, inPort, degree int, h *netsim.Header, mem *netsim.Memory) (netsim.Decision, error) {
+	selfOrig := rh.originalOf(self)
+	if err := charge(mem, int64(self), int64(selfOrig), int64(inPort), int64(degree), h.Index); err != nil {
+		return netsim.Decision{}, err
+	}
+	if rh.confirm == ConfirmRestart {
+		return rh.onRestartMessage(selfOrig, inPort, degree, h, mem)
+	}
+
+	if h.Dir == netsim.Backward {
+		// "if dir = back and v = s: return status".
+		if selfOrig == h.Src {
+			return netsim.Decision{Kind: netsim.Deliver}, nil
+		}
+		t := rh.seq.At(int(h.Index))
+		if err := charge(mem, int64(t)); err != nil {
+			return netsim.Decision{}, err
+		}
+		out := ues.PrevPort(degree, inPort, t)
+		h.Index--
+		return netsim.Decision{Kind: netsim.Send, OutPort: out}, nil
+	}
+
+	// Forward direction.
+	// "if dir = forward and v = t: dir := back, i := i-1, status :=
+	// success, send message back".
+	if selfOrig == h.Dst {
+		h.Dir = netsim.Backward
+		h.Status = netsim.StatusSuccess
+		h.Index--
+		return netsim.Decision{Kind: netsim.Send, OutPort: inPort}, nil
+	}
+	// "if dir = forward and i > Ln: dir := back, i := i-1, status :=
+	// failure, send message back".
+	if int(h.Index) > rh.seq.Len() {
+		h.Dir = netsim.Backward
+		h.Status = netsim.StatusFailure
+		h.Index--
+		return netsim.Decision{Kind: netsim.Send, OutPort: inPort}, nil
+	}
+	t := rh.seq.At(int(h.Index))
+	if err := charge(mem, int64(t)); err != nil {
+		return netsim.Decision{}, err
+	}
+	out := ues.NextPort(degree, inPort, t)
+	h.Index++
+	return netsim.Decision{Kind: netsim.Send, OutPort: out}, nil
+}
+
+// onRestartMessage implements the ConfirmRestart ablation. The message
+// only ever travels forward. Phase is encoded in Status: None = searching
+// for Dst; Success/Failure = confirming back to Src via a fresh
+// exploration (index reset to 1 at the turnaround).
+func (rh *routeHandler) onRestartMessage(selfOrig graph.NodeID, inPort, degree int, h *netsim.Header, mem *netsim.Memory) (netsim.Decision, error) {
+	searching := h.Status == netsim.StatusNone
+	if searching && selfOrig == h.Dst {
+		// Found t: flip to the confirmation phase and keep walking with a
+		// fresh index, now hunting for s.
+		h.Status = netsim.StatusSuccess
+		h.Index = 1
+		searching = false
+	} else if !searching && selfOrig == h.Src {
+		return netsim.Decision{Kind: netsim.Deliver}, nil
+	}
+	if int(h.Index) > rh.seq.Len() {
+		if searching {
+			h.Status = netsim.StatusFailure
+			h.Index = 1
+		} else {
+			// The confirmation leg itself ran out of sequence: the round
+			// is inconclusive and the source never hears back — the
+			// reliability gap of non-backtracking confirmations.
+			return netsim.Decision{Kind: netsim.Drop}, nil
+		}
+	}
+	t := rh.seq.At(int(h.Index))
+	if err := charge(mem, int64(t)); err != nil {
+		return netsim.Decision{}, err
+	}
+	out := ues.NextPort(degree, inPort, t)
+	h.Index++
+	return netsim.Decision{Kind: netsim.Send, OutPort: out}, nil
+}

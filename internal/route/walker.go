@@ -1,0 +1,149 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+// Walker is a step-at-a-time view of Route, used by the Corollary 2
+// composition (package hybrid): the guaranteed router advances one message
+// hop per Step so it can be interleaved with a probabilistic router.
+type Walker struct {
+	r        *Router
+	s, t     graph.NodeID
+	bound    int
+	maxBound int
+	stepper  *netsim.Stepper
+	// completedHops accumulates hops from finished rounds; the current
+	// round's hops live in the stepper's result.
+	completedHops int64
+	status        netsim.Status
+	done          bool
+	err           error
+}
+
+// Walker returns a steppable guaranteed route from s to t, including the
+// doubling outer loop. The inter-round coverage check runs locally and is
+// not charged as steps (the walk cost dominates; see DESIGN.md).
+func (r *Router) Walker(s, t graph.NodeID) (*Walker, error) {
+	if !r.orig.HasNode(s) {
+		return nil, fmt.Errorf("route: source: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	w := &Walker{r: r, s: s, t: t, maxBound: r.cfg.MaxBound}
+	if w.maxBound <= 0 {
+		w.maxBound = 4 * r.work.NumNodes()
+	}
+	if s == t {
+		w.done = true
+		w.status = netsim.StatusSuccess
+		return w, nil
+	}
+	w.bound = 4
+	if r.cfg.KnownN > 0 {
+		w.bound = r.cfg.KnownN
+		w.maxBound = r.cfg.KnownN
+	}
+	if err := w.startRound(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Walker) startRound() error {
+	start, err := w.r.entry(w.s)
+	if err != nil {
+		return err
+	}
+	seq := w.r.sequence(w.bound)
+	h := netsim.Header{Src: w.s, Dst: w.t, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1}
+	eng := netsim.NewEngine(w.r.work,
+		// The walker always uses the paper's backtracking confirmation:
+		// the hybrid composition needs every round to end with a verdict.
+		&routeHandler{seq: seq, originalOf: w.r.originalOf(), confirm: ConfirmBacktrack},
+		w.r.engineOptions()...)
+	stepper, err := eng.Stepper(start, 0, h, 2*int64(seq.Len())+8)
+	if err != nil {
+		return err
+	}
+	w.stepper = stepper
+	return nil
+}
+
+// Step advances the guaranteed route by one hop. It returns true when the
+// route has terminated (success, definitive failure, or error).
+func (w *Walker) Step() bool {
+	if w.done {
+		return true
+	}
+	if !w.stepper.Step() {
+		return false
+	}
+	// Round ended.
+	out := w.stepper.Result()
+	w.completedHops += out.Hops
+	if err := w.stepper.Err(); err != nil {
+		w.fail(err)
+		return true
+	}
+	if !out.Delivered {
+		w.fail(fmt.Errorf("route: message dropped at %d", out.Final))
+		return true
+	}
+	if out.Header.Status == netsim.StatusSuccess {
+		w.done = true
+		w.status = netsim.StatusSuccess
+		return true
+	}
+	// Failed round: definitive iff covered.
+	start, err := w.r.entry(w.s)
+	if err != nil {
+		w.fail(err)
+		return true
+	}
+	covered, err := w.r.covered(start, w.bound)
+	if err != nil {
+		w.fail(err)
+		return true
+	}
+	if covered {
+		w.done = true
+		w.status = netsim.StatusFailure
+		return true
+	}
+	if w.bound >= w.maxBound {
+		w.fail(fmt.Errorf("%w: bound %d", ErrSequenceExhausted, w.bound))
+		return true
+	}
+	w.bound *= w.r.cfg.growth()
+	if w.bound > w.maxBound {
+		w.bound = w.maxBound
+	}
+	if err := w.startRound(); err != nil {
+		w.fail(err)
+	}
+	return w.done
+}
+
+func (w *Walker) fail(err error) {
+	w.err = err
+	w.done = true
+}
+
+// Done reports whether the route has terminated.
+func (w *Walker) Done() bool { return w.done }
+
+// Status returns the terminal status (valid once Done).
+func (w *Walker) Status() netsim.Status { return w.status }
+
+// Hops returns the hops consumed so far across all rounds.
+func (w *Walker) Hops() int64 {
+	if w.stepper == nil || w.done {
+		return w.completedHops
+	}
+	return w.completedHops + w.stepper.Result().Hops
+}
+
+// Err returns the terminal error, if any.
+func (w *Walker) Err() error { return w.err }

@@ -1,0 +1,134 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+func runWalker(t *testing.T, w *Walker, maxSteps int) {
+	t.Helper()
+	for i := 0; i < maxSteps; i++ {
+		if w.Step() {
+			return
+		}
+	}
+	t.Fatalf("walker did not terminate within %d steps", maxSteps)
+}
+
+func TestWalkerSuccess(t *testing.T) {
+	g := gen.Grid(3, 4)
+	r := newRouter(t, g, Config{Seed: 7})
+	w, err := r.Walker(0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWalker(t, w, 1<<22)
+	if !w.Done() || w.Status() != netsim.StatusSuccess {
+		t.Fatalf("walker = done %v status %v err %v", w.Done(), w.Status(), w.Err())
+	}
+	if w.Hops() <= 0 {
+		t.Fatal("no hops recorded")
+	}
+	// Further steps are no-ops.
+	if !w.Step() {
+		t.Fatal("Step after done must return true")
+	}
+}
+
+func TestWalkerMatchesRoute(t *testing.T) {
+	// The step-wise walker must agree with the monolithic Route on both
+	// verdict and total hops.
+	g := gen.Grid(3, 3)
+	r := newRouter(t, g, Config{Seed: 5})
+	res, err := r.Route(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.Walker(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWalker(t, w, 1<<22)
+	if w.Status() != res.Status {
+		t.Fatalf("status %v vs %v", w.Status(), res.Status)
+	}
+	if w.Hops() != res.Hops {
+		t.Fatalf("hops %d vs %d", w.Hops(), res.Hops)
+	}
+}
+
+func TestWalkerDefinitiveFailure(t *testing.T) {
+	u, err := gen.DisjointUnion(gen.Cycle(5), gen.Cycle(4), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRouter(t, u, Config{Seed: 3})
+	w, err := r.Walker(0, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWalker(t, w, 1<<22)
+	if w.Status() != netsim.StatusFailure {
+		t.Fatalf("status = %v, want failure (err %v)", w.Status(), w.Err())
+	}
+	if w.Err() != nil {
+		t.Fatalf("definitive failure should not be an error: %v", w.Err())
+	}
+}
+
+func TestWalkerSelfRoute(t *testing.T) {
+	r := newRouter(t, gen.Cycle(4), Config{Seed: 1})
+	w, err := r.Walker(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Done() || w.Status() != netsim.StatusSuccess || w.Hops() != 0 {
+		t.Fatalf("self walker = %v/%v/%d", w.Done(), w.Status(), w.Hops())
+	}
+}
+
+func TestWalkerMissingSource(t *testing.T) {
+	r := newRouter(t, gen.Cycle(4), Config{Seed: 1})
+	if _, err := r.Walker(99, 0); !errors.Is(err, graph.ErrNodeNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestWalkerKnownBound(t *testing.T) {
+	g := gen.Cycle(6)
+	r := newRouter(t, g, Config{Seed: 2, KnownN: 12})
+	w, err := r.Walker(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWalker(t, w, 1<<22)
+	if w.Status() != netsim.StatusSuccess {
+		t.Fatalf("status = %v", w.Status())
+	}
+}
+
+func TestWalkerHopsMonotonic(t *testing.T) {
+	g := gen.Grid(3, 3)
+	r := newRouter(t, g, Config{Seed: 9})
+	w, err := r.Walker(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	for i := 0; i < 1<<22; i++ {
+		done := w.Step()
+		if h := w.Hops(); h < prev {
+			t.Fatalf("hops decreased: %d -> %d", prev, h)
+		} else {
+			prev = h
+		}
+		if done {
+			return
+		}
+	}
+	t.Fatal("did not terminate")
+}

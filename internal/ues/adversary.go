@@ -1,0 +1,75 @@
+package ues
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// AdversaryResult reports an adversarial labeling search.
+type AdversaryResult struct {
+	// Labeling is the seed of the worst labeling found (apply with
+	// Graph.ShuffleLabels on a fresh copy).
+	Labeling uint64
+	// CoverSteps is the cover time under that labeling.
+	CoverSteps int
+	// Covered is false if some tried labeling defeated the sequence
+	// entirely (never observed for default-length sequences).
+	Covered bool
+	// BaselineSteps is the cover time under the original labeling.
+	BaselineSteps int
+	// Tried is the number of labelings evaluated.
+	Tried int
+}
+
+// AdversarialLabeling searches for a port labeling of g that maximizes the
+// cover time of seq — probing the margin behind Definition 3's "for any
+// labeling" quantifier. The search is a random-restart sampler (labelings
+// are permutations per node; local moves are not meaningfully smooth, so
+// independent sampling matches hill climbing in practice and is
+// deterministic in seed). g is not modified.
+func AdversarialLabeling(g *graph.Graph, seq Sequence, tries int, seed uint64) (*AdversaryResult, error) {
+	if tries <= 0 {
+		tries = 16
+	}
+	start := g.Nodes()
+	if len(start) == 0 {
+		return nil, fmt.Errorf("ues: empty graph")
+	}
+	baseSteps, baseOK, err := CoverSteps(g, Start(start[0]), seq)
+	if err != nil {
+		return nil, err
+	}
+	res := &AdversaryResult{
+		CoverSteps:    baseSteps,
+		Covered:       baseOK,
+		BaselineSteps: baseSteps,
+		Tried:         1,
+	}
+	if !baseOK {
+		return res, nil
+	}
+	src := prng.New(seed)
+	for k := 0; k < tries; k++ {
+		labelSeed := src.Uint64()
+		c := g.Clone()
+		c.ShuffleLabels(labelSeed)
+		steps, ok, err := CoverSteps(c, Start(start[0]), seq)
+		if err != nil {
+			return nil, err
+		}
+		res.Tried++
+		if !ok {
+			res.Labeling = labelSeed
+			res.Covered = false
+			res.CoverSteps = seq.Len()
+			return res, nil
+		}
+		if steps > res.CoverSteps {
+			res.CoverSteps = steps
+			res.Labeling = labelSeed
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package ues
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// EnumerateCubicPairings returns every connected labeled 3-regular
+// multigraph on n nodes, generated as all perfect matchings of the 3n
+// half-edge stubs (stub 3v+p is port p of node v). Because ports are
+// assigned by stub index, the enumeration is exhaustive over *labelings* as
+// well as over multigraph structures — exactly the quantifiers of
+// Definition 3. n must be even (3n stubs must pair up); practical for
+// n ≤ 4 ((3n-1)!! growth).
+func EnumerateCubicPairings(n int) ([]*graph.Graph, error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, fmt.Errorf("ues: cubic enumeration needs positive even n, got %d", n)
+	}
+	stubs := 3 * n
+	matched := make([]int, stubs)
+	for i := range matched {
+		matched[i] = -1
+	}
+	var out []*graph.Graph
+	var rec func(int) error
+	rec = func(lo int) error {
+		for lo < stubs && matched[lo] != -1 {
+			lo++
+		}
+		if lo == stubs {
+			g, err := pairingGraph(n, matched)
+			if err != nil {
+				return err
+			}
+			if g.IsConnected() {
+				out = append(out, g)
+			}
+			return nil
+		}
+		for hi := lo + 1; hi < stubs; hi++ {
+			if matched[hi] != -1 {
+				continue
+			}
+			matched[lo], matched[hi] = hi, lo
+			if err := rec(lo + 1); err != nil {
+				return err
+			}
+			matched[lo], matched[hi] = -1, -1
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pairingGraph converts a stub matching into a port-labeled graph.
+func pairingGraph(n int, matched []int) (*graph.Graph, error) {
+	order := make([]graph.NodeID, n)
+	adj := make(map[graph.NodeID][]graph.Half, n)
+	for v := 0; v < n; v++ {
+		order[v] = graph.NodeID(v)
+		adj[graph.NodeID(v)] = make([]graph.Half, 3)
+	}
+	for s, m := range matched {
+		adj[graph.NodeID(s/3)][s%3] = graph.Half{
+			To:     graph.NodeID(m / 3),
+			ToPort: m % 3,
+		}
+	}
+	return graph.NewFromAdjacency(order, adj)
+}
+
+// CorpusOptions configures CubicCorpus.
+type CorpusOptions struct {
+	// MaxN is the largest graph size to include (even sizes only).
+	MaxN int
+	// SamplesPerSize is how many random cubic multigraphs to draw for each
+	// size above the exhaustive range.
+	SamplesPerSize int
+	// LabelingsPerGraph is how many additional shuffled-label variants to
+	// add per sampled graph.
+	LabelingsPerGraph int
+	// Seed drives all sampling.
+	Seed uint64
+	// SkipExhaustive omits the exhaustive n ∈ {2,4} enumeration (useful
+	// for benchmarks that only want the sampled tail).
+	SkipExhaustive bool
+}
+
+// CubicCorpus builds a deterministic verification corpus of connected
+// labeled cubic multigraphs:
+//
+//   - exhaustive: every labeled cubic multigraph on 2 and 4 nodes,
+//   - structured: named cubic graphs (K4, K_3,3, Petersen, prisms) under
+//     several labelings,
+//   - sampled: random cubic multigraphs (configuration model) of each even
+//     size 6..MaxN, each under several labelings.
+func CubicCorpus(opts CorpusOptions) ([]*graph.Graph, error) {
+	if opts.MaxN < 2 {
+		opts.MaxN = 2
+	}
+	if opts.SamplesPerSize <= 0 {
+		opts.SamplesPerSize = 3
+	}
+	if opts.LabelingsPerGraph <= 0 {
+		opts.LabelingsPerGraph = 2
+	}
+	var out []*graph.Graph
+	if !opts.SkipExhaustive {
+		for _, n := range []int{2, 4} {
+			if n > opts.MaxN {
+				break
+			}
+			gs, err := EnumerateCubicPairings(n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, gs...)
+		}
+	}
+	seed := opts.Seed
+	addLabelings := func(g *graph.Graph) {
+		out = append(out, g)
+		for k := 0; k < opts.LabelingsPerGraph; k++ {
+			c := g.Clone()
+			seed++
+			c.ShuffleLabels(seed)
+			out = append(out, c)
+		}
+	}
+	for _, g := range structuredCubic(opts.MaxN) {
+		addLabelings(g)
+	}
+	src := prng.New(opts.Seed ^ 0xc0ffee)
+	for n := 6; n <= opts.MaxN; n += 2 {
+		for s := 0; s < opts.SamplesPerSize; s++ {
+			g, err := gen.RandomRegularMulti(n, 3, src.Uint64())
+			if err != nil {
+				return nil, err
+			}
+			if !g.IsConnected() {
+				continue
+			}
+			addLabelings(g)
+		}
+	}
+	return out, nil
+}
+
+// structuredCubic returns the named cubic graphs with at most maxN nodes.
+func structuredCubic(maxN int) []*graph.Graph {
+	var out []*graph.Graph
+	if maxN >= 4 {
+		out = append(out, gen.Complete(4))
+	}
+	if maxN >= 6 {
+		out = append(out, gen.CompleteBipartite(3, 3), gen.CircularLadder(3))
+	}
+	if maxN >= 8 {
+		out = append(out, gen.CircularLadder(4))
+	}
+	if maxN >= 10 {
+		out = append(out, gen.Petersen())
+	}
+	if maxN >= 12 {
+		out = append(out, gen.CircularLadder(6))
+	}
+	return out
+}
+
+// Verify checks that seq covers every graph in the corpus from every
+// initial edge (the Definition 3 condition over the given family). It
+// returns ErrNotUniversal wrapped with the index of the first failing graph.
+func Verify(seq Sequence, corpus []*graph.Graph) error {
+	for i, g := range corpus {
+		ok, err := Covers(g, g.Nodes()[0], seq)
+		if err != nil {
+			return fmt.Errorf("ues: verify graph %d: %w", i, err)
+		}
+		if !ok {
+			return fmt.Errorf("%w: graph %d (%d nodes)", ErrNotUniversal, i, g.NumNodes())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package ues
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Universal traversal sequences (UTS) are the older sibling of exploration
+// sequences (Aleliunas–Karp–Lipton–Lovász–Rackoff 1979; Koucky 2003): the
+// i-th direction is an *absolute* edge label — the walk leaves v through
+// the edge labeled t_i mod deg(v), ignoring how it arrived. The paper works
+// with exploration sequences instead, for two reasons this package makes
+// concrete:
+//
+//   - exploration sequences are *reversible* (StepBack), which is what
+//     makes the confirmation backtracking of Algorithm Route free;
+//     traversal steps are not invertible without knowing the arrival edge;
+//   - the relative-offset rule behaves uniformly on irregular graphs,
+//     whereas absolute labels interact badly with varying degrees.
+//
+// The traversal walk is provided for completeness and comparison tests.
+
+// TraversalStep advances one traversal step from node v: leave through the
+// absolute label t mod deg(v).
+func TraversalStep(g *graph.Graph, v graph.NodeID, t int) (graph.NodeID, error) {
+	deg := g.Degree(v)
+	if deg <= 0 {
+		return 0, fmt.Errorf("ues: traversal step from degree-%d node %d", deg, v)
+	}
+	h, err := g.Neighbor(v, mod(t, deg))
+	if err != nil {
+		return 0, fmt.Errorf("ues: traversal step: %w", err)
+	}
+	return h.To, nil
+}
+
+// TraversalTrace follows seq as a traversal sequence from s for at most
+// maxSteps steps and returns the visited node sequence (starting with s).
+func TraversalTrace(g *graph.Graph, s graph.NodeID, seq Sequence, maxSteps int) ([]graph.NodeID, error) {
+	if maxSteps > seq.Len() {
+		maxSteps = seq.Len()
+	}
+	out := make([]graph.NodeID, 0, maxSteps+1)
+	cur := s
+	out = append(out, cur)
+	for i := 1; i <= maxSteps; i++ {
+		next, err := TraversalStep(g, cur, seq.At(i))
+		if err != nil {
+			return out, err
+		}
+		cur = next
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// TraversalCoverSteps returns the number of traversal steps needed to visit
+// the whole component of start, or ok=false if seq is exhausted first.
+func TraversalCoverSteps(g *graph.Graph, start graph.NodeID, seq Sequence) (steps int, ok bool, err error) {
+	comp := g.ComponentOf(start)
+	if comp == nil {
+		return 0, false, fmt.Errorf("%w: %d", graph.ErrNodeNotFound, start)
+	}
+	remaining := make(map[graph.NodeID]bool, len(comp))
+	for _, v := range comp {
+		remaining[v] = true
+	}
+	cur := start
+	delete(remaining, cur)
+	if len(remaining) == 0 {
+		return 0, true, nil
+	}
+	for i := 1; i <= seq.Len(); i++ {
+		cur, err = TraversalStep(g, cur, seq.At(i))
+		if err != nil {
+			return i, false, err
+		}
+		delete(remaining, cur)
+		if len(remaining) == 0 {
+			return i, true, nil
+		}
+	}
+	return seq.Len(), false, nil
+}
+
+// TraversalCovers reports whether seq, read as a traversal sequence, covers
+// the component of s from every start node (traversal sequences have no
+// notion of initial edge — only of initial node).
+func TraversalCovers(g *graph.Graph, s graph.NodeID, seq Sequence) (bool, error) {
+	comp := g.ComponentOf(s)
+	if comp == nil {
+		return false, fmt.Errorf("%w: %d", graph.ErrNodeNotFound, s)
+	}
+	for _, v := range comp {
+		_, ok, err := TraversalCoverSteps(g, v, seq)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

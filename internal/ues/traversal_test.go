@@ -1,0 +1,255 @@
+package ues
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestTraversalStepBasics(t *testing.T) {
+	g := gen.Cycle(5)
+	next, err := TraversalStep(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := g.Neighbor(2, 0)
+	if next != h.To {
+		t.Fatalf("TraversalStep = %d, want %d", next, h.To)
+	}
+	// Absolute label reduced mod degree.
+	next7, err := TraversalStep(g, 2, 7) // 7 mod 2 = 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := g.Neighbor(2, 1)
+	if next7 != h1.To {
+		t.Fatalf("mod reduction wrong: %d vs %d", next7, h1.To)
+	}
+}
+
+func TestTraversalStepIsolated(t *testing.T) {
+	g := graph.New()
+	g.EnsureNode(0)
+	if _, err := TraversalStep(g, 0, 1); err == nil {
+		t.Fatal("isolated traversal step should fail")
+	}
+}
+
+func TestTraversalTrace(t *testing.T) {
+	g := gen.Complete(4)
+	trace, err := TraversalTrace(g, 0, Precomputed{0, 1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 4 || trace[0] != 0 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestTraversalCoversComplete(t *testing.T) {
+	g := gen.Complete(4)
+	seq := &Pseudorandom{Seed: 3, N: 4, Base: 3}
+	ok, err := TraversalCovers(g, 0, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("pseudorandom traversal should cover K4")
+	}
+}
+
+func TestTraversalCoverStepsBudget(t *testing.T) {
+	g := gen.Path(10)
+	_, ok, err := TraversalCoverSteps(g, 0, Precomputed{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("2 steps cannot cover a 10-path")
+	}
+	if _, _, err := TraversalCoverSteps(g, 99, Precomputed{0}); !errors.Is(err, graph.ErrNodeNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+	if _, err := TraversalCovers(g, 99, Precomputed{0}); !errors.Is(err, graph.ErrNodeNotFound) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTraversalSingleton(t *testing.T) {
+	g := graph.New()
+	g.EnsureNode(5)
+	steps, ok, err := TraversalCoverSteps(g, 5, Precomputed{0})
+	if err != nil || !ok || steps != 0 {
+		t.Fatalf("singleton = (%d,%v,%v)", steps, ok, err)
+	}
+}
+
+// TestTraversalNotReversible demonstrates why the paper uses exploration
+// sequences: two different arrival edges at the same node continue to the
+// same successor under a traversal step (information is lost), whereas
+// exploration steps from distinct arrival ports diverge and can be undone.
+func TestTraversalNotReversible(t *testing.T) {
+	g := gen.Complete(4)
+	// Traversal: successor depends only on (node, t).
+	a, err := TraversalStep(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraversalStep(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("traversal step must ignore arrival edge")
+	}
+	// Exploration: successor depends on the arrival port, so the step is
+	// invertible.
+	p0, err := Step(g, Position{Node: 0, InPort: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Step(g, Position{Node: 0, InPort: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 == p1 {
+		t.Fatal("exploration steps from distinct ports should diverge on K4")
+	}
+}
+
+func TestFindVerifiedN2(t *testing.T) {
+	corpus, err := EnumerateCubicPairings(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := FindVerified(corpus, 64, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(seq, corpus); err != nil {
+		t.Fatalf("returned sequence does not verify: %v", err)
+	}
+}
+
+func TestFindVerifiedErrors(t *testing.T) {
+	corpus, err := EnumerateCubicPairings(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindVerified(corpus, 0, 2, 1); err == nil {
+		t.Fatal("zero length should error")
+	}
+	// Length 1 cannot cover 2-node graphs from every edge... it can
+	// actually (one step reaches the other node on cross-edge labelings,
+	// but loop labelings need more). Use an adversarially short length.
+	if _, err := FindVerified(corpus, 1, 4, 1); !errors.Is(err, ErrNotUniversal) {
+		t.Fatalf("error = %v, want ErrNotUniversal", err)
+	}
+}
+
+func TestMinimalPrefix(t *testing.T) {
+	corpus, err := EnumerateCubicPairings(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := FindVerified(corpus, 64, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSeq, err := MinimalPrefix(seq, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minSeq) > len(seq) {
+		t.Fatal("minimal prefix longer than input")
+	}
+	if err := Verify(minSeq, corpus); err != nil {
+		t.Fatalf("minimal prefix does not verify: %v", err)
+	}
+	if len(minSeq) > 1 {
+		if err := Verify(minSeq[:len(minSeq)-1], corpus); err == nil {
+			t.Fatal("prefix is not minimal: one shorter still verifies")
+		}
+	}
+}
+
+func TestMinimalPrefixRejectsBadInput(t *testing.T) {
+	corpus, err := EnumerateCubicPairings(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinimalPrefix(make(Precomputed, 3), corpus); !errors.Is(err, ErrNotUniversal) {
+		t.Fatalf("error = %v, want ErrNotUniversal", err)
+	}
+}
+
+// TestCertifiedSmall produces the repository's strongest Definition 3
+// artifact: a certified universal exploration sequence for every labeled
+// cubic multigraph on ≤ 4 nodes, minimized to a locally shortest prefix.
+func TestCertifiedSmall(t *testing.T) {
+	seq, err := CertifiedSmall(4, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("empty certified sequence")
+	}
+	t.Logf("certified UES for all labeled cubic multigraphs on <=4 nodes: length %d", len(seq))
+	// Re-verify independently against a freshly built exhaustive corpus.
+	var corpus []*graph.Graph
+	for _, n := range []int{2, 4} {
+		gs, err := EnumerateCubicPairings(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, gs...)
+	}
+	if err := Verify(seq, corpus); err != nil {
+		t.Fatalf("certified sequence failed independent verification: %v", err)
+	}
+}
+
+func TestCertifiedSmallRejectsBadN(t *testing.T) {
+	if _, err := CertifiedSmall(6, 1); err == nil {
+		t.Fatal("maxN=6 should be rejected (not exhaustive)")
+	}
+}
+
+func TestAdversarialLabelingFindsWorseLabeling(t *testing.T) {
+	g := gen.CircularLadder(5) // already 3-regular
+	seq := &Pseudorandom{Seed: 7, N: g.NumNodes(), Base: 3}
+	res, err := AdversarialLabeling(g, seq, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatal("default-length sequence should survive all sampled labelings")
+	}
+	if res.CoverSteps < res.BaselineSteps {
+		t.Fatalf("worst found %d below baseline %d", res.CoverSteps, res.BaselineSteps)
+	}
+	if res.Tried != 13 {
+		t.Fatalf("tried = %d, want 13", res.Tried)
+	}
+}
+
+func TestAdversarialLabelingDetectsDefeat(t *testing.T) {
+	// A deliberately short sequence is defeated by some labeling.
+	g := gen.CircularLadder(6)
+	short := make(Precomputed, 8)
+	res, err := AdversarialLabeling(g, short, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered {
+		t.Fatal("an 8-step sequence cannot cover 12 nodes under every labeling")
+	}
+}
+
+func TestAdversarialLabelingEmptyGraph(t *testing.T) {
+	if _, err := AdversarialLabeling(graph.New(), Precomputed{0}, 2, 1); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

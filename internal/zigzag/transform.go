@@ -1,0 +1,166 @@
+package zigzag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+)
+
+// ExpanderDegree and ExpanderSize fix the dimensions of the auxiliary
+// expander H used by the main transform: H is d-regular on d⁴ vertices so
+// that the transform G ↦ (G²) ⓩ H preserves degree D = d².
+const (
+	ExpanderDegree = 4
+	ExpanderSize   = ExpanderDegree * ExpanderDegree * ExpanderDegree * ExpanderDegree // d⁴ = 256
+	// TransformDegree is the degree D = d² the transform operates at.
+	TransformDegree = ExpanderDegree * ExpanderDegree // 16
+)
+
+// FindExpander searches candidate random d-regular graphs on n vertices and
+// returns the one with the smallest measured λ. The search is deterministic
+// in seed. Used to construct the auxiliary H; random regular graphs are
+// near-Ramanujan with high probability.
+func FindExpander(n, d, candidates int, seed uint64) (*RotGraph, error) {
+	if candidates <= 0 {
+		candidates = 4
+	}
+	var (
+		best       *RotGraph
+		bestLambda = 2.0
+	)
+	for c := 0; c < candidates; c++ {
+		g, err := gen.RandomRegularSimple(n, d, seed+uint64(c)*0x9e3779b9, 400)
+		if err != nil {
+			continue
+		}
+		if !g.IsConnected() {
+			continue
+		}
+		rg, err := FromGraph(g)
+		if err != nil {
+			return nil, fmt.Errorf("zigzag: expander candidate: %w", err)
+		}
+		if l := rg.Lambda(0); l < bestLambda {
+			bestLambda = l
+			best = rg
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no connected candidate among %d", gen.ErrGeneratorFailed, candidates)
+	}
+	return best, nil
+}
+
+// DefaultExpander returns the canonical auxiliary expander H (4-regular on
+// 256 vertices) used by the main transform.
+func DefaultExpander() (*RotGraph, error) {
+	return FindExpander(ExpanderSize, ExpanderDegree, 6, 0xe8a2d)
+}
+
+// TransformLevel applies one level of Reingold's main transform:
+// T(G) = (G²) ⓩ H. G must be D-regular with D = deg(H)² and H must have D²
+// vertices; the result is again D-regular, on N·D² vertices, with
+// λ(T(G)) < λ(G) for suitable H — squaring amplifies the gap, the zig-zag
+// product restores constant degree at a modest gap cost.
+func TransformLevel(g, h *RotGraph) (*RotGraph, error) {
+	if g.D() != h.D()*h.D() {
+		return nil, fmt.Errorf("%w: deg(G) = %d, want deg(H)² = %d", ErrBadDims, g.D(), h.D()*h.D())
+	}
+	if h.N() != g.D()*g.D() {
+		return nil, fmt.Errorf("%w: |V(H)| = %d, want deg(G)² = %d", ErrBadDims, h.N(), g.D()*g.D())
+	}
+	sq, err := g.Square()
+	if err != nil {
+		return nil, fmt.Errorf("zigzag: transform square: %w", err)
+	}
+	out, err := ZigZag(sq, h)
+	if err != nil {
+		return nil, fmt.Errorf("zigzag: transform zig-zag: %w", err)
+	}
+	return out, nil
+}
+
+// LevelReport records per-level measurements of the main transform.
+type LevelReport struct {
+	Level    int
+	N        int
+	D        int
+	Lambda   float64
+	Gap      float64
+	Diameter int
+}
+
+// Transform iterates the main transform for the requested number of levels
+// (stopping early if the next level would exceed the size budget) and
+// returns measurements for the base graph and every constructed level.
+// measureDiameter enables the O(N²) BFS diameter measurement.
+func Transform(base, h *RotGraph, levels int, measureDiameter bool) ([]LevelReport, error) {
+	report := func(level int, g *RotGraph) LevelReport {
+		r := LevelReport{
+			Level:  level,
+			N:      g.N(),
+			D:      g.D(),
+			Lambda: g.Lambda(0),
+		}
+		r.Gap = 1 - r.Lambda
+		if measureDiameter {
+			r.Diameter = g.BFSDiameter()
+		}
+		return r
+	}
+	out := []LevelReport{report(0, base)}
+	cur := base
+	for l := 1; l <= levels; l++ {
+		if cur.N()*cur.D()*cur.D()*cur.D() > MaxEntries {
+			break
+		}
+		next, err := TransformLevel(cur, h)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, report(l, next))
+		cur = next
+	}
+	return out, nil
+}
+
+// RVWBound is the Reingold–Vadhan–Wigderson bound on λ(G ⓩ H) as a
+// function of λ(G) and λ(H) (RVW 2000, Theorem 4.3). Tests check the
+// measured zig-zag spectrum against it.
+func RVWBound(lg, lh float64) float64 {
+	a := (1 - lh*lh) * lg / 2
+	return a + math.Sqrt(a*a+lh*lh)
+}
+
+// ProjectReplacementWalk maps a walk on the replacement product R(G, H)
+// down to the base graph G: a step with label deg(H) crosses to the
+// neighbouring cloud (one base edge), labels < deg(H) move within the
+// cloud (no base step). This is the projection property that lets walks on
+// the constant-degree expander drive exploration of the base graph —
+// the bridge between the transform and graph exploration. start is a
+// vertex of R(G, H) (i.e. in [N·D]); labels are the walk's edge labels.
+// It returns the base-graph vertices visited, starting with start's cloud.
+func ProjectReplacementWalk(g, h *RotGraph, start int, labels []int) ([]int, error) {
+	r, err := Replacement(g, h)
+	if err != nil {
+		return nil, err
+	}
+	if start < 0 || start >= r.N() {
+		return nil, fmt.Errorf("zigzag: start %d outside replacement product [0,%d)", start, r.N())
+	}
+	cur := start
+	visited := []int{cur / g.D()}
+	for i, l := range labels {
+		if l < 0 || l >= r.D() {
+			return visited, fmt.Errorf("zigzag: label %d at step %d outside degree %d", l, i, r.D())
+		}
+		next, _ := r.Rot(cur, l)
+		if l == h.D() {
+			// Inter-cloud edge: one base-graph step.
+			visited = append(visited, next/g.D())
+		}
+		cur = next
+	}
+	return visited, nil
+}

@@ -1,0 +1,475 @@
+package zigzag
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+func cycleRot(t *testing.T, n int) *RotGraph {
+	t.Helper()
+	rg, err := FromGraph(gen.Cycle(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rg
+}
+
+func TestFromGraphRoundTrip(t *testing.T) {
+	g := gen.Petersen()
+	rg, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.N() != 10 || rg.D() != 3 {
+		t.Fatalf("dims = (%d,%d)", rg.N(), rg.D())
+	}
+	back, err := rg.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 10 || !back.IsRegular(3) || !back.IsConnected() {
+		t.Fatal("round trip broke the graph")
+	}
+}
+
+func TestFromGraphRejectsIrregular(t *testing.T) {
+	if _, err := FromGraph(gen.Star(4)); !errors.Is(err, ErrNotRegular) {
+		t.Fatalf("error = %v, want ErrNotRegular", err)
+	}
+}
+
+func TestNewRotGraphRejectsNonInvolution(t *testing.T) {
+	// Two vertices, degree 1, but both map to (0,0).
+	rot := []int32{0, 0}
+	if _, err := NewRotGraph(2, 1, rot); !errors.Is(err, ErrNotInvolution) {
+		t.Fatalf("error = %v, want ErrNotInvolution", err)
+	}
+}
+
+func TestNewRotGraphRejectsBadSize(t *testing.T) {
+	if _, err := NewRotGraph(2, 2, []int32{0}); err == nil {
+		t.Fatal("short table accepted")
+	}
+}
+
+func TestRegularize(t *testing.T) {
+	rg, err := Regularize(gen.Path(5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.N() != 5 || rg.D() != 3 {
+		t.Fatalf("dims = (%d,%d)", rg.N(), rg.D())
+	}
+	if err := rg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Padding self-loops are fixed points of the rotation map.
+	w, j := rg.Rot(0, 2)
+	if w != 0 || j != 2 {
+		t.Fatalf("padding slot is not a self-loop: (%d,%d)", w, j)
+	}
+	// Connectivity is preserved.
+	g, err := rg.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("regularized path must stay connected")
+	}
+	// Degree above target rejected.
+	if _, err := Regularize(gen.Star(6), 3); err == nil {
+		t.Fatal("over-degree input accepted")
+	}
+}
+
+func TestSquareDims(t *testing.T) {
+	rg := cycleRot(t, 8)
+	sq, err := rg.Square()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.N() != 8 || sq.D() != 4 {
+		t.Fatalf("square dims = (%d,%d), want (8,4)", sq.N(), sq.D())
+	}
+	if err := sq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSquareSpectrum checks λ(G²) = λ(G)² on an odd cycle, whose spectrum
+// is known in closed form: for odd n the eigenvalues are cos(2πk/n), so the
+// largest non-trivial magnitude is cos(π/n). (Even cycles are bipartite and
+// have |λ| = 1, which is why the spectral pipeline uses lazy/regularized
+// graphs.)
+func TestSquareSpectrum(t *testing.T) {
+	const n = 15
+	rg := cycleRot(t, n)
+	sq, err := rg.Square()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := rg.Lambda(600)
+	lsq := sq.Lambda(600)
+	if want := math.Cos(math.Pi / n); math.Abs(lg-want) > 0.02 {
+		t.Fatalf("odd cycle lambda = %.4f, want %.4f", lg, want)
+	}
+	if math.Abs(lsq-lg*lg) > 0.03 {
+		t.Fatalf("lambda(G²) = %.4f, want %.4f", lsq, lg*lg)
+	}
+}
+
+func TestLambdaCompleteGraph(t *testing.T) {
+	rg, err := FromGraph(gen.Complete(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K_n walk matrix has non-trivial eigenvalue -1/(n-1).
+	if l := rg.Lambda(200); math.Abs(l-1.0/7) > 0.02 {
+		t.Fatalf("K8 lambda = %.4f, want %.4f", l, 1.0/7)
+	}
+}
+
+func TestLambdaDisconnected(t *testing.T) {
+	u, err := gen.DisjointUnion(gen.Cycle(4), gen.Cycle(4), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := FromGraph(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disconnected graphs have a second eigenvalue 1.
+	if l := rg.Lambda(300); l < 0.99 {
+		t.Fatalf("disconnected lambda = %.4f, want ~1", l)
+	}
+}
+
+func TestLambdaSingleton(t *testing.T) {
+	rg, err := Regularize(singleton(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := rg.Lambda(10); l != 0 {
+		t.Fatalf("singleton lambda = %v, want 0", l)
+	}
+}
+
+func singleton() *graph.Graph {
+	g := graph.New()
+	g.EnsureNode(0)
+	return g
+}
+
+func TestZigZagDims(t *testing.T) {
+	// G = C9 squared twice is 16-regular on 9 nodes (odd cycles stay
+	// connected under squaring); H must be on 16 vertices. Use a 4-regular
+	// H on 16 vertices: result is 16-regular on 9*16 nodes.
+	g, err := cycleRot(t, 9).Square()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = g.Square() // 16-regular
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FindExpander(16, 4, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ZigZag(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != 9*16 || z.D() != 16 {
+		t.Fatalf("zigzag dims = (%d,%d), want (144,16)", z.N(), z.D())
+	}
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	zg, err := z.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zg.IsConnected() {
+		t.Fatal("zig-zag of connected graphs must be connected")
+	}
+}
+
+func TestZigZagDimensionMismatch(t *testing.T) {
+	g := cycleRot(t, 8)
+	h := cycleRot(t, 5)
+	if _, err := ZigZag(g, h); !errors.Is(err, ErrBadDims) {
+		t.Fatalf("error = %v, want ErrBadDims", err)
+	}
+}
+
+// TestZigZagSpectralBound checks the measured λ(G ⓩ H) against the RVW
+// closed-form bound.
+func TestZigZagSpectralBound(t *testing.T) {
+	g, err := cycleRot(t, 11).Square()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = g.Square() // 16-regular on 10 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FindExpander(16, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ZigZag(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz := z.Lambda(300)
+	bound := RVWBound(g.Lambda(300), h.Lambda(300))
+	if lz > bound+0.02 {
+		t.Fatalf("lambda(zigzag) = %.4f exceeds RVW bound %.4f", lz, bound)
+	}
+}
+
+func TestReplacementProduct(t *testing.T) {
+	// G = C6 (2-regular), H = single edge on 2 vertices (1-regular):
+	// replacement is 2-regular on 12 vertices.
+	g := cycleRot(t, 6)
+	edge := []int32{1, 0} // K2 rotation map
+	h, err := NewRotGraph(2, 1, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replacement(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 12 || r.D() != 2 {
+		t.Fatalf("replacement dims = (%d,%d), want (12,2)", r.N(), r.D())
+	}
+	rg, err := r.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.IsConnected() {
+		t.Fatal("replacement product must stay connected")
+	}
+	// Label d (here 1) must cross clouds: walking it changes the cloud.
+	for v := 0; v < r.N(); v++ {
+		w, _ := r.Rot(v, h.D())
+		if w/g.D() == v/g.D() {
+			t.Fatalf("inter-cloud edge stayed within cloud at vertex %d", v)
+		}
+	}
+	// Labels < d stay within the cloud.
+	for v := 0; v < r.N(); v++ {
+		for i := 0; i < h.D(); i++ {
+			w, _ := r.Rot(v, i)
+			if w/g.D() != v/g.D() {
+				t.Fatalf("cloud edge left cloud at vertex %d label %d", v, i)
+			}
+		}
+	}
+}
+
+func TestReplacementDimsMismatch(t *testing.T) {
+	g := cycleRot(t, 6)
+	h := cycleRot(t, 5)
+	if _, err := Replacement(g, h); !errors.Is(err, ErrBadDims) {
+		t.Fatalf("error = %v, want ErrBadDims", err)
+	}
+}
+
+func TestFindExpanderQuality(t *testing.T) {
+	h, err := FindExpander(64, 4, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 64 || h.D() != 4 {
+		t.Fatalf("dims = (%d,%d)", h.N(), h.D())
+	}
+	// Random 4-regular graphs are near-Ramanujan: λ ≈ 2√3/4 ≈ 0.866.
+	if l := h.Lambda(300); l > 0.95 {
+		t.Fatalf("expander lambda = %.4f, too weak", l)
+	}
+}
+
+func TestTransformLevelDims(t *testing.T) {
+	base, err := Regularize(gen.Cycle(12), TransformDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DefaultExpander()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := TransformLevel(base, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.D() != TransformDegree {
+		t.Fatalf("transform changed degree to %d", next.D())
+	}
+	if next.N() != base.N()*TransformDegree*TransformDegree {
+		t.Fatalf("transform size = %d, want %d", next.N(), base.N()*256)
+	}
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformLevelRejectsBadDims(t *testing.T) {
+	base := cycleRot(t, 8) // 2-regular: wrong degree
+	h, err := FindExpander(16, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TransformLevel(base, h); !errors.Is(err, ErrBadDims) {
+		t.Fatalf("error = %v, want ErrBadDims", err)
+	}
+}
+
+// TestTransformImprovesGap is the E8 headline: one level of the main
+// transform strictly increases the spectral gap of a lazy cycle, and the
+// result remains connected with the same constant degree.
+func TestTransformImprovesGap(t *testing.T) {
+	base, err := Regularize(gen.Cycle(16), TransformDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DefaultExpander()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Transform(base, h, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[1].Gap <= reports[0].Gap {
+		t.Fatalf("transform did not improve gap: %.4f -> %.4f",
+			reports[0].Gap, reports[1].Gap)
+	}
+	if reports[1].D != TransformDegree {
+		t.Fatalf("level-1 degree = %d", reports[1].D)
+	}
+}
+
+func TestConnectedCertificate(t *testing.T) {
+	rg, err := FromGraph(gen.Complete(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, within, dist := rg.Connected(0, 5)
+	if !conn || !within || dist != 1 {
+		t.Fatalf("K8 Connected = (%v,%v,%d)", conn, within, dist)
+	}
+	if c, _, d := rg.Connected(3, 3); !c || d != 0 {
+		t.Fatal("self connectivity failed")
+	}
+	u, err := gen.DisjointUnion(gen.Cycle(4), gen.Cycle(4), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := FromGraph(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _, d := ru.Connected(0, 4); c || d != -1 {
+		t.Fatal("cross-component pair reported connected")
+	}
+}
+
+func TestBFSDiameter(t *testing.T) {
+	rg := cycleRot(t, 10)
+	if d := rg.BFSDiameter(); d != 5 {
+		t.Fatalf("C10 diameter = %d, want 5", d)
+	}
+}
+
+func TestProjectReplacementWalk(t *testing.T) {
+	// G = C6 (2-regular), H = K2 (1-regular on 2 vertices). A walk on
+	// R(G,H) that alternates cloud and cross edges must project to a walk
+	// on C6 moving one base vertex per cross step.
+	g := cycleRot(t, 6)
+	h, err := NewRotGraph(2, 1, []int32{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels: 1 = inter-cloud (h.D() = 1), 0 = within cloud.
+	labels := []int{1, 0, 1, 0, 1}
+	visited, err := ProjectReplacementWalk(g, h, 0, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// start cloud + one base vertex per label-1 step = 4 entries.
+	if len(visited) != 4 {
+		t.Fatalf("projected %d base vertices, want 4: %v", len(visited), visited)
+	}
+	if visited[0] != 0 {
+		t.Fatalf("projection must start at the start cloud: %v", visited)
+	}
+	// Each consecutive pair must be adjacent in the base graph.
+	bg, err := g.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(visited); i++ {
+		if !bg.HasEdge(graph.NodeID(visited[i-1]), graph.NodeID(visited[i])) {
+			t.Fatalf("projected step %d->%d is not a base edge", visited[i-1], visited[i])
+		}
+	}
+}
+
+// TestProjectedWalkCoversBase: a long pseudo-random walk on R(G,H) projects
+// to a walk covering the base graph — expander walks drive base-graph
+// exploration.
+func TestProjectedWalkCoversBase(t *testing.T) {
+	g := cycleRot(t, 8)
+	h, err := NewRotGraph(2, 1, []int32{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prngSource(99)
+	labels := make([]int, 2000)
+	for i := range labels {
+		labels[i] = src.Intn(2)
+	}
+	visited, err := ProjectReplacementWalk(g, h, 3, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool, len(visited))
+	for _, v := range visited {
+		seen[v] = true
+	}
+	if len(seen) != g.N() {
+		t.Fatalf("projected walk covered %d/%d base vertices", len(seen), g.N())
+	}
+}
+
+func TestProjectReplacementWalkErrors(t *testing.T) {
+	g := cycleRot(t, 6)
+	h, err := NewRotGraph(2, 1, []int32{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProjectReplacementWalk(g, h, -1, nil); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := ProjectReplacementWalk(g, h, 0, []int{9}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	bad := cycleRot(t, 5)
+	if _, err := ProjectReplacementWalk(g, bad, 0, nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+// prngSource adapts the deterministic source for tests in this file.
+func prngSource(seed uint64) *prng.Source { return prng.New(seed) }

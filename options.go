@@ -1,0 +1,105 @@
+package adhocroute
+
+import (
+	"repro/internal/count"
+	"repro/internal/route"
+)
+
+// options is the merged configuration assembled from Option values.
+type options struct {
+	seed              uint64
+	lengthFactor      int
+	knownBound        int
+	maxBound          int
+	noDegreeReduction bool
+	messageFaithful   bool
+	memoryBudgetBits  int
+}
+
+// Option configures Route, Broadcast, CountComponent, and RouteHybrid
+// calls (functional options; zero options give the paper's defaults).
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithSeed selects the exploration sequence family T_n. All nodes in a
+// deployment share this value; it is protocol configuration, not state.
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(o *options) { o.seed = seed })
+}
+
+// WithLengthFactor scales the exploration sequence length constant c in
+// L(n) = c·n²·(⌈log₂ n⌉+1). Lower values shorten worst-case walks at the
+// price of empirical coverage margin; the default is 8.
+func WithLengthFactor(factor int) Option {
+	return optionFunc(func(o *options) { o.lengthFactor = factor })
+}
+
+// WithKnownBound promises an upper bound on the size of the source
+// component in the reduced graph, skipping the doubling loop (§3's
+// known-n variant). Use CountComponent to obtain a valid bound.
+func WithKnownBound(n int) Option {
+	return optionFunc(func(o *options) { o.knownBound = n })
+}
+
+// WithMaxBound caps the doubling loop (safety valve; the default of
+// 4·|V(G′)| always suffices).
+func WithMaxBound(n int) Option {
+	return optionFunc(func(o *options) { o.maxBound = n })
+}
+
+// WithoutDegreeReduction runs the exploration walk directly on the
+// original (possibly irregular) graph instead of the 3-regular reduction —
+// the Figure 1 ablation. Directions are taken modulo the local degree.
+func WithoutDegreeReduction() Option {
+	return optionFunc(func(o *options) { o.noDegreeReduction = true })
+}
+
+// WithMessageFaithfulCounting makes CountComponent execute every Retrieve
+// and RetrieveNeighbor of §4 as real message walks, with full hop
+// accounting (Θ(L³) hops — tiny components only).
+func WithMessageFaithfulCounting() Option {
+	return optionFunc(func(o *options) { o.messageFaithful = true })
+}
+
+// WithMemoryBudget overrides the enforced per-activation node memory
+// budget in bits (0 = the Θ(log n) default).
+func WithMemoryBudget(bits int) Option {
+	return optionFunc(func(o *options) { o.memoryBudgetBits = bits })
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}
+
+func (o options) routeConfig() route.Config {
+	return route.Config{
+		Seed:              o.seed,
+		LengthFactor:      o.lengthFactor,
+		KnownN:            o.knownBound,
+		MaxBound:          o.maxBound,
+		NoDegreeReduction: o.noDegreeReduction,
+		MemoryBudgetBits:  o.memoryBudgetBits,
+	}
+}
+
+func (o options) countConfig() count.Config {
+	mode := count.ModeLocal
+	if o.messageFaithful {
+		mode = count.ModeMessages
+	}
+	return count.Config{
+		Seed:         o.seed,
+		LengthFactor: o.lengthFactor,
+		Mode:         mode,
+		MaxBound:     o.maxBound,
+	}
+}
