@@ -6,6 +6,7 @@
 //
 // The package is a thin facade over the implementation packages:
 //
+//	internal/engine — the prepared routing engine (compile once, query concurrently)
 //	internal/route  — Algorithm Route (§3), broadcast, hybrid stepping
 //	internal/count  — Algorithm CountNodes (§4)
 //	internal/hybrid — Corollary 2 composition
@@ -24,13 +25,19 @@
 //	_ = nw.AddLink(2, 3)
 //	res, err := nw.Route(0, 3)
 //	// res.Status == adhocroute.StatusSuccess; res.Hops counts traversals.
+//
+// For sustained traffic, compile the network once and query the returned
+// Router concurrently (see Network.Compile); cmd/adhocd serves a compiled
+// engine over HTTP.
 package adhocroute
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/count"
+	"repro/internal/degred"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -77,9 +84,19 @@ var (
 // Network is a static ad hoc network under construction or in use. It is
 // not safe for concurrent mutation; routing calls are read-only and may be
 // issued concurrently once construction is done.
+//
+// One-shot routing calls lazily derive the Figure 1 degree reduction once
+// per topology and reuse it across calls; mutating the network invalidates
+// the cache. For sustained query traffic, Compile the network once and
+// query the returned Router.
 type Network struct {
 	g   *graph.Graph
 	pos map[graph.NodeID]geom.Point
+
+	// mu guards the lazily-derived prepared state below; topology
+	// mutations reset it.
+	mu  sync.Mutex
+	red *degred.Reduced
 }
 
 // NewNetwork returns an empty network.
@@ -89,14 +106,53 @@ func NewNetwork() *Network {
 
 // AddNode adds a node with the given universal name.
 func (nw *Network) AddNode(id NodeID) error {
+	nw.invalidate()
 	return nw.g.AddNode(graph.NodeID(id))
 }
 
 // AddLink adds an undirected link between two existing nodes. Parallel
 // links and self-loops are allowed (the model is a multigraph).
 func (nw *Network) AddLink(a, b NodeID) error {
+	nw.invalidate()
 	_, _, err := nw.g.AddEdge(graph.NodeID(a), graph.NodeID(b))
 	return err
+}
+
+// invalidate drops the prepared state after a topology mutation. Routers
+// already compiled keep serving the topology they were compiled for.
+func (nw *Network) invalidate() {
+	nw.mu.Lock()
+	nw.red = nil
+	nw.mu.Unlock()
+}
+
+// reduction returns the cached degree reduction of the current topology,
+// deriving it on first use. Safe for concurrent routing calls.
+func (nw *Network) reduction() (*degred.Reduced, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.red == nil {
+		red, err := degred.Reduce(nw.g)
+		if err != nil {
+			return nil, err
+		}
+		nw.red = red
+	}
+	return nw.red, nil
+}
+
+// router builds a route.Router for the given per-call options, reusing the
+// cached reduction (the expensive part) whenever the options allow it.
+func (nw *Network) router(cfg options) (*route.Router, error) {
+	rcfg := cfg.routeConfig()
+	if rcfg.NoDegreeReduction {
+		return route.New(nw.g, rcfg)
+	}
+	red, err := nw.reduction()
+	if err != nil {
+		return nil, err
+	}
+	return route.NewFromReduced(nw.g, red, rcfg)
 }
 
 // SetPosition records a node position (used by geometric tooling and the
@@ -209,8 +265,7 @@ type RouteResult struct {
 // StatusFailure otherwise — t need not even exist. Intermediate nodes hold
 // no routing state; the message header carries O(log n) bits.
 func (nw *Network) Route(s, t NodeID, opts ...Option) (*RouteResult, error) {
-	cfg := buildOptions(opts)
-	r, err := route.New(nw.g, cfg.routeConfig())
+	r, err := nw.router(buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -234,8 +289,7 @@ func (nw *Network) Route(s, t NodeID, opts ...Option) (*RouteResult, error) {
 // (consecutive duplicates collapsed; exploration walks may revisit nodes).
 // The path is reconstructed by local replay and costs no extra messages.
 func (nw *Network) RouteWithPath(s, t NodeID, opts ...Option) (*RouteResult, []NodeID, error) {
-	cfg := buildOptions(opts)
-	r, err := route.New(nw.g, cfg.routeConfig())
+	r, err := nw.router(buildOptions(opts))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -278,8 +332,7 @@ type BroadcastResult struct {
 // Broadcast delivers a payload from s to every node in s's component and
 // returns once the completion confirmation reaches s.
 func (nw *Network) Broadcast(s NodeID, opts ...Option) (*BroadcastResult, error) {
-	cfg := buildOptions(opts)
-	r, err := route.New(nw.g, cfg.routeConfig())
+	r, err := nw.router(buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +369,11 @@ type CountResult struct {
 // no prior knowledge of the network, per §4 of the paper.
 func (nw *Network) CountComponent(s NodeID, opts ...Option) (*CountResult, error) {
 	cfg := buildOptions(opts)
-	c, err := count.New(nw.g, cfg.countConfig())
+	red, err := nw.reduction()
+	if err != nil {
+		return nil, err
+	}
+	c, err := count.NewFromReduced(nw.g, red, cfg.countConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -349,8 +406,11 @@ type HybridResult struct {
 // termination.
 func (nw *Network) RouteHybrid(s, t NodeID, opts ...Option) (*HybridResult, error) {
 	cfg := buildOptions(opts)
-	res, err := hybrid.RouteHybrid(nw.g, graph.NodeID(s), graph.NodeID(t),
-		cfg.routeConfig(), cfg.seed^0x5eed)
+	r, err := nw.router(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := hybrid.RouteHybridWith(r, graph.NodeID(s), graph.NodeID(t), cfg.seed^0x5eed)
 	if err != nil {
 		return nil, err
 	}

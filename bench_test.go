@@ -199,6 +199,67 @@ func BenchmarkPublicAPIRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedRoute measures the same query as
+// BenchmarkPublicAPIRoute served by a Router compiled once — the
+// amortization the prepared engine exists for. Compare ns/op and
+// allocs/op against the per-call path.
+func BenchmarkPreparedRoute(b *testing.B) {
+	nw := NewGrid(6, 6)
+	r, err := nw.Compile(WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Route(0, 35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != StatusSuccess {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+// BenchmarkRouteBatch measures the batch fan-out: 64 queries per
+// operation across the worker pool (per-query cost = ns/op ÷ 64).
+func BenchmarkRouteBatch(b *testing.B) {
+	nw := NewGrid(8, 8)
+	r, err := nw.Compile(WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := nw.Nodes()
+	queries := make([]BatchQuery, 64)
+	for i := range queries {
+		queries[i] = BatchQuery{Src: nodes[i%len(nodes)], Dst: nodes[(i*5+1)%len(nodes)]}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, br := range r.RouteBatch(queries) {
+			if br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompile measures the one-time preparation cost the prepared
+// path amortizes away (dominated by the Figure 1 reduction).
+func BenchmarkCompile(b *testing.B) {
+	g := gen.UDG2D(256, 0.15, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := &Network{g: g.G, pos: g.Pos}
+		if _, err := nw.Compile(WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGraphNeighbor measures the port lookup at the heart of every
 // hop.
 func BenchmarkGraphNeighbor(b *testing.B) {

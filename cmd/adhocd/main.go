@@ -1,0 +1,154 @@
+// Command adhocd serves guaranteed-delivery routing over HTTP/JSON: it
+// loads (or generates) a network, compiles it once into a prepared engine,
+// and answers route/batch/broadcast/count/hybrid queries concurrently.
+//
+// Usage:
+//
+//	adhocd -addr :8080 -load net.txt
+//	adhocd -addr :8080 -gen grid -rows 16 -cols 16
+//	adhocd -addr :8080 -gen udg2d -n 256 -radius 0.15 -gen-seed 1
+//
+// Endpoints:
+//
+//	GET  /healthz       — liveness
+//	GET  /v1/network    — served network summary
+//	GET  /v1/stats      — engine metrics (queries, hops, cache hits, …)
+//	POST /v1/route      — {"src":0,"dst":35,"with_path":false}
+//	POST /v1/batch      — {"pairs":[[0,1],[2,3]]} or {"src":0,"targets":[1,2]}
+//	POST /v1/broadcast  — {"src":0}
+//	POST /v1/count      — {"src":0}
+//	POST /v1/hybrid     — {"src":0,"dst":35,"walk_seed":9}
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "adhocd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the engine from flags and serves until ctx-cancellation or a
+// listener error. ready, if non-nil, receives the bound address once the
+// listener is up (used by tests to serve on :0).
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("adhocd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		load     = fs.String("load", "", "network file in the text codec (overrides -gen)")
+		genKind  = fs.String("gen", "grid", "generated network kind: grid, udg2d, udg3d")
+		rows     = fs.Int("rows", 16, "grid rows")
+		cols     = fs.Int("cols", 16, "grid cols")
+		n        = fs.Int("n", 256, "node count (udg kinds)")
+		radius   = fs.Float64("radius", 0.15, "unit-disk radius (udg kinds)")
+		genSeed  = fs.Uint64("gen-seed", 1, "generator seed (udg kinds)")
+		seed     = fs.Uint64("seed", 7, "protocol seed selecting the sequence family T_n")
+		known    = fs.Int("known", 0, "known component bound (0 = doubling loop)")
+		workers  = fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		drainFor = fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, desc, err := buildGraph(*load, *genKind, *rows, *cols, *n, *radius, *genSeed)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.Compile(g, engine.Config{
+		Seed:       *seed,
+		KnownBound: *known,
+		Workers:    *workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "adhocd: compiled %s (%d nodes, %d links, %d reduced nodes)\n",
+		desc, g.NumNodes(), g.NumEdges(), eng.Reduced().Graph().NumNodes())
+	return serve(*addr, newServer(eng, desc), out, ready, *drainFor)
+}
+
+// buildGraph loads the network file, or generates the requested family.
+func buildGraph(load, kind string, rows, cols, n int, radius float64, seed uint64) (*graph.Graph, string, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := graph.Decode(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("decode %s: %w", load, err)
+		}
+		return g, fmt.Sprintf("file:%s", load), nil
+	}
+	switch kind {
+	case "grid":
+		return gen.Grid(rows, cols), fmt.Sprintf("grid %dx%d", rows, cols), nil
+	case "udg2d":
+		return gen.UDG2D(n, radius, seed).G, fmt.Sprintf("udg2d n=%d r=%g", n, radius), nil
+	case "udg3d":
+		return gen.UDG3D(n, radius, seed).G, fmt.Sprintf("udg3d n=%d r=%g", n, radius), nil
+	default:
+		return nil, "", fmt.Errorf("unknown -gen kind %q (want grid, udg2d, udg3d)", kind)
+	}
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains. The
+// listener is bound synchronously so the address is known (tests bind :0
+// and learn the chosen port via ready) and all writes to out happen on
+// this goroutine.
+func serve(addr string, h http.Handler, out io.Writer, ready chan<- string, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "adhocd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	srv := &http.Server{Handler: h}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "adhocd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

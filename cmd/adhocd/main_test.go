@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+func TestBuildGraph(t *testing.T) {
+	g, desc, err := buildGraph("", "grid", 3, 4, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 || !strings.Contains(desc, "grid") {
+		t.Fatalf("grid: %d nodes, desc %q", g.NumNodes(), desc)
+	}
+	for _, kind := range []string{"udg2d", "udg3d"} {
+		g, _, err := buildGraph("", kind, 0, 0, 32, 0.3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.NumNodes() != 32 {
+			t.Fatalf("%s: %d nodes", kind, g.NumNodes())
+		}
+	}
+	if _, _, err := buildGraph("", "torus", 0, 0, 0, 0, 0); err == nil {
+		t.Fatal("unknown kind did not error")
+	}
+	if _, _, err := buildGraph("/nonexistent/net.txt", "", 0, 0, 0, 0, 0); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestBuildGraphFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Cycle(8).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, desc, err := buildGraph(path, "", 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 8 || !strings.Contains(desc, "file:") {
+		t.Fatalf("loaded: %d nodes, desc %q", g.NumNodes(), desc)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "nope"}, &out, nil); err == nil {
+		t.Fatal("bad -gen did not error")
+	}
+	if err := run([]string{"-bogus"}, &out, nil); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}
+
+// TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
+// serves a real request, then delivers SIGINT and expects a clean drain.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-gen", "grid", "-rows", "4", "-cols", "4"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/route", "application/json",
+		bytes.NewReader([]byte(`{"src":0,"dst":15}`)))
+	if err != nil {
+		t.Fatalf("route request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("route request: code %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v (output: %s)", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("missing shutdown log: %s", out.String())
+	}
+}

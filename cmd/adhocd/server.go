@@ -1,0 +1,299 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/route"
+)
+
+// server exposes a compiled engine over HTTP/JSON. All endpoints are
+// stateless (the engine serves concurrent queries with zero coordination),
+// so the handler needs no locking of its own.
+type server struct {
+	eng  *engine.Engine
+	desc string
+	mux  *http.ServeMux
+}
+
+// newServer wires the endpoint table around a compiled engine. desc is a
+// human-readable description of the served network (shown by /v1/network).
+func newServer(eng *engine.Engine, desc string) *server {
+	s := &server{eng: eng, desc: desc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/network", s.handleNetwork)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
+	s.mux.HandleFunc("POST /v1/count", s.handleCount)
+	s.mux.HandleFunc("POST /v1/hybrid", s.handleHybrid)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits v with the proper content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps routing errors onto HTTP statuses: unknown nodes are 404,
+// everything else a query can provoke is 500 (the engine validated the
+// request shape by then).
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, graph.ErrNodeNotFound) {
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeBody parses the request body into v, rejecting unknown fields so
+// client typos surface as 400s instead of silent defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// networkInfo describes the served network.
+type networkInfo struct {
+	Desc         string `json:"desc"`
+	Nodes        int    `json:"nodes"`
+	Links        int    `json:"links"`
+	ReducedNodes int    `json:"reduced_nodes"`
+	Workers      int    `json:"workers"`
+	Seed         uint64 `json:"seed"`
+}
+
+func (s *server) handleNetwork(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, networkInfo{
+		Desc:         s.desc,
+		Nodes:        s.eng.Graph().NumNodes(),
+		Links:        s.eng.Graph().NumEdges(),
+		ReducedNodes: s.eng.Reduced().Graph().NumNodes(),
+		Workers:      s.eng.Workers(),
+		Seed:         s.eng.Config().Seed,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.eng.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		engine.Snapshot
+		Queries int64 `json:"queries"`
+	}{Snapshot: snap, Queries: snap.Queries()})
+}
+
+// routeRequest asks for one s→t query; WithPath additionally reconstructs
+// the forward path.
+type routeRequest struct {
+	Src      int64 `json:"src"`
+	Dst      int64 `json:"dst"`
+	WithPath bool  `json:"with_path,omitempty"`
+}
+
+// routeReply reports one routing outcome.
+type routeReply struct {
+	Src          int64   `json:"src"`
+	Dst          int64   `json:"dst"`
+	Status       string  `json:"status"`
+	Hops         int64   `json:"hops"`
+	ForwardSteps int64   `json:"forward_steps"`
+	Rounds       int     `json:"rounds"`
+	Bound        int     `json:"bound"`
+	HeaderBits   int     `json:"header_bits"`
+	Path         []int64 `json:"path,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+func routeReplyOf(src, dst graph.NodeID, res *route.Result) routeReply {
+	return routeReply{
+		Src:          int64(src),
+		Dst:          int64(dst),
+		Status:       res.Status.String(),
+		Hops:         res.Hops,
+		ForwardSteps: res.ForwardSteps,
+		Rounds:       len(res.Rounds),
+		Bound:        res.Bound,
+		HeaderBits:   res.MaxHeaderBits,
+	}
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req routeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	src, dst := graph.NodeID(req.Src), graph.NodeID(req.Dst)
+	if req.WithPath {
+		res, path, err := s.eng.RouteWithPath(src, dst)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		reply := routeReplyOf(src, dst, res)
+		for _, v := range path {
+			reply.Path = append(reply.Path, int64(v))
+		}
+		writeJSON(w, http.StatusOK, reply)
+		return
+	}
+	res, err := s.eng.Route(src, dst)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, routeReplyOf(src, dst, res))
+}
+
+// batchRequest carries either explicit pairs or a one-to-many fan-out
+// (src + targets). Exactly one of the two shapes must be used.
+type batchRequest struct {
+	Pairs   [][2]int64 `json:"pairs,omitempty"`
+	Src     *int64     `json:"src,omitempty"`
+	Targets []int64    `json:"targets,omitempty"`
+}
+
+// batchReply reports a whole batch; members appear in request order.
+type batchReply struct {
+	Results   []routeReply `json:"results"`
+	Succeeded int          `json:"succeeded"`
+	Failed    int          `json:"failed"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var pairs []engine.Pair
+	switch {
+	case len(req.Pairs) > 0 && (req.Src != nil || len(req.Targets) > 0):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "use either pairs or src+targets, not both"})
+		return
+	case len(req.Pairs) > 0:
+		pairs = make([]engine.Pair, len(req.Pairs))
+		for i, p := range req.Pairs {
+			pairs[i] = engine.Pair{Src: graph.NodeID(p[0]), Dst: graph.NodeID(p[1])}
+		}
+	case req.Src != nil && len(req.Targets) > 0:
+		pairs = make([]engine.Pair, len(req.Targets))
+		for i, t := range req.Targets {
+			pairs[i] = engine.Pair{Src: graph.NodeID(*req.Src), Dst: graph.NodeID(t)}
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch: provide pairs or src+targets"})
+		return
+	}
+	reply := batchReply{Results: make([]routeReply, len(pairs))}
+	for i, br := range s.eng.RouteBatch(pairs) {
+		if br.Err != nil {
+			reply.Results[i] = routeReply{Src: int64(br.Src), Dst: int64(br.Dst), Error: br.Err.Error()}
+			reply.Failed++
+			continue
+		}
+		reply.Results[i] = routeReplyOf(br.Src, br.Dst, br.Res)
+		reply.Succeeded++
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// sourceRequest is the single-source request shape (broadcast, count).
+type sourceRequest struct {
+	Src int64 `json:"src"`
+}
+
+func (s *server) handleBroadcast(w http.ResponseWriter, r *http.Request) {
+	var req sourceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.eng.Broadcast(graph.NodeID(req.Src))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	nodes := make([]int64, len(res.Nodes))
+	for i, v := range res.Nodes {
+		nodes[i] = int64(v)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Src     int64   `json:"src"`
+		Reached int     `json:"reached"`
+		Nodes   []int64 `json:"nodes"`
+		Hops    int64   `json:"hops"`
+		Rounds  int     `json:"rounds"`
+	}{req.Src, res.Reached, nodes, res.Hops, len(res.Rounds)})
+}
+
+func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req sourceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.eng.Count(graph.NodeID(req.Src))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Src          int64 `json:"src"`
+		Count        int   `json:"count"`
+		ReducedCount int   `json:"reduced_count"`
+		Rounds       int   `json:"rounds"`
+		MessageHops  int64 `json:"message_hops"`
+	}{req.Src, res.OriginalCount, res.ReducedCount, res.Rounds, res.Hops})
+}
+
+// hybridRequest asks for a Corollary 2 race. WalkSeed is a pointer so an
+// explicit seed of 0 is distinguishable from "use the engine default".
+type hybridRequest struct {
+	Src      int64   `json:"src"`
+	Dst      int64   `json:"dst"`
+	WalkSeed *uint64 `json:"walk_seed,omitempty"`
+}
+
+func (s *server) handleHybrid(w http.ResponseWriter, r *http.Request) {
+	var req hybridRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	walkSeed := s.eng.Config().Seed ^ 0x5eed
+	if req.WalkSeed != nil {
+		walkSeed = *req.WalkSeed
+	}
+	res, err := s.eng.Hybrid(graph.NodeID(req.Src), graph.NodeID(req.Dst), walkSeed)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Src           int64  `json:"src"`
+		Dst           int64  `json:"dst"`
+		Status        string `json:"status"`
+		Winner        string `json:"winner"`
+		CombinedSteps int64  `json:"combined_steps"`
+	}{req.Src, req.Dst, res.Status.String(), res.Winner, res.CombinedSteps})
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, err := gen.DisjointUnion(gen.Grid(4, 4), gen.Cycle(5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.Compile(g, engine.Config{Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, "test 4x4 grid + 5-cycle"))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postJSON posts body to path and decodes the JSON response into out.
+func postJSON(t *testing.T, ts *httptest.Server, path string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	var body map[string]bool
+	if code := getJSON(t, ts, "/healthz", &body); code != http.StatusOK || !body["ok"] {
+		t.Fatalf("healthz: code %d body %v", code, body)
+	}
+}
+
+func TestNetworkEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var info networkInfo
+	if code := getJSON(t, ts, "/v1/network", &info); code != http.StatusOK {
+		t.Fatalf("network: code %d", code)
+	}
+	if info.Nodes != 21 || info.Links != 29 {
+		t.Fatalf("network info: %+v", info)
+	}
+	if info.ReducedNodes <= info.Nodes {
+		t.Fatalf("reduced graph not larger: %+v", info)
+	}
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var reply routeReply
+	if code := postJSON(t, ts, "/v1/route", `{"src":0,"dst":15}`, &reply); code != http.StatusOK {
+		t.Fatalf("route: code %d", code)
+	}
+	if reply.Status != "success" || reply.Hops <= 0 || reply.HeaderBits <= 0 {
+		t.Fatalf("route reply: %+v", reply)
+	}
+
+	// Cross-component: guaranteed definitive failure, still HTTP 200.
+	if code := postJSON(t, ts, "/v1/route", `{"src":0,"dst":100}`, &reply); code != http.StatusOK {
+		t.Fatalf("route failure: code %d", code)
+	}
+	if reply.Status != "failure" {
+		t.Fatalf("cross-component status: %+v", reply)
+	}
+
+	// Path reconstruction.
+	if code := postJSON(t, ts, "/v1/route", `{"src":0,"dst":15,"with_path":true}`, &reply); code != http.StatusOK {
+		t.Fatalf("route with path: code %d", code)
+	}
+	if len(reply.Path) < 2 || reply.Path[0] != 0 || reply.Path[len(reply.Path)-1] != 15 {
+		t.Fatalf("path: %v", reply.Path)
+	}
+
+	// Unknown source → 404; malformed / unknown fields → 400.
+	if code := postJSON(t, ts, "/v1/route", `{"src":31337,"dst":0}`, nil); code != http.StatusNotFound {
+		t.Fatalf("absent src: code %d, want 404", code)
+	}
+	if code := postJSON(t, ts, "/v1/route", `{bad json`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad json: code %d, want 400", code)
+	}
+	if code := postJSON(t, ts, "/v1/route", `{"src":0,"dst":1,"typo":true}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: code %d, want 400", code)
+	}
+
+	// Wrong method → 405 (method-scoped mux patterns).
+	resp, err := http.Get(ts.URL + "/v1/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/route: code %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var reply batchReply
+	if code := postJSON(t, ts, "/v1/batch", `{"pairs":[[0,15],[0,100],[4242,0]]}`, &reply); code != http.StatusOK {
+		t.Fatalf("batch: code %d", code)
+	}
+	if len(reply.Results) != 3 || reply.Succeeded != 2 || reply.Failed != 1 {
+		t.Fatalf("batch reply: %+v", reply)
+	}
+	if reply.Results[0].Status != "success" || reply.Results[1].Status != "failure" {
+		t.Fatalf("batch members: %+v", reply.Results)
+	}
+	if reply.Results[2].Error == "" {
+		t.Fatalf("absent-src member carries no error: %+v", reply.Results[2])
+	}
+
+	// One-to-many shape.
+	if code := postJSON(t, ts, "/v1/batch", `{"src":0,"targets":[1,2,3]}`, &reply); code != http.StatusOK {
+		t.Fatalf("batch src+targets: code %d", code)
+	}
+	if reply.Succeeded != 3 {
+		t.Fatalf("fan-out reply: %+v", reply)
+	}
+
+	// Shape violations.
+	if code := postJSON(t, ts, "/v1/batch", `{}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: code %d, want 400", code)
+	}
+	if code := postJSON(t, ts, "/v1/batch", `{"pairs":[[0,1]],"src":0,"targets":[2]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("ambiguous batch: code %d, want 400", code)
+	}
+}
+
+func TestBroadcastEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var reply struct {
+		Reached int     `json:"reached"`
+		Nodes   []int64 `json:"nodes"`
+	}
+	if code := postJSON(t, ts, "/v1/broadcast", `{"src":100}`, &reply); code != http.StatusOK {
+		t.Fatalf("broadcast: code %d", code)
+	}
+	if reply.Reached != 5 || len(reply.Nodes) != 5 {
+		t.Fatalf("broadcast reply: %+v", reply)
+	}
+	if code := postJSON(t, ts, "/v1/broadcast", `{"src":31337}`, nil); code != http.StatusNotFound {
+		t.Fatalf("broadcast absent src: code %d, want 404", code)
+	}
+}
+
+func TestCountEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var reply struct {
+		Count        int `json:"count"`
+		ReducedCount int `json:"reduced_count"`
+	}
+	if code := postJSON(t, ts, "/v1/count", `{"src":0}`, &reply); code != http.StatusOK {
+		t.Fatalf("count: code %d", code)
+	}
+	if reply.Count != 16 || reply.ReducedCount < 16 {
+		t.Fatalf("count reply: %+v", reply)
+	}
+}
+
+func TestHybridEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var reply struct {
+		Status string `json:"status"`
+		Winner string `json:"winner"`
+	}
+	if code := postJSON(t, ts, "/v1/hybrid", `{"src":0,"dst":15,"walk_seed":9}`, &reply); code != http.StatusOK {
+		t.Fatalf("hybrid: code %d", code)
+	}
+	if reply.Status != "success" || reply.Winner == "" {
+		t.Fatalf("hybrid reply: %+v", reply)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	postJSON(t, ts, "/v1/route", `{"src":0,"dst":15}`, nil)
+	postJSON(t, ts, "/v1/batch", `{"src":0,"targets":[1,2]}`, nil)
+	var stats struct {
+		Queries int64 `json:"queries"`
+		Routes  int64 `json:"routes"`
+		Batches int64 `json:"batches"`
+		Hops    int64 `json:"hops"`
+	}
+	if code := getJSON(t, ts, "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: code %d", code)
+	}
+	if stats.Routes != 3 || stats.Batches != 1 || stats.Queries != 3 || stats.Hops <= 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// TestConcurrentClients hits the daemon from many clients at once — the
+// serving-layer face of the stateless-sessions property.
+func TestConcurrentClients(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"src":0,"dst":%d}`, c)
+			resp, err := http.Post(ts.URL+"/v1/route", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				errs <- fmt.Sprintf("client %d: %v", c, err)
+				return
+			}
+			defer resp.Body.Close()
+			var reply routeReply
+			if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+				errs <- fmt.Sprintf("client %d: decode: %v", c, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK || reply.Status != "success" {
+				errs <- fmt.Sprintf("client %d: code %d reply %+v", c, resp.StatusCode, reply)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -86,11 +86,21 @@ type Counter struct {
 	cfg  Config
 }
 
-// New builds a Counter for g.
+// New builds a Counter for g, deriving the degree reduction. Callers that
+// already hold a Reduced for g should use NewFromReduced.
 func New(g *graph.Graph, cfg Config) (*Counter, error) {
 	red, err := degred.Reduce(g)
 	if err != nil {
 		return nil, fmt.Errorf("count: %w", err)
+	}
+	return NewFromReduced(g, red, cfg)
+}
+
+// NewFromReduced builds a Counter for g from a precomputed degree
+// reduction of g, sharing the artifact with any Router built the same way.
+func NewFromReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Counter, error) {
+	if red == nil {
+		return nil, errors.New("count: NewFromReduced: nil reduction")
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeLocal

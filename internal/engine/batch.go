@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/route"
+)
+
+// Pair is one s→t routing query in a batch.
+type Pair struct {
+	Src graph.NodeID
+	Dst graph.NodeID
+}
+
+// BatchResult is the outcome of one batch member; exactly one of Res and
+// Err is non-nil (except that Res may carry partial round statistics
+// alongside an error, mirroring Router.Route).
+type BatchResult struct {
+	Pair
+	// Res is the routing outcome (nil only if Err is set before any round
+	// ran).
+	Res *route.Result
+	// Err reports a per-query failure; other members are unaffected.
+	Err error
+}
+
+// RouteBatch answers many independent routing queries, fanning them across
+// a bounded worker pool (Config.Workers, default GOMAXPROCS). Results are
+// returned in input order. The member queries share the compiled network
+// exactly as concurrent Route calls do — the batch adds scheduling only,
+// which is the point: the stateless protocol needs no per-session setup.
+func (e *Engine) RouteBatch(pairs []Pair) []BatchResult {
+	e.m.batches.Add(1)
+	out := make([]BatchResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	workers := e.Workers()
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				res, err := e.Route(pairs[i].Src, pairs[i].Dst)
+				out[i] = BatchResult{Pair: pairs[i], Res: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RouteAll routes from one source to every target — the one-to-many shape
+// of gossip-style workloads — via the batch pool.
+func (e *Engine) RouteAll(s graph.NodeID, targets []graph.NodeID) []BatchResult {
+	pairs := make([]Pair, len(targets))
+	for i, t := range targets {
+		pairs[i] = Pair{Src: s, Dst: t}
+	}
+	return e.RouteBatch(pairs)
+}

@@ -1,0 +1,214 @@
+// Package engine implements the prepared routing engine: all per-network
+// machinery — the Figure 1 degree reduction, the port-labeled work graph,
+// and the exploration sequence family T_n — compiled once, then shared by
+// any number of concurrent queries.
+//
+// The amortization contract is the serving-side dual of Theorem 1: because
+// intermediate nodes are stateless and every per-message register fits in
+// the O(log n) header, queries share the compiled network with zero
+// coordination. Compile is the only expensive call (it performs the degree
+// reduction); Route, RouteWithPath, Broadcast, Count, Hybrid, and the
+// batch entry points are read-only on the compiled state and safe to call
+// from any number of goroutines.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/count"
+	"repro/internal/degred"
+	"repro/internal/graph"
+	"repro/internal/hybrid"
+	"repro/internal/route"
+	"repro/internal/ues"
+)
+
+// ErrNoGraph is returned by Compile when given a nil graph.
+var ErrNoGraph = errors.New("engine: nil graph")
+
+// Config parameterizes a compiled Engine. The zero value is usable and
+// gives the paper's defaults.
+type Config struct {
+	// Seed selects the exploration sequence family T_n shared by all
+	// queries served by this engine.
+	Seed uint64
+	// LengthFactor scales sequence lengths (ues.Length); 0 = default.
+	LengthFactor int
+	// KnownBound, if > 0, promises an upper bound on component sizes in
+	// the reduced graph, skipping the doubling loop on every query.
+	KnownBound int
+	// MaxBound caps the doubling loop (0 = 4·|V(G′)|).
+	MaxBound int
+	// NoDegreeReduction walks the original graph directly (the Figure 1
+	// ablation). Counting still uses the reduction, as in §4.
+	NoDegreeReduction bool
+	// MemoryBudgetBits overrides the enforced per-activation node memory
+	// budget (0 = the Θ(log n) default).
+	MemoryBudgetBits int
+	// MessageFaithfulCounting makes Count execute §4's Retrieve
+	// primitives as real message walks with full hop accounting.
+	MessageFaithfulCounting bool
+	// Workers bounds the batch worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Engine is a routing engine compiled for one fixed network. All methods
+// are safe for concurrent use; construction state is immutable after
+// Compile and per-query state lives entirely on the query's stack (plus
+// the lock-free sequence cache and metrics).
+type Engine struct {
+	g       *graph.Graph
+	red     *degred.Reduced
+	router  *route.Router
+	counter *count.Counter
+	cfg     Config
+
+	// seqs caches the compiled T_bound family keyed by bound, so the
+	// doubling schedule's handful of distinct bounds is derived once and
+	// shared by every concurrent walker.
+	seqs sync.Map // int -> ues.Sequence
+	m    metrics
+}
+
+// Compile builds the engine for g: one degree reduction, one router, one
+// counter, one (lazily filled) sequence-family cache. g must not be
+// mutated afterwards.
+func Compile(g *graph.Graph, cfg Config) (*Engine, error) {
+	if g == nil {
+		return nil, ErrNoGraph
+	}
+	red, err := degred.Reduce(g)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return CompileWithReduced(g, red, cfg)
+}
+
+// CompileWithReduced builds the engine from a precomputed degree reduction
+// of g, for callers (like the facade) that cache the reduction artifact
+// across engines with different protocol configurations.
+func CompileWithReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Engine, error) {
+	if g == nil {
+		return nil, ErrNoGraph
+	}
+	if red == nil {
+		return nil, errors.New("engine: nil reduction")
+	}
+	e := &Engine{g: g, red: red, cfg: cfg}
+	rcfg := e.routeConfig()
+	var err error
+	if cfg.NoDegreeReduction {
+		e.router, err = route.New(g, rcfg)
+	} else {
+		e.router, err = route.NewFromReduced(g, red, rcfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e.counter, err = count.NewFromReduced(g, red, e.countConfig())
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return e, nil
+}
+
+// routeConfig derives the router configuration, with sequence generation
+// routed through the engine's cache.
+func (e *Engine) routeConfig() route.Config {
+	return route.Config{
+		Seed:              e.cfg.Seed,
+		LengthFactor:      e.cfg.LengthFactor,
+		KnownN:            e.cfg.KnownBound,
+		MaxBound:          e.cfg.MaxBound,
+		NoDegreeReduction: e.cfg.NoDegreeReduction,
+		MemoryBudgetBits:  e.cfg.MemoryBudgetBits,
+		SequenceFactory:   e.sequence,
+	}
+}
+
+func (e *Engine) countConfig() count.Config {
+	mode := count.ModeLocal
+	if e.cfg.MessageFaithfulCounting {
+		mode = count.ModeMessages
+	}
+	return count.Config{
+		Seed:         e.cfg.Seed,
+		LengthFactor: e.cfg.LengthFactor,
+		Mode:         mode,
+		MaxBound:     e.cfg.MaxBound,
+	}
+}
+
+// sequence returns the cached compiled T_bound, deriving it on first use.
+// The cache is append-only and lock-free on the hit path; compiled
+// sequences are immutable and shared by all concurrent walkers.
+func (e *Engine) sequence(bound int) ues.Sequence {
+	if v, ok := e.seqs.Load(bound); ok {
+		e.m.seqHits.Add(1)
+		return v.(ues.Sequence)
+	}
+	e.m.seqMisses.Add(1)
+	base := 3
+	if e.cfg.NoDegreeReduction {
+		base = 0
+	}
+	p := &ues.Pseudorandom{Seed: e.cfg.Seed, N: bound, Base: base, LengthFactor: e.cfg.LengthFactor}
+	actual, _ := e.seqs.LoadOrStore(bound, p.Compiled())
+	return actual.(ues.Sequence)
+}
+
+// Graph returns the compiled network. Read-only.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Reduced returns the shared degree-reduction artifact. Read-only.
+func (e *Engine) Reduced() *degred.Reduced { return e.red }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Workers returns the effective batch worker-pool size.
+func (e *Engine) Workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Route answers one s→t query on the compiled network.
+func (e *Engine) Route(s, t graph.NodeID) (*route.Result, error) {
+	res, err := e.router.Route(s, t)
+	e.m.recordRoute(res, err)
+	return res, err
+}
+
+// RouteWithPath routes s→t and reconstructs the forward path on success.
+func (e *Engine) RouteWithPath(s, t graph.NodeID) (*route.Result, []graph.NodeID, error) {
+	res, path, err := e.router.RouteWithPath(s, t)
+	e.m.recordRoute(res, err)
+	return res, path, err
+}
+
+// Broadcast delivers a payload to every node of s's component.
+func (e *Engine) Broadcast(s graph.NodeID) (*route.BroadcastResult, error) {
+	res, err := e.router.Broadcast(s)
+	e.m.recordBroadcast(res, err)
+	return res, err
+}
+
+// Count computes |C_s| per §4, sharing the compiled degree reduction.
+func (e *Engine) Count(s graph.NodeID) (*count.Result, error) {
+	res, err := e.counter.Count(s)
+	e.m.recordCount(res, err)
+	return res, err
+}
+
+// Hybrid races a random walk against the compiled guaranteed router
+// (Corollary 2). walkSeed seeds the probabilistic prober only.
+func (e *Engine) Hybrid(s, t graph.NodeID, walkSeed uint64) (*hybrid.Result, error) {
+	res, err := hybrid.RouteHybridWith(e.router, s, t, walkSeed)
+	e.m.recordHybrid(res, err)
+	return res, err
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/count"
+	"repro/internal/hybrid"
+	"repro/internal/route"
+)
+
+// metrics is the engine's lock-free instrumentation. Counters are
+// monotonic; PeakHeaderBits is a CAS-maintained maximum.
+type metrics struct {
+	routes     atomic.Int64
+	broadcasts atomic.Int64
+	counts     atomic.Int64
+	hybrids    atomic.Int64
+	batches    atomic.Int64
+	errors     atomic.Int64
+
+	hops   atomic.Int64
+	rounds atomic.Int64
+
+	seqHits   atomic.Int64
+	seqMisses atomic.Int64
+
+	peakHeaderBits atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the engine metrics. Counters taken
+// mid-query may be mutually inconsistent by a query's worth of updates;
+// each individual value is exact.
+type Snapshot struct {
+	// Routes, Broadcasts, Counts, and Hybrids count completed queries by
+	// kind (Routes includes RouteWithPath and batch members).
+	Routes     int64 `json:"routes"`
+	Broadcasts int64 `json:"broadcasts"`
+	Counts     int64 `json:"counts"`
+	Hybrids    int64 `json:"hybrids"`
+	// Batches counts RouteBatch/RouteAll invocations (not their members).
+	Batches int64 `json:"batches"`
+	// Errors counts queries that returned an error.
+	Errors int64 `json:"errors"`
+	// Hops is the total message hops across all queries.
+	Hops int64 `json:"hops"`
+	// Rounds is the total doubling rounds across all queries.
+	Rounds int64 `json:"rounds"`
+	// SeqCacheHits/SeqCacheMisses instrument the T_bound family cache.
+	SeqCacheHits   int64 `json:"seq_cache_hits"`
+	SeqCacheMisses int64 `json:"seq_cache_misses"`
+	// PeakHeaderBits is the largest serialized message header observed by
+	// any query — the empirical O(log n) of Theorem 1.
+	PeakHeaderBits int64 `json:"peak_header_bits"`
+}
+
+// Queries returns the total number of completed queries of all kinds.
+func (s Snapshot) Queries() int64 {
+	return s.Routes + s.Broadcasts + s.Counts + s.Hybrids
+}
+
+// Stats returns a snapshot of the engine's metrics.
+func (e *Engine) Stats() Snapshot {
+	return Snapshot{
+		Routes:         e.m.routes.Load(),
+		Broadcasts:     e.m.broadcasts.Load(),
+		Counts:         e.m.counts.Load(),
+		Hybrids:        e.m.hybrids.Load(),
+		Batches:        e.m.batches.Load(),
+		Errors:         e.m.errors.Load(),
+		Hops:           e.m.hops.Load(),
+		Rounds:         e.m.rounds.Load(),
+		SeqCacheHits:   e.m.seqHits.Load(),
+		SeqCacheMisses: e.m.seqMisses.Load(),
+		PeakHeaderBits: e.m.peakHeaderBits.Load(),
+	}
+}
+
+func (m *metrics) maxHeader(bits int) {
+	v := int64(bits)
+	for {
+		cur := m.peakHeaderBits.Load()
+		if v <= cur || m.peakHeaderBits.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (m *metrics) recordErr(err error) {
+	if err != nil {
+		m.errors.Add(1)
+	}
+}
+
+func (m *metrics) recordRoute(res *route.Result, err error) {
+	m.routes.Add(1)
+	m.recordErr(err)
+	if res == nil {
+		return
+	}
+	m.hops.Add(res.Hops)
+	m.rounds.Add(int64(len(res.Rounds)))
+	m.maxHeader(res.MaxHeaderBits)
+}
+
+func (m *metrics) recordBroadcast(res *route.BroadcastResult, err error) {
+	m.broadcasts.Add(1)
+	m.recordErr(err)
+	if res == nil {
+		return
+	}
+	m.hops.Add(res.Hops)
+	m.rounds.Add(int64(len(res.Rounds)))
+	m.maxHeader(res.MaxHeaderBits)
+}
+
+func (m *metrics) recordCount(res *count.Result, err error) {
+	m.counts.Add(1)
+	m.recordErr(err)
+	if res == nil {
+		return
+	}
+	m.hops.Add(res.Hops)
+	m.rounds.Add(int64(res.Rounds))
+}
+
+func (m *metrics) recordHybrid(res *hybrid.Result, err error) {
+	m.hybrids.Add(1)
+	m.recordErr(err)
+	if res == nil {
+		return
+	}
+	m.hops.Add(res.CombinedSteps)
+}

@@ -269,7 +269,13 @@ func RouteHybrid(g *graph.Graph, s, t graph.NodeID, cfg route.Config, walkSeed u
 	if err != nil {
 		return nil, err
 	}
-	prob, err := NewRandomWalk(g, s, t, walkSeed, 0)
+	return RouteHybridWith(r, s, t, walkSeed)
+}
+
+// RouteHybridWith races a random walk against an existing prepared
+// Router, reusing its degree reduction instead of rebuilding it per call.
+func RouteHybridWith(r *route.Router, s, t graph.NodeID, walkSeed uint64) (*Result, error) {
+	prob, err := NewRandomWalk(r.OriginalGraph(), s, t, walkSeed, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -157,25 +157,44 @@ type Result struct {
 	PeakMemoryBits int
 }
 
-// New builds a Router for g.
+// New builds a Router for g, deriving the Figure 1 degree reduction
+// (unless cfg disables it). The reduction dominates construction cost;
+// callers that already hold a Reduced for g should use NewFromReduced.
 func New(g *graph.Graph, cfg Config) (*Router, error) {
-	r := &Router{orig: g, cfg: cfg}
 	if cfg.NoDegreeReduction {
-		r.work = g
-		return r, nil
+		return &Router{orig: g, work: g, cfg: cfg}, nil
 	}
 	red, err := degred.Reduce(g)
 	if err != nil {
 		return nil, fmt.Errorf("route: %w", err)
 	}
-	r.red = red
-	r.work = red.Graph()
-	return r, nil
+	return NewFromReduced(g, red, cfg)
+}
+
+// NewFromReduced builds a Router for g from a precomputed degree reduction
+// of g — the reusable artifact that lets one Reduce serve many routers
+// (and the sibling Counter). red must be the reduction of g; cfg must not
+// also request the no-reduction ablation.
+func NewFromReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Router, error) {
+	if red == nil {
+		return nil, errors.New("route: NewFromReduced: nil reduction")
+	}
+	if cfg.NoDegreeReduction {
+		return nil, errors.New("route: NewFromReduced: config disables the degree reduction")
+	}
+	return &Router{orig: g, red: red, work: red.Graph(), cfg: cfg}, nil
 }
 
 // WorkGraph returns the graph actually walked (G′, or G under the
 // ablation). Read-only.
 func (r *Router) WorkGraph() *graph.Graph { return r.work }
+
+// OriginalGraph returns the graph the router was built for. Read-only.
+func (r *Router) OriginalGraph() *graph.Graph { return r.orig }
+
+// Reduced returns the degree-reduction artifact (nil under the
+// no-reduction ablation). Read-only.
+func (r *Router) Reduced() *degred.Reduced { return r.red }
 
 // DefaultMemoryBudget returns the enforced per-activation budget for a work
 // graph of n nodes: Θ(log n) bits with a constant floor for the fixed

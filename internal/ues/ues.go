@@ -229,11 +229,18 @@ func (p *Pseudorandom) At(i int) int {
 	if i < 1 || i > p.Len() {
 		panic(fmt.Sprintf("ues: At(%d) outside [1..%d]", i, p.Len()))
 	}
-	v := prng.At(p.Seed, uint64(i))
-	if p.Base <= 0 {
+	return symbol(p.Seed, uint64(i), p.Base)
+}
+
+// symbol is the single shared PRF-to-direction derivation; every sequence
+// flavour must agree on it, since all nodes of a deployment consult the
+// same T_n.
+func symbol(seed, i uint64, base int) int {
+	v := prng.At(seed, i)
+	if base <= 0 {
 		return int(v >> 1 & 0x7fffffff) // non-negative full-range direction
 	}
-	return int(v % uint64(p.Base))
+	return int(v % uint64(base))
 }
 
 // Len returns the sequence length for the configured size bound.
@@ -242,6 +249,35 @@ func (p *Pseudorandom) Len() int {
 }
 
 var _ Sequence = (*Pseudorandom)(nil)
+
+// Compiled returns a sequence identical to p with the length computed once
+// at construction instead of on every At/Len call. A walk makes one At call
+// per hop, and the naive Len recomputation costs Θ(log n) per call — the
+// compiled form removes that from the hot loop, and being immutable it is
+// safe to share across any number of concurrent walkers.
+func (p *Pseudorandom) Compiled() Sequence {
+	return &compiled{seed: p.Seed, base: p.Base, length: p.Len()}
+}
+
+// compiled is the frozen form of a Pseudorandom sequence.
+type compiled struct {
+	seed   uint64
+	base   int
+	length int
+}
+
+// At returns the i-th direction.
+func (c *compiled) At(i int) int {
+	if i < 1 || i > c.length {
+		panic(fmt.Sprintf("ues: At(%d) outside [1..%d]", i, c.length))
+	}
+	return symbol(c.seed, uint64(i), c.base)
+}
+
+// Len returns the precomputed sequence length.
+func (c *compiled) Len() int { return c.length }
+
+var _ Sequence = (*compiled)(nil)
 
 // Precomputed is an explicit in-memory exploration sequence, used for tiny
 // verified sequences and in tests.

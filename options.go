@@ -2,6 +2,7 @@ package adhocroute
 
 import (
 	"repro/internal/count"
+	"repro/internal/engine"
 	"repro/internal/route"
 )
 
@@ -14,6 +15,7 @@ type options struct {
 	noDegreeReduction bool
 	messageFaithful   bool
 	memoryBudgetBits  int
+	workers           int
 }
 
 // Option configures Route, Broadcast, CountComponent, and RouteHybrid
@@ -72,6 +74,12 @@ func WithMemoryBudget(bits int) Option {
 	return optionFunc(func(o *options) { o.memoryBudgetBits = bits })
 }
 
+// WithWorkers bounds the worker pool a compiled Router uses for
+// RouteBatch/RouteAll (0 = GOMAXPROCS). One-shot calls ignore it.
+func WithWorkers(n int) Option {
+	return optionFunc(func(o *options) { o.workers = n })
+}
+
 func buildOptions(opts []Option) options {
 	var o options
 	for _, opt := range opts {
@@ -88,6 +96,19 @@ func (o options) routeConfig() route.Config {
 		MaxBound:          o.maxBound,
 		NoDegreeReduction: o.noDegreeReduction,
 		MemoryBudgetBits:  o.memoryBudgetBits,
+	}
+}
+
+func (o options) engineConfig() engine.Config {
+	return engine.Config{
+		Seed:                    o.seed,
+		LengthFactor:            o.lengthFactor,
+		KnownBound:              o.knownBound,
+		MaxBound:                o.maxBound,
+		NoDegreeReduction:       o.noDegreeReduction,
+		MemoryBudgetBits:        o.memoryBudgetBits,
+		MessageFaithfulCounting: o.messageFaithful,
+		Workers:                 o.workers,
 	}
 }
 
