@@ -6,10 +6,12 @@ package adhocroute
 // walk step, degree reduction, header codec, routing on standard
 // families). Regenerate the full tables with: go run ./cmd/experiments
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/degred"
 	"repro/internal/exp"
+	"repro/internal/flatgraph"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/netsim"
@@ -87,6 +89,98 @@ func BenchmarkWalkStep(b *testing.B) {
 			b.Fatal(err)
 		}
 		pos = next
+	}
+}
+
+// BenchmarkFlatWalkStep measures one exploration step on the compiled CSR
+// snapshot with the inlined PRF oracle — the flat equivalent of
+// BenchmarkWalkStep's ues.Step + Sequence.At hop. The gap between the two
+// is the per-hop cost the flat walk core removes (map lookup, interface
+// dispatch, error plumbing).
+func BenchmarkFlatWalkStep(b *testing.B) {
+	red, err := degred.Reduce(gen.Grid(16, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := red.Flat()
+	seq := flatgraph.Seq{Seed: 1, Base: 3, Length: ues.Length(f.NumNodes(), 0)}
+	node, inPort := int32(0), int32(0)
+	l := int64(seq.Length)
+	// The measured loop is the walk core's real hop shape: directions
+	// prefetched in blocks, then one flat step per hop.
+	var dirs [128]int8
+	i, k := int64(1), len(dirs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if k == len(dirs) {
+			if i+int64(len(dirs)) > l {
+				i = 1
+			}
+			seq.Fill(dirs[:], i)
+			k = 0
+		}
+		node, inPort = f.Step(node, inPort, int32(dirs[k]))
+		k++
+		i++
+	}
+	_, _ = node, inPort
+}
+
+// BenchmarkFlatRoute measures the steady-state hop loop of a prepared
+// route: one complete forward + backtrack walk on the compiled snapshot,
+// which performs zero allocations (the criterion the flat core exists
+// for). Engine-level bookkeeping on top of this loop is measured by
+// BenchmarkPreparedRoute.
+func BenchmarkFlatRoute(b *testing.B) {
+	red, err := degred.Reduce(gen.Grid(6, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := red.Flat()
+	entryID, ok := red.Entry(0)
+	if !ok {
+		b.Fatal("no entry for node 0")
+	}
+	entry, _ := f.Index(entryID)
+	seq := flatgraph.Seq{Seed: 7, Base: 3, Length: ues.Length(f.NumNodes(), 0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := f.RouteWalk(entry, 0, 35, seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Success {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+// BenchmarkFlatRouteParallel hammers one shared compiled Router from all
+// cores — the serving shape the compile-once/walk-flat design targets: the
+// snapshot is immutable, so concurrent queries share it with zero
+// coordination.
+func BenchmarkFlatRouteParallel(b *testing.B) {
+	nw := NewGrid(6, 6)
+	r, err := nw.Compile(WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var failed atomic.Bool
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := r.Route(0, 35)
+			if err != nil || res.Status != StatusSuccess {
+				failed.Store(true)
+				return
+			}
+		}
+	})
+	if failed.Load() {
+		b.Fatal("parallel route failed")
 	}
 }
 

@@ -19,6 +19,9 @@
 //	POST /v1/count      — {"src":0}
 //	POST /v1/hybrid     — {"src":0,"dst":35,"walk_seed":9}
 //
+// With -pprof, net/http/pprof is additionally mounted under /debug/pprof/
+// so serving hot spots can be profiled in place.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
 package main
@@ -66,6 +69,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		known    = fs.Int("known", 0, "known component bound (0 = doubling loop)")
 		workers  = fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		drainFor = fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +88,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintf(out, "adhocd: compiled %s (%d nodes, %d links, %d reduced nodes)\n",
 		desc, g.NumNodes(), g.NumEdges(), eng.Reduced().Graph().NumNodes())
-	return serve(*addr, newServer(eng, desc), out, ready, *drainFor)
+	return serve(*addr, newServer(eng, desc, *pprofOn), out, ready, *drainFor)
 }
 
 // buildGraph loads the network file, or generates the requested family.

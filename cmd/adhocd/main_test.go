@@ -67,6 +67,45 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
+// TestPprofFlag boots the daemon with -pprof and checks the profiling
+// surface is live, then shuts it down.
+func TestPprofFlag(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-gen", "grid", "-rows", "3", "-cols", "3", "-pprof"},
+			&out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v (output: %s)", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
 // serves a real request, then delivers SIGINT and expects a clean drain.
 func TestServeAndGracefulShutdown(t *testing.T) {

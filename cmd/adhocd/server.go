@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -22,7 +23,11 @@ type server struct {
 
 // newServer wires the endpoint table around a compiled engine. desc is a
 // human-readable description of the served network (shown by /v1/network).
-func newServer(eng *engine.Engine, desc string) *server {
+// enableProfiling additionally mounts net/http/pprof under /debug/pprof/ so
+// serving hot spots can be profiled in place; it is opt-in (the -pprof
+// flag) because the profile endpoints expose internals and can be made to
+// burn CPU on demand.
+func newServer(eng *engine.Engine, desc string, enableProfiling bool) *server {
 	s := &server{eng: eng, desc: desc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/network", s.handleNetwork)
@@ -32,6 +37,16 @@ func newServer(eng *engine.Engine, desc string) *server {
 	s.mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	s.mux.HandleFunc("POST /v1/count", s.handleCount)
 	s.mux.HandleFunc("POST /v1/hybrid", s.handleHybrid)
+	if enableProfiling {
+		// pprof.Index dispatches the named profiles (heap, goroutine, …)
+		// itself; only the handlers with dedicated logic need explicit
+		// routes.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

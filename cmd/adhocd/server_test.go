@@ -23,9 +23,45 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, "test 4x4 grid + 5-cycle"))
+	ts := httptest.NewServer(newServer(eng, "test 4x4 grid + 5-cycle", false))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// TestPprofMount checks the opt-in profiling surface: mounted only when
+// requested, 404 otherwise.
+func TestPprofMount(t *testing.T) {
+	g := gen.Grid(3, 3)
+	eng, err := engine.Compile(g, engine.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enabled := range []bool{false, true} {
+		ts := httptest.NewServer(newServer(eng, "pprof probe", enabled))
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want := http.StatusNotFound
+		if enabled {
+			want = http.StatusOK
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("pprof enabled=%v: GET /debug/pprof/ = %d, want %d", enabled, resp.StatusCode, want)
+		}
+		if enabled {
+			resp, err := http.Get(ts.URL + "/debug/pprof/heap?debug=1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET /debug/pprof/heap = %d", resp.StatusCode)
+			}
+		}
+		ts.Close()
+	}
 }
 
 // postJSON posts body to path and decodes the JSON response into out.

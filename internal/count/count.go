@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/degred"
+	"repro/internal/flatgraph"
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/ues"
@@ -59,6 +60,10 @@ type Config struct {
 	Mode Mode
 	// MaxBound caps the doubling loop (0 = 4·|V(G′)|).
 	MaxBound int
+	// DisableFlat forces ModeLocal rounds through the generic walk even
+	// when the compiled flat snapshot is available (differential tests and
+	// debugging; ModeMessages always runs real messages regardless).
+	DisableFlat bool
 }
 
 // Result reports a counting run.
@@ -78,11 +83,15 @@ type Result struct {
 	Hops int64
 }
 
-// Counter counts component sizes on a fixed graph.
+// Counter counts component sizes on a fixed graph. ModeLocal rounds run on
+// the compiled flat snapshot shared with any Router built from the same
+// reduction; ModeMessages executes real message walks on the reference
+// token engine.
 type Counter struct {
 	orig *graph.Graph
 	red  *degred.Reduced
 	work *graph.Graph
+	flat *flatgraph.Graph
 	cfg  Config
 }
 
@@ -105,7 +114,7 @@ func NewFromReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Counter, 
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeLocal
 	}
-	return &Counter{orig: g, red: red, work: red.Graph(), cfg: cfg}, nil
+	return &Counter{orig: g, red: red, work: red.Graph(), flat: red.Flat(), cfg: cfg}, nil
 }
 
 // Count runs Algorithm CountNodes(s) (§4).
@@ -113,6 +122,13 @@ func (c *Counter) Count(s graph.NodeID) (*Result, error) {
 	start, ok := c.red.Entry(s)
 	if !ok {
 		return nil, fmt.Errorf("count: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	var flatStart int32
+	useFlat := c.cfg.Mode == ModeLocal && !c.cfg.DisableFlat && c.flat != nil && c.flat.Regular3()
+	if useFlat {
+		fi, ok := c.flat.Index(start)
+		useFlat = ok
+		flatStart = fi
 	}
 	maxBound := c.cfg.MaxBound
 	if maxBound <= 0 {
@@ -125,15 +141,21 @@ func (c *Counter) Count(s graph.NodeID) (*Result, error) {
 		}
 		res.Rounds++
 		res.Bound = bound
-		seq := c.sequence(bound)
-		covered, err := c.closureCheck(start, seq, res)
+		var covered bool
+		var err error
+		if useFlat {
+			covered, err = c.flatRound(flatStart, bound, res)
+		} else {
+			seq := c.sequence(bound)
+			covered, err = c.closureCheck(start, seq, res)
+			if err == nil && covered {
+				err = c.countDistinct(start, seq, res)
+			}
+		}
 		if err != nil {
 			return res, err
 		}
 		if covered {
-			if err := c.countDistinct(start, seq, res); err != nil {
-				return res, err
-			}
 			return res, nil
 		}
 		if bound >= maxBound {
@@ -142,20 +164,53 @@ func (c *Counter) Count(s graph.NodeID) (*Result, error) {
 	}
 }
 
-func (c *Counter) sequence(bound int) *ues.Pseudorandom {
-	return &ues.Pseudorandom{
+// flatRound runs one ModeLocal doubling round on the compiled flat
+// snapshot: the full walk, the closure check with identical Retrieve
+// accounting (first-visit order, first miss aborts), and — once covered —
+// the distinct-identifier counts at both graph levels.
+func (c *Counter) flatRound(start int32, bound int, res *Result) (bool, error) {
+	fs := flatgraph.Seq{Seed: c.cfg.Seed, Base: 3, Length: ues.Length(bound, c.cfg.LengthFactor)}
+	visited := make([]bool, c.flat.NumNodes())
+	order, err := c.flat.CoverWalk(start, fs, visited, make([]int32, 0, c.flat.NumNodes()))
+	if err != nil {
+		return false, fmt.Errorf("count: flat walk: %w", err)
+	}
+	for _, v := range order {
+		deg := c.flat.Degree(v)
+		for j := int32(0); j < deg; j++ {
+			res.Retrieves++
+			if !visited[c.flat.Half(v, j).To] {
+				return false, nil // NewNodeDiscovered: skip to while
+			}
+		}
+	}
+	res.ReducedCount = len(order)
+	origs := make(map[graph.NodeID]bool, len(order))
+	for _, v := range order {
+		origs[c.flat.OriginalOf(v)] = true
+	}
+	res.OriginalCount = len(origs)
+	return true, nil
+}
+
+// sequence returns T_bound in its compiled form (length frozen at
+// construction), keeping the Θ(log n) length recomputation out of the walk
+// loops of the generic path.
+func (c *Counter) sequence(bound int) ues.Sequence {
+	p := &ues.Pseudorandom{
 		Seed:         c.cfg.Seed,
 		N:            bound,
 		Base:         3,
 		LengthFactor: c.cfg.LengthFactor,
 	}
+	return p.Compiled()
 }
 
 // closureCheck is the paper's inner do-loop body: for every walk position i
 // and neighbour slot j, check whether the neighbour appears somewhere along
 // the walk. The first miss proves the walk has not covered C_s ("skip to
 // while"). Position 0 is the start itself.
-func (c *Counter) closureCheck(start graph.NodeID, seq *ues.Pseudorandom, res *Result) (bool, error) {
+func (c *Counter) closureCheck(start graph.NodeID, seq ues.Sequence, res *Result) (bool, error) {
 	l := seq.Len()
 	if c.cfg.Mode == ModeLocal {
 		order, visited, err := c.localVisited(start, seq)
@@ -204,7 +259,7 @@ func (c *Counter) closureCheck(start graph.NodeID, seq *ues.Pseudorandom, res *R
 // countDistinct is the paper's final counting loop: NodeCount over distinct
 // identifiers among v_0..v_L, comparing each position against all earlier
 // positions. ModeLocal materializes the set; ModeMessages replays walks.
-func (c *Counter) countDistinct(start graph.NodeID, seq *ues.Pseudorandom, res *Result) error {
+func (c *Counter) countDistinct(start graph.NodeID, seq ues.Sequence, res *Result) error {
 	if c.cfg.Mode == ModeLocal {
 		_, visited, err := c.localVisited(start, seq)
 		if err != nil {
@@ -265,7 +320,7 @@ func (c *Counter) countDistinct(start graph.NodeID, seq *ues.Pseudorandom, res *
 
 // localVisited simulates the walk at the source and returns the visited
 // nodes in first-visit order plus the visited set (the ModeLocal oracle).
-func (c *Counter) localVisited(start graph.NodeID, seq *ues.Pseudorandom) ([]graph.NodeID, map[graph.NodeID]bool, error) {
+func (c *Counter) localVisited(start graph.NodeID, seq ues.Sequence) ([]graph.NodeID, map[graph.NodeID]bool, error) {
 	visited := map[graph.NodeID]bool{start: true}
 	order := []graph.NodeID{start}
 	pos := ues.Start(start)
@@ -286,7 +341,7 @@ func (c *Counter) localVisited(start graph.NodeID, seq *ues.Pseudorandom) ([]gra
 // retrieve returns Retrieve(s, T, i): the identifier of the i-th node of
 // the walk, fetched by a real message round trip. i = 0 is the start
 // itself (no messages).
-func (c *Counter) retrieve(start graph.NodeID, seq *ues.Pseudorandom, i int, res *Result) (graph.NodeID, error) {
+func (c *Counter) retrieve(start graph.NodeID, seq ues.Sequence, i int, res *Result) (graph.NodeID, error) {
 	res.Retrieves++
 	if i == 0 {
 		return start, nil
@@ -297,7 +352,7 @@ func (c *Counter) retrieve(start graph.NodeID, seq *ues.Pseudorandom, i int, res
 // retrieveNeighbor returns RetrieveNeighbor(s, T, i, j): the identifier of
 // the node behind port j of the walk's i-th node (one extra hop out and
 // back).
-func (c *Counter) retrieveNeighbor(start graph.NodeID, seq *ues.Pseudorandom, i, j int, res *Result) (graph.NodeID, error) {
+func (c *Counter) retrieveNeighbor(start graph.NodeID, seq ues.Sequence, i, j int, res *Result) (graph.NodeID, error) {
 	res.Retrieves++
 	return c.walkQuery(start, seq, i, j, res)
 }
@@ -307,7 +362,7 @@ func (c *Counter) retrieveNeighbor(start graph.NodeID, seq *ues.Pseudorandom, i,
 // the answer. The message header uses Dst to carry the target step on the
 // way out and the retrieved identifier on the way back; Index is the
 // exploration index, exactly as in Algorithm Route.
-func (c *Counter) walkQuery(start graph.NodeID, seq *ues.Pseudorandom, i, peekPort int, res *Result) (graph.NodeID, error) {
+func (c *Counter) walkQuery(start graph.NodeID, seq ues.Sequence, i, peekPort int, res *Result) (graph.NodeID, error) {
 	h := netsim.Header{
 		Src:    graph.NodeID(i), // target step count
 		Dst:    0,

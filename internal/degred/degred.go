@@ -23,7 +23,9 @@ package degred
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/flatgraph"
 	"repro/internal/graph"
 )
 
@@ -33,6 +35,9 @@ type Reduced struct {
 	g     *graph.Graph
 	orig  map[graph.NodeID]graph.NodeID
 	slots map[graph.NodeID][]graph.NodeID
+
+	flatOnce sync.Once
+	flat     *flatgraph.Graph
 }
 
 // Reduce builds the 3-regular version of g. The input graph is not
@@ -141,6 +146,28 @@ func Reduce(g *graph.Graph) (*Reduced, error) {
 // Graph returns the reduced 3-regular multigraph. Callers must treat it as
 // read-only.
 func (r *Reduced) Graph() *graph.Graph { return r.g }
+
+// Flat returns the compiled CSR snapshot of the reduced graph, including
+// the gadget-to-original projection — the shared hot-path artifact every
+// router and counter built from this reduction walks. It is built on first
+// use and memoized, so one reduction serves any number of engines with a
+// single snapshot. Flat returns nil only if compilation fails, which a
+// validated reduction cannot provoke; callers treat nil as "use the
+// reference engine".
+func (r *Reduced) Flat() *flatgraph.Graph {
+	r.flatOnce.Do(func() {
+		fg, err := flatgraph.Compile(r.g, func(v graph.NodeID) graph.NodeID {
+			if o, ok := r.orig[v]; ok {
+				return o
+			}
+			return v
+		})
+		if err == nil {
+			r.flat = fg
+		}
+	})
+	return r.flat
+}
 
 // Original returns the original node simulated by gadget node v.
 func (r *Reduced) Original(v graph.NodeID) (graph.NodeID, bool) {

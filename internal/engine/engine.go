@@ -97,6 +97,11 @@ func CompileWithReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Engin
 	if red == nil {
 		return nil, errors.New("engine: nil reduction")
 	}
+	// Build the compiled CSR snapshot of G′ eagerly: the router, counter,
+	// and every query they serve share this one flat artifact, and serving
+	// should pay for its construction at compile time, not on the first
+	// query.
+	red.Flat()
 	e := &Engine{g: g, red: red, cfg: cfg}
 	rcfg := e.routeConfig()
 	var err error

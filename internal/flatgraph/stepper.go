@@ -1,0 +1,108 @@
+package flatgraph
+
+import "repro/internal/graph"
+
+// RouteStepper is the hop-at-a-time form of RouteWalk, for callers that
+// interleave the guaranteed walk with another process (the Corollary 2
+// race) or inspect every position (the differential tests). Step
+// granularity matches netsim.Stepper exactly: each Step is one handler
+// activation, performing one hop unless the activation is terminal, so
+// step-interleaved compositions charge identical step counts on either
+// execution path.
+type RouteStepper struct {
+	f        *Graph
+	seq      Seq
+	src, dst graph.NodeID
+	node     int32
+	inPort   int32
+	index    int64
+	backward bool
+	success  bool
+	done     bool
+	hops     int64
+	err      error
+}
+
+// RouteStepper starts a route round at the given dense start node,
+// searching for dst and confirming back to src.
+func (f *Graph) RouteStepper(start int32, src, dst graph.NodeID, seq Seq) (*RouteStepper, error) {
+	if !f.regular3 || seq.Base != 3 {
+		return nil, ErrNotRegular
+	}
+	return &RouteStepper{f: f, seq: seq, src: src, dst: dst, node: start, index: 1}, nil
+}
+
+// Step performs one activation (and its hop, if any). It returns true once
+// the round has terminated: delivered with a verdict, or failed with Err.
+func (st *RouteStepper) Step() bool {
+	if st.done {
+		return true
+	}
+	if st.backward {
+		if st.f.orig[st.node] == st.src {
+			st.done = true
+			return true
+		}
+		if st.index < 1 {
+			st.err = ErrUnwound
+			st.done = true
+			return true
+		}
+		t := st.seq.At(st.index)
+		st.index--
+		exit := st.inPort - t
+		if exit < 0 {
+			exit += 3
+		}
+		st.hop(exit)
+		return false
+	}
+	if st.f.orig[st.node] == st.dst {
+		st.backward, st.success = true, true
+		st.index--
+		st.hop(st.inPort)
+		return false
+	}
+	if st.index > int64(st.seq.Length) {
+		st.backward = true
+		st.index--
+		st.hop(st.inPort)
+		return false
+	}
+	t := st.seq.At(st.index)
+	st.index++
+	exit := st.inPort + t
+	if exit >= 3 {
+		exit -= 3
+	}
+	st.hop(exit)
+	return false
+}
+
+func (st *RouteStepper) hop(exit int32) {
+	h := st.f.halves[st.node*3+exit]
+	st.node, st.inPort = h.To, h.Port
+	st.hops++
+}
+
+// Done reports whether the round has terminated.
+func (st *RouteStepper) Done() bool { return st.done }
+
+// Success reports the verdict: true if the forward walk reached the
+// destination (valid once Done with a nil Err).
+func (st *RouteStepper) Success() bool { return st.success }
+
+// Hops returns the edge traversals performed so far.
+func (st *RouteStepper) Hops() int64 { return st.hops }
+
+// Err returns the terminal error, if any.
+func (st *RouteStepper) Err() error { return st.err }
+
+// Position returns the current dense node and arrival port.
+func (st *RouteStepper) Position() (node, inPort int32) { return st.node, st.inPort }
+
+// Index returns the current header index.
+func (st *RouteStepper) Index() int64 { return st.index }
+
+// Backward reports whether the walk has turned around.
+func (st *RouteStepper) Backward() bool { return st.backward }

@@ -1,0 +1,42 @@
+package hybrid
+
+// flatdiff_test.go pins the Corollary 2 race to identical outcomes whether
+// the guaranteed prober steps the compiled flat walker or the netsim
+// reference engine: same winner, same verdict, same step split.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/route"
+)
+
+func TestHybridFlatMatchesReference(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g := gen.Grid(4, 5)
+		g.ShuffleLabels(seed)
+		fast, err := route.New(g, route.Config{Seed: seed, LengthFactor: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := route.New(g, route.Config{Seed: seed, LengthFactor: 1, DisableFlat: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dst := range []graph.NodeID{19, 999983} {
+			rf, ef := RouteHybridWith(fast, 0, dst, seed^0x9e)
+			rs, es := RouteHybridWith(slow, 0, dst, seed^0x9e)
+			if (ef == nil) != (es == nil) {
+				t.Fatalf("hybrid 0->%d: flat err %v, reference err %v", dst, ef, es)
+			}
+			if ef != nil {
+				continue
+			}
+			if !reflect.DeepEqual(rf, rs) {
+				t.Fatalf("hybrid 0->%d diverged:\nflat:      %+v\nreference: %+v", dst, rf, rs)
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestHeaderBitsMatchEncode pins the arithmetic Bits computation to the
+// actual serialized size across the value ranges headers carry, including
+// negative node IDs and varint length boundaries.
+func TestHeaderBitsMatchEncode(t *testing.T) {
+	values := []int64{0, 1, -1, 2, 63, 64, -64, -65, 127, 128, 8191, 8192,
+		1 << 20, -(1 << 20), 1 << 40, 1<<62 - 1, -(1 << 62)}
+	for _, src := range values {
+		for _, dst := range values {
+			for _, idx := range values {
+				h := Header{
+					Src: graph.NodeID(src), Dst: graph.NodeID(dst),
+					Dir: Backward, Status: StatusSuccess, Index: idx,
+				}
+				if got, want := h.Bits(), 8*len(h.Encode()); got != want {
+					t.Fatalf("Bits(%+v) = %d, encoded size %d", h, got, want)
+				}
+			}
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/graph"
 )
@@ -127,8 +128,23 @@ func DecodeHeader(b []byte) (Header, error) {
 }
 
 // Bits returns the serialized header size in bits — the message overhead
-// the paper bounds by O(log n).
-func (h Header) Bits() int { return 8 * len(h.Encode()) }
+// the paper bounds by O(log n). It is computed arithmetically rather than
+// by calling Encode: the token engine evaluates it on every activation, and
+// materializing a buffer per hop was the single allocation in the hop loop
+// (TestHeaderBitsMatchEncode pins the two in sync).
+func (h Header) Bits() int {
+	return 8 * (varintLen(int64(h.Src)) + varintLen(int64(h.Dst)) + 1 + varintLen(h.Index))
+}
+
+// varintLen is the byte length binary.AppendVarint produces for v: zig-zag
+// encode, then one byte per started 7-bit group.
+func varintLen(v int64) int {
+	ux := uint64(v) << 1
+	if v < 0 {
+		ux = ^ux
+	}
+	return (bits.Len64(ux|1) + 6) / 7
+}
 
 // Errors reported by the engines.
 var (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/flatgraph"
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/ues"
@@ -47,6 +48,9 @@ func (r *Router) Broadcast(s graph.NodeID) (*BroadcastResult, error) {
 
 	runRound := func(bound int) error {
 		seq := r.sequence(bound)
+		if fs, ok := r.flatSeq(seq); ok {
+			return r.flatBroadcastRound(start, s, fs, bound, res, reached)
+		}
 		h := netsim.Header{Src: s, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1}
 		collect := func(hop int64, at graph.NodeID, inPort int, hd netsim.Header) {
 			if hd.Dir == netsim.Forward {
@@ -125,6 +129,41 @@ func (r *Router) Broadcast(s graph.NodeID) (*BroadcastResult, error) {
 			return res, fmt.Errorf("%w: bound %d", ErrSequenceExhausted, bound)
 		}
 	}
+}
+
+// flatBroadcastRound runs one broadcast round on the compiled flat walker:
+// the full forward exploration with dense visit marking instead of the
+// reference's per-hop trace callback, then the backtracking confirmation.
+// Statistics fold into res exactly as the reference round's do, and the
+// visited set merges into reached through the gadget projection.
+func (r *Router) flatBroadcastRound(start, s graph.NodeID, fs flatgraph.Seq, bound int, res *BroadcastResult, reached map[graph.NodeID]bool) error {
+	si, ok := r.flat.Index(start)
+	if !ok {
+		return fmt.Errorf("route: %w: %d", graph.ErrNodeNotFound, start)
+	}
+	visited := make([]bool, r.flat.NumNodes())
+	out, err := r.flat.BroadcastWalk(si, s, fs, visited)
+	res.Hops += out.Hops
+	hb := netsim.Header{Src: s, Dir: netsim.Forward, Index: out.MaxIndex}.Bits()
+	if hb > res.MaxHeaderBits {
+		res.MaxHeaderBits = hb
+	}
+	if out.PeakMemoryBits > res.PeakMemoryBits {
+		res.PeakMemoryBits = out.PeakMemoryBits
+	}
+	if err != nil {
+		return fmt.Errorf("route: flat broadcast: %w", err)
+	}
+	for i, v := range visited {
+		if v {
+			reached[r.flat.OriginalOf(int32(i))] = true
+		}
+	}
+	res.Rounds = append(res.Rounds, RoundStat{
+		Bound: bound, SeqLen: fs.Length, Hops: out.Hops, Outcome: netsim.StatusSuccess,
+	})
+	res.Bound = bound
+	return nil
 }
 
 // broadcastHandler walks the full sequence forward (delivering the payload

@@ -23,6 +23,7 @@ import (
 	"math/bits"
 
 	"repro/internal/degred"
+	"repro/internal/flatgraph"
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/ues"
@@ -102,6 +103,11 @@ type Config struct {
 	// WireFormat round-trips the header through its serialized form on
 	// every hop (netsim.WithWireFormat), as a real link would.
 	WireFormat bool
+	// DisableFlat forces every walk through the netsim reference engine
+	// even when the compiled flat snapshot is available. The flat walker is
+	// proven hop-for-hop identical to the reference by the differential
+	// tests; this switch exists for those tests and for debugging.
+	DisableFlat bool
 }
 
 // growth returns the sanitized growth factor.
@@ -114,10 +120,20 @@ func (c Config) growth() int {
 
 // Router routes messages on a fixed graph. It precomputes the degree
 // reduction once; Route/Broadcast calls are independent and reusable.
+//
+// Two execution paths serve each query. The hot path walks the compiled
+// CSR snapshot of G′ (package flatgraph) in an allocation-free loop; the
+// reference path drives the stateless per-node handlers through the netsim
+// token engine. They are hop-for-hop identical (pinned by differential
+// tests); the reference runs whenever a configuration needs its
+// instrumentation — tracing, fault injection, wire-format round-trips,
+// custom memory budgets, restart confirmation, non-PRF sequences, or the
+// no-reduction ablation.
 type Router struct {
 	orig *graph.Graph
 	red  *degred.Reduced // nil iff cfg.NoDegreeReduction
 	work *graph.Graph
+	flat *flatgraph.Graph // nil iff cfg.NoDegreeReduction (or disabled)
 	cfg  Config
 }
 
@@ -182,7 +198,7 @@ func NewFromReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Router, e
 	if cfg.NoDegreeReduction {
 		return nil, errors.New("route: NewFromReduced: config disables the degree reduction")
 	}
-	return &Router{orig: g, red: red, work: red.Graph(), cfg: cfg}, nil
+	return &Router{orig: g, red: red, work: red.Graph(), flat: red.Flat(), cfg: cfg}, nil
 }
 
 // WorkGraph returns the graph actually walked (G′, or G under the
@@ -225,6 +241,9 @@ func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
 	// sequence), which the doubling loop treats like an uncovered failure.
 	runRound := func(bound int) (st netsim.Status, delivered bool, err error) {
 		seq := r.sequence(bound)
+		if fs, ok := r.flatSeq(seq); ok {
+			return r.flatRound(start, s, t, fs, bound, res)
+		}
 		h := netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1}
 		eng := netsim.NewEngine(r.work,
 			&routeHandler{seq: seq, originalOf: r.originalOf(), confirm: r.cfg.Confirm},
@@ -324,6 +343,45 @@ func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
 	}
 }
 
+// flatRound runs one round on the compiled flat walker and folds its
+// outcome into res exactly as the reference round does: same RoundStat,
+// same hop totals, same header-size and memory-metering statistics, same
+// forward-steps reconstruction.
+func (r *Router) flatRound(start, s, t graph.NodeID, fs flatgraph.Seq, bound int, res *Result) (netsim.Status, bool, error) {
+	si, ok := r.flat.Index(start)
+	if !ok {
+		return netsim.StatusNone, false, fmt.Errorf("route: %w: %d", graph.ErrNodeNotFound, start)
+	}
+	out, err := r.flat.RouteWalk(si, s, t, fs)
+	stat := RoundStat{Bound: bound, SeqLen: fs.Length, Hops: out.Hops}
+	res.Hops += out.Hops
+	// The largest header any activation observes carries the walk's peak
+	// index; src, dst, and the dir/status byte are size-constant across the
+	// round, so one evaluation at the peak index reproduces the reference's
+	// per-activation maximum.
+	hb := netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Index: out.MaxIndex}.Bits()
+	if hb > res.MaxHeaderBits {
+		res.MaxHeaderBits = hb
+	}
+	if out.PeakMemoryBits > res.PeakMemoryBits {
+		res.PeakMemoryBits = out.PeakMemoryBits
+	}
+	if err != nil {
+		return netsim.StatusNone, false, fmt.Errorf("route: flat walk: %w", err)
+	}
+	st := netsim.StatusFailure
+	if out.Success {
+		st = netsim.StatusSuccess
+		// Same reconstruction as the reference: forward steps f and back
+		// steps b satisfy f + b = hops and b = f - indexAtDelivery.
+		res.ForwardSteps = (out.Hops + out.DeliveredIndex) / 2
+	}
+	stat.Outcome = st
+	res.Rounds = append(res.Rounds, stat)
+	res.Bound = bound
+	return st, true, nil
+}
+
 // entry maps an original node to its walk entry point.
 func (r *Router) entry(s graph.NodeID) (graph.NodeID, error) {
 	if r.red == nil {
@@ -355,7 +413,9 @@ func (r *Router) originalOf() func(graph.NodeID) graph.NodeID {
 	}
 }
 
-// sequence returns T_bound for this protocol instance.
+// sequence returns T_bound for this protocol instance, in the compiled
+// form (length frozen at construction) so the per-hop bounds check costs no
+// recomputation.
 func (r *Router) sequence(bound int) ues.Sequence {
 	if r.cfg.SequenceFactory != nil {
 		return r.cfg.SequenceFactory(bound)
@@ -364,12 +424,34 @@ func (r *Router) sequence(bound int) ues.Sequence {
 	if r.cfg.NoDegreeReduction {
 		base = 0 // full-range directions, reduced mod deg(v) by the walk rule
 	}
-	return &ues.Pseudorandom{
+	p := &ues.Pseudorandom{
 		Seed:         r.cfg.Seed,
 		N:            bound,
 		Base:         base,
 		LengthFactor: r.cfg.LengthFactor,
 	}
+	return p.Compiled()
+}
+
+// flatSeq decides whether a round over seq may run on the compiled flat
+// walker, and derives its inlined sequence form if so. The reference
+// engine keeps the round whenever its instrumentation is requested or the
+// sequence is not PRF-backed.
+func (r *Router) flatSeq(seq ues.Sequence) (flatgraph.Seq, bool) {
+	if r.flat == nil || r.cfg.DisableFlat || r.cfg.NoDegreeReduction ||
+		r.cfg.Confirm != ConfirmBacktrack || r.cfg.Trace != nil ||
+		r.cfg.FaultHook != nil || r.cfg.WireFormat || r.cfg.MemoryBudgetBits != 0 {
+		return flatgraph.Seq{}, false
+	}
+	prf, ok := seq.(ues.PRFBacked)
+	if !ok {
+		return flatgraph.Seq{}, false
+	}
+	seed, base := prf.PRFParams()
+	if base != 3 {
+		return flatgraph.Seq{}, false
+	}
+	return flatgraph.Seq{Seed: seed, Base: 3, Length: seq.Len()}, true
 }
 
 func (r *Router) engineOptions() []netsim.Option {
@@ -398,6 +480,17 @@ func (r *Router) engineOptions() []netsim.Option {
 // with its full quadratic message cost lives in package count.
 func (r *Router) covered(start graph.NodeID, bound int) (bool, error) {
 	seq := r.sequence(bound)
+	if fs, ok := r.flatSeq(seq); ok {
+		si, ok := r.flat.Index(start)
+		if !ok {
+			return false, fmt.Errorf("route: cover check: %w: %d", graph.ErrNodeNotFound, start)
+		}
+		visited := make([]bool, r.flat.NumNodes())
+		if _, err := r.flat.CoverWalk(si, fs, visited, nil); err != nil {
+			return false, fmt.Errorf("route: cover check: %w", err)
+		}
+		return r.flat.Closed(visited), nil
+	}
 	visited := map[graph.NodeID]bool{start: true}
 	pos := ues.Start(start)
 	for i := 1; i <= seq.Len(); i++ {

@@ -3,9 +3,74 @@ package route
 import (
 	"fmt"
 
+	"repro/internal/flatgraph"
 	"repro/internal/graph"
 	"repro/internal/netsim"
 )
+
+// roundStepper is the per-round execution engine behind Walker: one Step
+// per handler activation, terminating with hops, a delivery flag, and a
+// status. The netsim token stepper is the reference implementation; the
+// compiled flat stepper is the hot path, with identical step granularity.
+type roundStepper interface {
+	// Step advances one activation; it returns true when the round ended.
+	Step() bool
+	// Hops returns the edge traversals so far (final once the round ended).
+	Hops() int64
+	// Outcome reports the terminal state: delivered says whether the
+	// source learned a verdict, status which verdict.
+	Outcome() (status netsim.Status, delivered bool)
+	// Final returns the node where the round ended (for drop diagnostics).
+	Final() graph.NodeID
+	// Err returns the terminal error, if any.
+	Err() error
+}
+
+// netsimRound adapts netsim.Stepper to roundStepper.
+type netsimRound struct{ st *netsim.Stepper }
+
+func (r netsimRound) Step() bool          { return r.st.Step() }
+func (r netsimRound) Hops() int64         { return r.st.Result().Hops }
+func (r netsimRound) Err() error          { return r.st.Err() }
+func (r netsimRound) Final() graph.NodeID { return r.st.Result().Final }
+func (r netsimRound) Outcome() (netsim.Status, bool) {
+	out := r.st.Result()
+	return out.Header.Status, out.Delivered
+}
+
+// flatRoundStepper adapts flatgraph.RouteStepper to roundStepper.
+type flatRoundStepper struct {
+	st flatStepper
+	g  *flatgraph.Graph
+}
+
+// flatStepper is the subset of flatgraph.RouteStepper the walker needs
+// (kept as an interface only to avoid a direct struct dependency here; the
+// concrete type comes from Router.flat).
+type flatStepper interface {
+	Step() bool
+	Hops() int64
+	Success() bool
+	Err() error
+	Position() (node, inPort int32)
+}
+
+func (r flatRoundStepper) Step() bool  { return r.st.Step() }
+func (r flatRoundStepper) Hops() int64 { return r.st.Hops() }
+func (r flatRoundStepper) Err() error  { return r.st.Err() }
+func (r flatRoundStepper) Final() graph.NodeID {
+	node, _ := r.st.Position()
+	return r.g.ID(node)
+}
+func (r flatRoundStepper) Outcome() (netsim.Status, bool) {
+	if r.st.Err() != nil {
+		return netsim.StatusNone, false
+	}
+	if r.st.Success() {
+		return netsim.StatusSuccess, true
+	}
+	return netsim.StatusFailure, true
+}
 
 // Walker is a step-at-a-time view of Route, used by the Corollary 2
 // composition (package hybrid): the guaranteed router advances one message
@@ -15,9 +80,9 @@ type Walker struct {
 	s, t     graph.NodeID
 	bound    int
 	maxBound int
-	stepper  *netsim.Stepper
+	round    roundStepper
 	// completedHops accumulates hops from finished rounds; the current
-	// round's hops live in the stepper's result.
+	// round's hops live in the round stepper.
 	completedHops int64
 	status        netsim.Status
 	done          bool
@@ -57,6 +122,18 @@ func (w *Walker) startRound() error {
 		return err
 	}
 	seq := w.r.sequence(w.bound)
+	if fs, ok := w.r.flatSeq(seq); ok {
+		si, ok := w.r.flat.Index(start)
+		if !ok {
+			return fmt.Errorf("route: %w: %d", graph.ErrNodeNotFound, start)
+		}
+		st, err := w.r.flat.RouteStepper(si, w.s, w.t, fs)
+		if err != nil {
+			return err
+		}
+		w.round = flatRoundStepper{st: st, g: w.r.flat}
+		return nil
+	}
 	h := netsim.Header{Src: w.s, Dst: w.t, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1}
 	eng := netsim.NewEngine(w.r.work,
 		// The walker always uses the paper's backtracking confirmation:
@@ -67,7 +144,7 @@ func (w *Walker) startRound() error {
 	if err != nil {
 		return err
 	}
-	w.stepper = stepper
+	w.round = netsimRound{st: stepper}
 	return nil
 }
 
@@ -77,21 +154,21 @@ func (w *Walker) Step() bool {
 	if w.done {
 		return true
 	}
-	if !w.stepper.Step() {
+	if !w.round.Step() {
 		return false
 	}
 	// Round ended.
-	out := w.stepper.Result()
-	w.completedHops += out.Hops
-	if err := w.stepper.Err(); err != nil {
+	w.completedHops += w.round.Hops()
+	if err := w.round.Err(); err != nil {
 		w.fail(err)
 		return true
 	}
-	if !out.Delivered {
-		w.fail(fmt.Errorf("route: message dropped at %d", out.Final))
+	status, delivered := w.round.Outcome()
+	if !delivered {
+		w.fail(fmt.Errorf("route: message dropped at %d", w.round.Final()))
 		return true
 	}
-	if out.Header.Status == netsim.StatusSuccess {
+	if status == netsim.StatusSuccess {
 		w.done = true
 		w.status = netsim.StatusSuccess
 		return true
@@ -139,10 +216,10 @@ func (w *Walker) Status() netsim.Status { return w.status }
 
 // Hops returns the hops consumed so far across all rounds.
 func (w *Walker) Hops() int64 {
-	if w.stepper == nil || w.done {
+	if w.round == nil || w.done {
 		return w.completedHops
 	}
-	return w.completedHops + w.stepper.Result().Hops
+	return w.completedHops + w.round.Hops()
 }
 
 // Err returns the terminal error, if any.

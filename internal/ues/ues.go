@@ -23,6 +23,7 @@ package ues
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/prng"
@@ -200,6 +201,11 @@ type Pseudorandom struct {
 	Base int
 	// LengthFactor scales the sequence length; 0 means DefaultLengthFactor.
 	LengthFactor int
+
+	// length memoizes Len (a Θ(log n) computation otherwise repeated by
+	// every At bounds check). N and LengthFactor must not change after the
+	// first At/Len call.
+	length atomic.Int64
 }
 
 // DefaultLengthFactor is the constant c in L(n) = c·n²·(⌈log₂ n⌉+1); n² is
@@ -229,26 +235,58 @@ func (p *Pseudorandom) At(i int) int {
 	if i < 1 || i > p.Len() {
 		panic(fmt.Sprintf("ues: At(%d) outside [1..%d]", i, p.Len()))
 	}
-	return symbol(p.Seed, uint64(i), p.Base)
+	return Symbol(p.Seed, uint64(i), p.Base)
 }
 
-// symbol is the single shared PRF-to-direction derivation; every sequence
-// flavour must agree on it, since all nodes of a deployment consult the
-// same T_n.
-func symbol(seed, i uint64, base int) int {
+// Symbol is the single shared PRF-to-direction derivation; every sequence
+// flavour (and the compiled flat walker) must agree on it, since all nodes
+// of a deployment consult the same T_n.
+func Symbol(seed, i uint64, base int) int {
 	v := prng.At(seed, i)
+	if base == 3 {
+		// The 3-regular alphabet is the protocol's hot case; the constant
+		// divisor lets the compiler emit a multiply-shift reduction instead
+		// of a hardware divide in the per-hop oracle.
+		return int(v % 3)
+	}
 	if base <= 0 {
 		return int(v >> 1 & 0x7fffffff) // non-negative full-range direction
 	}
 	return int(v % uint64(base))
 }
 
-// Len returns the sequence length for the configured size bound.
+// Len returns the sequence length for the configured size bound, computed
+// once and memoized.
 func (p *Pseudorandom) Len() int {
-	return Length(p.N, p.LengthFactor)
+	if l := p.length.Load(); l != 0 {
+		return int(l)
+	}
+	l := Length(p.N, p.LengthFactor)
+	p.length.Store(int64(l))
+	return l
 }
 
+// PRFParams implements PRFBacked.
+func (p *Pseudorandom) PRFParams() (seed uint64, base int) { return p.Seed, p.Base }
+
 var _ Sequence = (*Pseudorandom)(nil)
+
+// PRFBacked is implemented by sequences whose i-th symbol is exactly
+// Symbol(seed, i, base). Exposing the derivation parameters lets compiled
+// walkers (package flatgraph) inline the symbol computation into their hop
+// loop instead of paying an interface call per hop; sequences that are not
+// PRF-backed (explicit certified sequences, test doubles) simply do not
+// implement it and keep the generic path.
+type PRFBacked interface {
+	Sequence
+	// PRFParams returns the Symbol derivation parameters.
+	PRFParams() (seed uint64, base int)
+}
+
+var (
+	_ PRFBacked = (*Pseudorandom)(nil)
+	_ PRFBacked = (*compiled)(nil)
+)
 
 // Compiled returns a sequence identical to p with the length computed once
 // at construction instead of on every At/Len call. A walk makes one At call
@@ -271,11 +309,14 @@ func (c *compiled) At(i int) int {
 	if i < 1 || i > c.length {
 		panic(fmt.Sprintf("ues: At(%d) outside [1..%d]", i, c.length))
 	}
-	return symbol(c.seed, uint64(i), c.base)
+	return Symbol(c.seed, uint64(i), c.base)
 }
 
 // Len returns the precomputed sequence length.
 func (c *compiled) Len() int { return c.length }
+
+// PRFParams implements PRFBacked.
+func (c *compiled) PRFParams() (seed uint64, base int) { return c.seed, c.base }
 
 var _ Sequence = (*compiled)(nil)
 
