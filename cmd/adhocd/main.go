@@ -18,6 +18,14 @@
 //	POST /v1/broadcast  — {"src":0}
 //	POST /v1/count      — {"src":0}
 //	POST /v1/hybrid     — {"src":0,"dst":35,"walk_seed":9}
+//	POST /v1/dynamic    — {"src":0,"dst":35,"schedule":{"kind":"markov","p_down":0.05,"p_up":0.5,"seed":9}}
+//
+// /v1/dynamic routes over an evolving copy of the served network: each
+// request gets a private world seeded with the compiled engine's topology,
+// the requested schedule (churn, markov, waypoint, adversary — see
+// internal/dynamic.Spec) mutates it every hops_per_epoch hops, and the
+// walk carries its stateless header across the recompiled snapshots. The
+// served network itself is never mutated.
 //
 // With -pprof, net/http/pprof is additionally mounted under /debug/pprof/
 // so serving hot spots can be profiled in place.
@@ -41,6 +49,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/geom"
 	"repro/internal/graph"
 )
 
@@ -74,7 +83,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, desc, err := buildGraph(*load, *genKind, *rows, *cols, *n, *radius, *genSeed)
+	g, pos, desc, err := buildGraph(*load, *genKind, *rows, *cols, *n, *radius, *genSeed)
 	if err != nil {
 		return err
 	}
@@ -88,32 +97,36 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintf(out, "adhocd: compiled %s (%d nodes, %d links, %d reduced nodes)\n",
 		desc, g.NumNodes(), g.NumEdges(), eng.Reduced().Graph().NumNodes())
-	return serve(*addr, newServer(eng, desc, *pprofOn), out, ready, *drainFor)
+	return serve(*addr, newServer(eng, pos, desc, *pprofOn), out, ready, *drainFor)
 }
 
 // buildGraph loads the network file, or generates the requested family.
-func buildGraph(load, kind string, rows, cols, n int, radius float64, seed uint64) (*graph.Graph, string, error) {
+// Geometric families additionally return the node placement, which the
+// /v1/dynamic endpoint's mobility models evolve.
+func buildGraph(load, kind string, rows, cols, n int, radius float64, seed uint64) (*graph.Graph, map[graph.NodeID]geom.Point, string, error) {
 	if load != "" {
 		f, err := os.Open(load)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		defer f.Close()
 		g, err := graph.Decode(f)
 		if err != nil {
-			return nil, "", fmt.Errorf("decode %s: %w", load, err)
+			return nil, nil, "", fmt.Errorf("decode %s: %w", load, err)
 		}
-		return g, fmt.Sprintf("file:%s", load), nil
+		return g, nil, fmt.Sprintf("file:%s", load), nil
 	}
 	switch kind {
 	case "grid":
-		return gen.Grid(rows, cols), fmt.Sprintf("grid %dx%d", rows, cols), nil
+		return gen.Grid(rows, cols), nil, fmt.Sprintf("grid %dx%d", rows, cols), nil
 	case "udg2d":
-		return gen.UDG2D(n, radius, seed).G, fmt.Sprintf("udg2d n=%d r=%g", n, radius), nil
+		geo := gen.UDG2D(n, radius, seed)
+		return geo.G, geo.Pos, fmt.Sprintf("udg2d n=%d r=%g", n, radius), nil
 	case "udg3d":
-		return gen.UDG3D(n, radius, seed).G, fmt.Sprintf("udg3d n=%d r=%g", n, radius), nil
+		geo := gen.UDG3D(n, radius, seed)
+		return geo.G, geo.Pos, fmt.Sprintf("udg3d n=%d r=%g", n, radius), nil
 	default:
-		return nil, "", fmt.Errorf("unknown -gen kind %q (want grid, udg2d, udg3d)", kind)
+		return nil, nil, "", fmt.Errorf("unknown -gen kind %q (want grid, udg2d, udg3d)", kind)
 	}
 }
 

@@ -14,26 +14,32 @@ import (
 )
 
 func TestBuildGraph(t *testing.T) {
-	g, desc, err := buildGraph("", "grid", 3, 4, 0, 0, 0)
+	g, pos, desc, err := buildGraph("", "grid", 3, 4, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.NumNodes() != 12 || !strings.Contains(desc, "grid") {
 		t.Fatalf("grid: %d nodes, desc %q", g.NumNodes(), desc)
 	}
+	if pos != nil {
+		t.Fatal("grid returned a placement")
+	}
 	for _, kind := range []string{"udg2d", "udg3d"} {
-		g, _, err := buildGraph("", kind, 0, 0, 32, 0.3, 1)
+		g, pos, _, err := buildGraph("", kind, 0, 0, 32, 0.3, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
 		if g.NumNodes() != 32 {
 			t.Fatalf("%s: %d nodes", kind, g.NumNodes())
 		}
+		if len(pos) != 32 {
+			t.Fatalf("%s: %d positions, want 32", kind, len(pos))
+		}
 	}
-	if _, _, err := buildGraph("", "torus", 0, 0, 0, 0, 0); err == nil {
+	if _, _, _, err := buildGraph("", "torus", 0, 0, 0, 0, 0); err == nil {
 		t.Fatal("unknown kind did not error")
 	}
-	if _, _, err := buildGraph("/nonexistent/net.txt", "", 0, 0, 0, 0, 0); err == nil {
+	if _, _, _, err := buildGraph("/nonexistent/net.txt", "", 0, 0, 0, 0, 0); err == nil {
 		t.Fatal("missing file did not error")
 	}
 }
@@ -48,7 +54,7 @@ func TestBuildGraphFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	g, desc, err := buildGraph(path, "", 0, 0, 0, 0, 0)
+	g, _, desc, err := buildGraph(path, "", 0, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

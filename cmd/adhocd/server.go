@@ -7,28 +7,33 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"repro/internal/dynamic"
 	"repro/internal/engine"
+	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/route"
 )
 
 // server exposes a compiled engine over HTTP/JSON. All endpoints are
-// stateless (the engine serves concurrent queries with zero coordination),
-// so the handler needs no locking of its own.
+// stateless (the engine serves concurrent queries with zero coordination,
+// and each dynamic query evolves its own private world), so the handler
+// needs no locking of its own.
 type server struct {
 	eng  *engine.Engine
+	pos  map[graph.NodeID]geom.Point // node placement, when the network is geometric
 	desc string
 	mux  *http.ServeMux
 }
 
 // newServer wires the endpoint table around a compiled engine. desc is a
-// human-readable description of the served network (shown by /v1/network).
+// human-readable description of the served network (shown by /v1/network);
+// pos, when non-nil, is the placement mobility schedules start from.
 // enableProfiling additionally mounts net/http/pprof under /debug/pprof/ so
 // serving hot spots can be profiled in place; it is opt-in (the -pprof
 // flag) because the profile endpoints expose internals and can be made to
 // burn CPU on demand.
-func newServer(eng *engine.Engine, desc string, enableProfiling bool) *server {
-	s := &server{eng: eng, desc: desc, mux: http.NewServeMux()}
+func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string, enableProfiling bool) *server {
+	s := &server{eng: eng, pos: pos, desc: desc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/network", s.handleNetwork)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -37,6 +42,7 @@ func newServer(eng *engine.Engine, desc string, enableProfiling bool) *server {
 	s.mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	s.mux.HandleFunc("POST /v1/count", s.handleCount)
 	s.mux.HandleFunc("POST /v1/hybrid", s.handleHybrid)
+	s.mux.HandleFunc("POST /v1/dynamic", s.handleDynamic)
 	if enableProfiling {
 		// pprof.Index dispatches the named profiles (heap, goroutine, …)
 		// itself; only the handlers with dedicated logic need explicit
@@ -311,4 +317,87 @@ func (s *server) handleHybrid(w http.ResponseWriter, r *http.Request) {
 		Winner        string `json:"winner"`
 		CombinedSteps int64  `json:"combined_steps"`
 	}{req.Src, req.Dst, res.Status.String(), res.Winner, res.CombinedSteps})
+}
+
+// Server-side bounds on the dynamics knobs: a round is already capped by
+// the sequence budget, so capping rounds and the epoch frequency bounds
+// the total recompile work one request can demand.
+const (
+	maxDynamicRounds       = 256
+	minDynamicHopsPerEpoch = 8
+)
+
+// dynamicRequest asks for one s→t query over an evolving private copy of
+// the served network. The schedule spec selects and parameterizes the
+// dynamics; hops_per_epoch couples protocol time to topology time
+// (values below the server minimum are raised to it; rounds are capped).
+type dynamicRequest struct {
+	Src          int64        `json:"src"`
+	Dst          int64        `json:"dst"`
+	Schedule     dynamic.Spec `json:"schedule"`
+	HopsPerEpoch int          `json:"hops_per_epoch,omitempty"`
+	MaxRounds    int          `json:"max_rounds,omitempty"`
+}
+
+// dynamicReply reports the outcome plus the dynamics accounting: how many
+// epochs elapsed, what the churn cost in recompiles, and how often the
+// stateless header migrated across snapshots.
+type dynamicReply struct {
+	Src           int64  `json:"src"`
+	Dst           int64  `json:"dst"`
+	Status        string `json:"status"`
+	Hops          int64  `json:"hops"`
+	Rounds        int    `json:"rounds"`
+	AbortedRounds int    `json:"aborted_rounds"`
+	Bound         int    `json:"bound"`
+	Epochs        int    `json:"epochs"`
+	Recompiles    int    `json:"recompiles"`
+	Resumptions   int    `json:"resumptions"`
+	HeaderBits    int    `json:"header_bits"`
+	FinalLinks    int    `json:"final_links"`
+}
+
+func (s *server) handleDynamic(w http.ResponseWriter, r *http.Request) {
+	var req dynamicRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sched, err := req.Schedule.Build()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	world := s.eng.NewWorld(sched)
+	if s.pos != nil {
+		world.SetPositions(s.pos)
+	}
+	// Unlike the other endpoints, a dynamic query's cost scales with its
+	// knobs (each churned epoch buys a recompile), so they are clamped
+	// server-side: one request must not purchase unbounded CPU.
+	cfg := dynamic.Config{HopsPerEpoch: req.HopsPerEpoch, MaxRounds: req.MaxRounds}
+	if cfg.MaxRounds > maxDynamicRounds {
+		cfg.MaxRounds = maxDynamicRounds
+	}
+	if cfg.HopsPerEpoch > 0 && cfg.HopsPerEpoch < minDynamicHopsPerEpoch {
+		cfg.HopsPerEpoch = minDynamicHopsPerEpoch
+	}
+	res, err := s.eng.RouteDynamic(world, graph.NodeID(req.Src), graph.NodeID(req.Dst), cfg)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dynamicReply{
+		Src:           req.Src,
+		Dst:           req.Dst,
+		Status:        res.Status.String(),
+		Hops:          res.Hops,
+		Rounds:        res.Rounds,
+		AbortedRounds: res.AbortedRounds,
+		Bound:         res.Bound,
+		Epochs:        res.Epochs,
+		Recompiles:    res.Recompiles,
+		Resumptions:   res.Resumptions,
+		HeaderBits:    res.MaxHeaderBits,
+		FinalLinks:    world.Graph().NumEdges(),
+	})
 }

@@ -23,7 +23,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, "test 4x4 grid + 5-cycle", false))
+	ts := httptest.NewServer(newServer(eng, nil, "test 4x4 grid + 5-cycle", false))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -37,7 +37,7 @@ func TestPprofMount(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, enabled := range []bool{false, true} {
-		ts := httptest.NewServer(newServer(eng, "pprof probe", enabled))
+		ts := httptest.NewServer(newServer(eng, nil, "pprof probe", enabled))
 		resp, err := http.Get(ts.URL + "/debug/pprof/")
 		if err != nil {
 			t.Fatal(err)
@@ -292,5 +292,94 @@ func TestConcurrentClients(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Error(e)
+	}
+}
+
+// TestDynamicEndpoint exercises /v1/dynamic across schedule kinds and the
+// error surface. The served network is never mutated: each request evolves
+// a private world.
+func TestDynamicEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var reply dynamicReply
+
+	// No-op schedule: must agree with the static verdict.
+	if code := postJSON(t, ts, "/v1/dynamic",
+		`{"src":0,"dst":15,"schedule":{"kind":"static"}}`, &reply); code != http.StatusOK {
+		t.Fatalf("dynamic static: code %d", code)
+	}
+	if reply.Status != "success" || reply.Hops <= 0 || reply.Recompiles != 0 {
+		t.Fatalf("dynamic static: %+v", reply)
+	}
+
+	// Unreachable component under no dynamics: definitive failure.
+	if code := postJSON(t, ts, "/v1/dynamic",
+		`{"src":0,"dst":100,"schedule":{"kind":"static"}}`, &reply); code != http.StatusOK {
+		t.Fatalf("dynamic unreachable: code %d", code)
+	}
+	if reply.Status != "failure" {
+		t.Fatalf("dynamic unreachable: %+v", reply)
+	}
+
+	// Markov churn with a tight epoch: dynamics accounting shows up.
+	if code := postJSON(t, ts, "/v1/dynamic",
+		`{"src":0,"dst":15,"schedule":{"kind":"markov","p_down":0.1,"p_up":0.5,"seed":9},"hops_per_epoch":16}`,
+		&reply); code != http.StatusOK {
+		t.Fatalf("dynamic markov: code %d", code)
+	}
+	if reply.Epochs == 0 && reply.Hops >= 16 {
+		t.Fatalf("dynamic markov: epoch clock never ticked: %+v", reply)
+	}
+	if reply.FinalLinks == 0 {
+		t.Fatalf("dynamic markov: missing final link count: %+v", reply)
+	}
+
+	// Mobility over a non-geometric network: the waypoint model seeds its
+	// own placement.
+	if code := postJSON(t, ts, "/v1/dynamic",
+		`{"src":0,"dst":15,"schedule":{"kind":"waypoint","radius":0.4,"speed_max":0.05,"seed":3},"hops_per_epoch":32}`,
+		&reply); code != http.StatusOK {
+		t.Fatalf("dynamic waypoint: code %d", code)
+	}
+	if reply.Status != "success" && reply.Status != "failure" {
+		t.Fatalf("dynamic waypoint: no verdict: %+v", reply)
+	}
+
+	// Error surface: bad schedule kind, unknown source, malformed body.
+	if code := postJSON(t, ts, "/v1/dynamic",
+		`{"src":0,"dst":1,"schedule":{"kind":"nope"}}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad kind: code %d, want 400", code)
+	}
+	if code := postJSON(t, ts, "/v1/dynamic",
+		`{"src":31337,"dst":0,"schedule":{"kind":"static"}}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown source: code %d, want 404", code)
+	}
+	if code := postJSON(t, ts, "/v1/dynamic", `{bad`, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: code %d, want 400", code)
+	}
+
+	// The shared engine still serves the original topology afterwards.
+	var info networkInfo
+	if code := getJSON(t, ts, "/v1/network", &info); code != http.StatusOK {
+		t.Fatalf("network after dynamic: code %d", code)
+	}
+	if info.Nodes != 21 {
+		t.Fatalf("served network changed: %+v", info)
+	}
+}
+
+// TestDynamicStats checks the dynamics counters surface through /v1/stats.
+func TestDynamicStats(t *testing.T) {
+	ts := testServer(t)
+	postJSON(t, ts, "/v1/dynamic",
+		`{"src":0,"dst":15,"schedule":{"kind":"churn","p_drop":0.1,"add_rate":1,"seed":2},"hops_per_epoch":16}`, nil)
+	var stats struct {
+		DynamicRoutes int64 `json:"dynamic_routes"`
+		DynamicEpochs int64 `json:"dynamic_epochs"`
+	}
+	if code := getJSON(t, ts, "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: code %d", code)
+	}
+	if stats.DynamicRoutes != 1 {
+		t.Fatalf("dynamic_routes = %d, want 1", stats.DynamicRoutes)
 	}
 }

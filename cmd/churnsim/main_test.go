@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickSweepEndToEnd runs the whole driver in quick mode and checks a
+// well-formed delivery-vs-churn table comes out — the acceptance check
+// that cmd/churnsim works end to end (wrong verdicts abort the sweep
+// inside runCell, so a rendered table certifies oracle agreement too).
+func TestQuickSweepEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"delivery rate", "churn p", "| 0 |", "100%"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-csv", "-reps", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "churn p,speed,routes") {
+		t.Fatalf("missing CSV header:\n%s", out.String())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-churn", "x"}, &out); err == nil {
+		t.Fatal("bad -churn accepted")
+	}
+	if err := run([]string{"-speeds", ""}, &out); err == nil {
+		t.Fatal("empty -speeds accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats(" 0, 0.5 ,1 ")
+	if err != nil || len(got) != 3 || got[1] != 0.5 {
+		t.Fatalf("parseFloats: %v, %v", got, err)
+	}
+	if _, err := parseFloats(","); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}

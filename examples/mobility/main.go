@@ -1,0 +1,64 @@
+// Mobility: route messages through an ad hoc network whose nodes are
+// moving while the messages are in flight.
+//
+// 40 sensors drift through the unit square under the random-waypoint
+// model; every few dozen hops their radio topology is re-derived from the
+// new positions, the degree reduction is recompiled, and the in-flight
+// walk resumes on the fresh snapshot carrying nothing but its stateless
+// O(log n) header — the resumption the paper's obliviousness argument
+// makes possible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		nodes  = 40
+		radius = 0.3
+	)
+	geo := gen.UDG2D(nodes, radius, 11)
+	fmt.Printf("network: %d mobile sensors, radio range %.2f, %d initial links\n",
+		nodes, radius, geo.G.NumEdges())
+
+	for _, speed := range []float64{0, 0.02, 0.06} {
+		sched := &dynamic.RandomWaypoint{
+			Seed: 5, SpeedMin: speed / 2, SpeedMax: speed, Radius: radius,
+		}
+		w := dynamic.NewWorld(geo.G, sched)
+		w.SetPositions(geo.Pos)
+		router := dynamic.NewRouter(w, dynamic.Config{Seed: 7, HopsPerEpoch: 32})
+
+		res, err := router.Route(0, graph.NodeID(nodes-1))
+		if err != nil {
+			return err
+		}
+		verdict := "undelivered"
+		switch res.Status {
+		case netsim.StatusSuccess:
+			verdict = "delivered"
+		case netsim.StatusFailure:
+			verdict = "provably unreachable right now"
+		}
+		fmt.Printf("speed %.2f: %s after %d hops, %d epochs elapsed, %d recompiles, %d header migrations, %d-bit header\n",
+			speed, verdict, res.Hops, res.Epochs, res.Recompiles, res.Resumptions, res.MaxHeaderBits)
+	}
+
+	fmt.Println("\nThe walk never parked state at intermediate nodes, so every")
+	fmt.Println("topology change cost exactly one snapshot recompile — the")
+	fmt.Println("message itself just kept walking.")
+	return nil
+}

@@ -1,0 +1,40 @@
+package dynamic
+
+// LinkCutter is the adversarial scheduler: each epoch it restores whatever
+// link it cut last epoch and then cuts the next original-graph link the
+// in-flight walk intends to traverse (computed by the router's bounded
+// lookahead on the current snapshot). It models the worst single-link
+// adversary that watches the protocol: the walk keeps arriving at links
+// that have just vanished and must find another way around.
+//
+// Because the cut link is restored before the next one is cut, the
+// topology is only ever one link short of the underlay, so a
+// 2-edge-connected underlay keeps s and t connected at every epoch — the
+// scenario in which the acceptance tests demand (and observe) delivery.
+type LinkCutter struct {
+	cut    Edge
+	hasCut bool
+}
+
+// Advance restores the previous cut and cuts the walk's next intended
+// link, if the probe exposes one.
+func (a *LinkCutter) Advance(w *World, _ int, p Probe) error {
+	if a.hasCut {
+		if _, _, err := w.AddEdge(a.cut.U, a.cut.V); err != nil {
+			return err
+		}
+		a.hasCut = false
+	}
+	if !p.Active {
+		return nil
+	}
+	link, ok := p.NextLink()
+	if !ok {
+		return nil
+	}
+	if err := w.RemoveEdgeBetween(link.U, link.V); err != nil {
+		return err
+	}
+	a.cut, a.hasCut = link, true
+	return nil
+}

@@ -1,0 +1,112 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/degred"
+	"repro/internal/gen"
+	"repro/internal/route"
+)
+
+// BenchmarkDynamicRoute measures one s→t query over a churning world,
+// including the world setup (clone + seeded compile cache), the epoch
+// advances, and every churn-forced recompile + header migration — the
+// full serving cost of a dynamic query from a prepared engine's
+// artifacts.
+func BenchmarkDynamicRoute(b *testing.B) {
+	g := gen.Torus(5, 5)
+	red, err := degred.Reduce(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	red.Flat()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWorldFromCompiled(g, red, &MarkovLinks{Seed: uint64(i), PDown: 0.08, PUp: 0.5})
+		if _, err := NewRouter(w, Config{Seed: 3, HopsPerEpoch: 32}).Route(0, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicRouteStatic is the overhead baseline: the same query
+// over a never-changing world, isolating what the hop-interleaved epoch
+// clock and world plumbing cost relative to route.Router on the identical
+// walk (compare BenchmarkPreparedRoute).
+func BenchmarkDynamicRouteStatic(b *testing.B) {
+	g := gen.Torus(5, 5)
+	red, err := degred.Reduce(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	red.Flat()
+	w := NewWorldFromCompiled(g, red, Static{})
+	r := NewRouter(w, Config{Seed: 3, HopsPerEpoch: 32})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(0, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochRecompile measures the per-epoch cost a topology change
+// actually incurs: one mutation plus the compile-cache miss (degree
+// reduction + flat CSR snapshot) on a 64-node torus.
+func BenchmarkEpochRecompile(b *testing.B) {
+	w := NewWorld(gen.Torus(8, 8), nil)
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := w.RemoveEdgeBetween(0, 1); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, _, err := w.AddEdge(0, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := w.Compiled(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEpochCacheHit is the warm-path counterpart: an epoch that
+// leaves the topology untouched must cost essentially nothing.
+func BenchmarkEpochCacheHit(b *testing.B) {
+	w := NewWorld(gen.Torus(8, 8), nil)
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := w.Compiled(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaticReference anchors the comparison: the static prepared
+// router on the same graph and query.
+func BenchmarkStaticReference(b *testing.B) {
+	g := gen.Torus(5, 5)
+	r, err := route.New(g, route.Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(0, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,577 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/degred"
+	"repro/internal/flatgraph"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/route"
+	"repro/internal/ues"
+)
+
+// ErrRoundsExhausted reports that the router hit its round budget without
+// obtaining a verdict — the dynamic analogue of route.ErrSequenceExhausted,
+// reachable only when the schedule keeps breaking rounds faster than the
+// walk completes them (e.g. a relentless adversary). It is an explicit
+// error, never a wrong verdict.
+var ErrRoundsExhausted = errors.New("dynamic: round budget exhausted without a verdict")
+
+// Config parameterizes a dynamic Router. The zero value is usable: paper
+// defaults for the protocol, and the world advancing every DefaultHopsPerEpoch
+// hops.
+type Config struct {
+	// Seed selects the exploration sequence family T_n (shared protocol
+	// configuration, identical for every node and every snapshot).
+	Seed uint64
+	// LengthFactor scales sequence lengths (ues.Length); 0 = default.
+	LengthFactor int
+	// KnownN, if > 0, fixes the sequence bound instead of doubling.
+	KnownN int
+	// MaxBound caps the doubling loop (0 = 4·|V(G′)| of the snapshot
+	// current at each round start).
+	MaxBound int
+	// HopsPerEpoch is how many message hops elapse between epochs — the
+	// coupling between protocol time and topology time. 0 = DefaultHopsPerEpoch;
+	// negative freezes the clock (the world never advances).
+	HopsPerEpoch int
+	// MaxRounds bounds the retry loop (0 = DefaultMaxRounds).
+	MaxRounds int
+	// Lookahead bounds the probe's next-link scan, in hops of G′
+	// (0 = DefaultLookahead).
+	Lookahead int
+	// DisableFlat drives the walk through the netsim reference stepper and
+	// the stateless per-node handler instead of the compiled flat stepper.
+	// The two are hop-for-hop identical (pinned by the differential
+	// tests); the reference path exists for those tests and debugging.
+	DisableFlat bool
+}
+
+// Defaults for the dynamics knobs.
+const (
+	DefaultHopsPerEpoch = 64
+	DefaultMaxRounds    = 64
+	DefaultLookahead    = 32
+)
+
+func (c Config) hopsPerEpoch() int {
+	if c.HopsPerEpoch == 0 {
+		return DefaultHopsPerEpoch
+	}
+	if c.HopsPerEpoch < 0 {
+		return 0
+	}
+	return c.HopsPerEpoch
+}
+
+func (c Config) maxRounds() int {
+	if c.MaxRounds <= 0 {
+		return DefaultMaxRounds
+	}
+	return c.MaxRounds
+}
+
+func (c Config) lookahead() int {
+	if c.Lookahead <= 0 {
+		return DefaultLookahead
+	}
+	return c.Lookahead
+}
+
+// Result is the outcome of a dynamic route.
+type Result struct {
+	// Status is StatusSuccess if (a gadget of) t was physically reached,
+	// StatusFailure if the §4 closure check certified, on the topology at
+	// decision time, that t lies outside the source component.
+	Status netsim.Status
+	// Hops is the total message hops across all rounds and snapshots.
+	Hops int64
+	// Rounds is the number of rounds run (including aborted ones).
+	Rounds int
+	// AbortedRounds counts rounds abandoned because topology change broke
+	// the confirmation leg (the walk resumed on a snapshot where the
+	// backtrack could not complete).
+	AbortedRounds int
+	// Bound is the sequence bound of the terminal round.
+	Bound int
+	// Epochs is how many epochs the world advanced during this route.
+	Epochs int
+	// Recompiles is how many degree-reduction + snapshot recompiles the
+	// route triggered (cache misses; epochs that left the topology
+	// untouched cost nothing).
+	Recompiles int
+	// Resumptions counts mid-walk snapshot migrations: the stateless
+	// header carried onto a freshly compiled topology.
+	Resumptions int
+	// MaxHeaderBits is the largest serialized header observed — the
+	// O(log n) overhead claim measured under dynamics.
+	MaxHeaderBits int
+}
+
+// Router routes messages over an evolving World, advancing the walk
+// hop-by-hop and the world every HopsPerEpoch hops. It holds no state
+// between Route calls beyond what the World itself carries.
+type Router struct {
+	w   *World
+	cfg Config
+}
+
+// NewRouter builds a dynamic router over w.
+func NewRouter(w *World, cfg Config) *Router {
+	return &Router{w: w, cfg: cfg}
+}
+
+// World returns the world this router drives.
+func (r *Router) World() *World { return r.w }
+
+// runState threads per-call accounting through the round loop. The epoch
+// phase (hops since the last epoch boundary) deliberately carries across
+// rounds: topology time is global, not per-round.
+type runState struct {
+	res        *Result
+	sinceEpoch int
+}
+
+// Route sends a message from s to t over the evolving topology and
+// returns the outcome learned at s. Routing to t == s succeeds trivially.
+// The round structure mirrors the static router's doubling loop, with two
+// dynamic additions: a round whose confirmation is broken by churn is
+// retried rather than failed, and a failed round's verdict is only
+// accepted after the closure check passes on the instantaneous topology.
+func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
+	if !r.w.Graph().HasNode(s) {
+		return nil, fmt.Errorf("dynamic: source: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	res := &Result{}
+	if s == t {
+		res.Status = netsim.StatusSuccess
+		return res, nil
+	}
+	rt := &runState{res: res}
+	// Warm the compile cache before counting: Recompiles measures what the
+	// topology churn cost this route, not the unavoidable initial compile.
+	if _, _, err := r.w.Compiled(); err != nil {
+		return res, err
+	}
+	recompBase := r.w.Recompiles()
+	defer func() { res.Recompiles = int(r.w.Recompiles() - recompBase) }()
+
+	bound := 0
+	maxRounds := r.cfg.maxRounds()
+	for round := 1; round <= maxRounds; round++ {
+		var err error
+		bound, err = r.nextBound(bound)
+		if err != nil {
+			return res, err
+		}
+		res.Rounds++
+		res.Bound = bound
+		st, delivered, err := r.runRound(s, t, bound, rt)
+		if err != nil {
+			return res, err
+		}
+		if !delivered {
+			res.AbortedRounds++
+			continue
+		}
+		if st == netsim.StatusSuccess {
+			res.Status = st
+			return res, nil
+		}
+		if st == netsim.StatusFailure {
+			definitive, err := r.definitiveFailure(s, t, bound)
+			if err != nil {
+				return res, err
+			}
+			if definitive {
+				res.Status = netsim.StatusFailure
+				return res, nil
+			}
+		}
+	}
+	return res, fmt.Errorf("%w: %d rounds", ErrRoundsExhausted, maxRounds)
+}
+
+// nextBound advances the doubling schedule, mirroring the static router:
+// start at 4, double, clamp at MaxBound (default 4·|V(G′)| of the current
+// snapshot). Under KnownN the bound is fixed. A shrinking graph never
+// shrinks the bound below its previous value.
+func (r *Router) nextBound(prev int) (int, error) {
+	if r.cfg.KnownN > 0 {
+		return r.cfg.KnownN, nil
+	}
+	maxBound := r.cfg.MaxBound
+	if maxBound <= 0 {
+		_, flat, err := r.w.Compiled()
+		if err != nil {
+			return 0, err
+		}
+		maxBound = 4 * flat.NumNodes()
+	}
+	b := 4
+	if prev > 0 {
+		b = prev * 2
+	}
+	if b > maxBound {
+		b = maxBound
+	}
+	if b < prev {
+		b = prev
+	}
+	return b, nil
+}
+
+// runRound executes one round at the given bound, interleaving epochs.
+// delivered=false means the round was broken by topology change (no
+// verdict; the caller retries).
+func (r *Router) runRound(s, t graph.NodeID, bound int, rt *runState) (netsim.Status, bool, error) {
+	if r.cfg.DisableFlat {
+		return r.runRoundRef(s, t, bound, rt)
+	}
+	return r.runRoundFlat(s, t, bound, rt)
+}
+
+// seqLen is L_bound for this protocol instance.
+func (r *Router) seqLen(bound int) int {
+	return ues.Length(bound, r.cfg.LengthFactor)
+}
+
+// roundHopCap bounds one round's total hops across resumptions. A clean
+// round takes at most 2L+2 hops (the index is monotone in each phase);
+// the slack absorbs resumption turbulence, and hitting the cap aborts the
+// round rather than erroring.
+func roundHopCap(L int) int64 { return 4*int64(L) + 16 }
+
+// flatStepperAt builds a (possibly resumed) flat stepper entering at the
+// canonical gadget of original node at, carrying the given header state.
+func flatStepperAt(red *degred.Reduced, flat *flatgraph.Graph, at, s, t graph.NodeID,
+	seq flatgraph.Seq, index int64, backward, success bool) (*flatgraph.RouteStepper, error) {
+	entry, ok := red.Entry(at)
+	if !ok {
+		return nil, fmt.Errorf("dynamic: %w: %d", graph.ErrNodeNotFound, at)
+	}
+	dense, ok := flat.Index(entry)
+	if !ok {
+		return nil, fmt.Errorf("dynamic: gadget %d missing from snapshot", entry)
+	}
+	return flat.ResumeRouteStepper(dense, 0, s, t, seq, index, backward, success)
+}
+
+// runRoundFlat drives the round on the compiled flat stepper.
+func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsim.Status, bool, error) {
+	L := r.seqLen(bound)
+	seq := flatgraph.Seq{Seed: r.cfg.Seed, Base: 3, Length: L}
+	red, flat, err := r.w.Compiled()
+	if err != nil {
+		return netsim.StatusNone, false, err
+	}
+	st, err := flatStepperAt(red, flat, s, s, t, seq, 1, false, false)
+	if err != nil {
+		return netsim.StatusNone, false, err
+	}
+	var (
+		segBase  int64 // hops accumulated in completed segments
+		prevHops int64
+		maxIdx   = int64(1)
+		hopCap   = roundHopCap(L)
+		perEpoch = r.cfg.hopsPerEpoch()
+	)
+	finishHops := func() { rt.res.Hops += segBase + st.Hops() }
+	for !st.Done() {
+		if idx := st.Index(); idx > maxIdx {
+			maxIdx = idx
+		}
+		st.Step()
+		h := st.Hops()
+		if h == prevHops {
+			continue // terminal activation: no hop
+		}
+		prevHops = h
+		rt.sinceEpoch++
+		if segBase+h > hopCap {
+			finishHops()
+			r.mergeHeaderBits(rt, s, t, maxIdx)
+			return netsim.StatusNone, false, nil
+		}
+		if perEpoch > 0 && rt.sinceEpoch >= perEpoch {
+			rt.sinceEpoch = 0
+			ver := r.w.Version()
+			node, _ := st.Position()
+			probe := Probe{
+				Active:   true,
+				At:       flat.OriginalOf(node),
+				nextLink: r.flatLookahead(flat, st, s, t, seq),
+			}
+			if err := r.w.Advance(probe); err != nil {
+				finishHops()
+				return netsim.StatusNone, false, err
+			}
+			rt.res.Epochs++
+			if r.w.Version() != ver {
+				red2, flat2, err := r.w.Compiled()
+				if err != nil {
+					finishHops()
+					return netsim.StatusNone, false, err
+				}
+				node, _ = st.Position()
+				cur := flat.OriginalOf(node)
+				st2, err := flatStepperAt(red2, flat2, cur, s, t, seq, st.Index(), st.Backward(), st.Success())
+				if err != nil {
+					finishHops()
+					return netsim.StatusNone, false, err
+				}
+				segBase += st.Hops()
+				prevHops = 0
+				st, red, flat = st2, red2, flat2
+				rt.res.Resumptions++
+			}
+		}
+	}
+	finishHops()
+	r.mergeHeaderBits(rt, s, t, maxIdx)
+	if err := st.Err(); err != nil {
+		if errors.Is(err, flatgraph.ErrUnwound) {
+			// Churn redirected the confirmation until it unwound its whole
+			// index budget without finding s: no verdict, retry the round.
+			return netsim.StatusNone, false, nil
+		}
+		return netsim.StatusNone, false, fmt.Errorf("dynamic: flat walk: %w", err)
+	}
+	if st.Success() {
+		return netsim.StatusSuccess, true, nil
+	}
+	return netsim.StatusFailure, true, nil
+}
+
+// mergeHeaderBits folds a round's peak header size into the result. The
+// largest header any activation observes carries the round's peak index;
+// src, dst, and the dir/status byte are size-constant, so one evaluation
+// at the peak reproduces the reference's per-activation maximum (the same
+// reconstruction the static flat round uses).
+func (r *Router) mergeHeaderBits(rt *runState, s, t graph.NodeID, maxIdx int64) {
+	hb := netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Index: maxIdx}.Bits()
+	if hb > rt.res.MaxHeaderBits {
+		rt.res.MaxHeaderBits = hb
+	}
+}
+
+// flatLookahead returns the lazy next-link computation for the probe: it
+// clones the walk's stateless coordinates into a throwaway stepper and
+// scans ahead on the current snapshot for the first hop that crosses
+// between gadgets of different original nodes — the next real link the
+// message will ride. (Under parallel edges the adversary cuts one link
+// between that node pair, not necessarily the walk's exact copy.)
+func (r *Router) flatLookahead(flat *flatgraph.Graph, st *flatgraph.RouteStepper,
+	s, t graph.NodeID, seq flatgraph.Seq) func() (Edge, bool) {
+	return func() (Edge, bool) {
+		node, inPort := st.Position()
+		la, err := flat.ResumeRouteStepper(node, inPort, s, t, seq, st.Index(), st.Backward(), st.Success())
+		if err != nil {
+			return Edge{}, false
+		}
+		prev := node
+		for k := 0; k < r.cfg.lookahead(); k++ {
+			if la.Step() {
+				return Edge{}, false
+			}
+			cur, _ := la.Position()
+			if ou, ov := flat.OriginalOf(prev), flat.OriginalOf(cur); ou != ov {
+				if ov < ou {
+					ou, ov = ov, ou
+				}
+				return Edge{U: ou, V: ov}, true
+			}
+			prev = cur
+		}
+		return Edge{}, false
+	}
+}
+
+// runRoundRef drives the round on the netsim reference engine: the
+// stateless per-node handler behind a token stepper, with the carried
+// header re-injected into a fresh engine after each snapshot change.
+func (r *Router) runRoundRef(s, t graph.NodeID, bound int, rt *runState) (netsim.Status, bool, error) {
+	p := &ues.Pseudorandom{Seed: r.cfg.Seed, N: bound, Base: 3, LengthFactor: r.cfg.LengthFactor}
+	seq := p.Compiled()
+	L := seq.Len()
+	red, flat, err := r.w.Compiled()
+	if err != nil {
+		return netsim.StatusNone, false, err
+	}
+	mkStepper := func(red *degred.Reduced, at graph.NodeID, h netsim.Header) (*netsim.Stepper, error) {
+		work := red.Graph()
+		eng := netsim.NewEngine(work,
+			route.StepHandler(seq, projector(red)),
+			netsim.WithMemoryBudget(route.DefaultMemoryBudget(work.NumNodes())))
+		entry, ok := red.Entry(at)
+		if !ok {
+			return nil, fmt.Errorf("dynamic: %w: %d", graph.ErrNodeNotFound, at)
+		}
+		return eng.Stepper(entry, 0, h, 2*int64(L)+8)
+	}
+	st, err := mkStepper(red, s, netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1})
+	if err != nil {
+		return netsim.StatusNone, false, err
+	}
+	var (
+		segBase  int64
+		prevHops int64
+		hopCap   = roundHopCap(L)
+		perEpoch = r.cfg.hopsPerEpoch()
+	)
+	finish := func() {
+		rt.res.Hops += segBase + st.Result().Hops
+		if hb := st.Result().MaxHeaderBits; hb > rt.res.MaxHeaderBits {
+			rt.res.MaxHeaderBits = hb
+		}
+	}
+	for !st.Done() {
+		if h := st.Header(); h.Dir == netsim.Backward && h.Index < 1 {
+			// A resumed confirmation unwound its whole budget somewhere
+			// other than the source; the handler has no step left to undo.
+			// Abort the round (the flat path reports ErrUnwound here).
+			at, _ := st.At()
+			if o, ok := red.Original(at); !ok || o != s {
+				finish()
+				return netsim.StatusNone, false, nil
+			}
+		}
+		st.Step()
+		h := st.Result().Hops
+		if h == prevHops {
+			continue
+		}
+		prevHops = h
+		rt.sinceEpoch++
+		if segBase+h > hopCap {
+			finish()
+			return netsim.StatusNone, false, nil
+		}
+		if perEpoch > 0 && rt.sinceEpoch >= perEpoch {
+			rt.sinceEpoch = 0
+			ver := r.w.Version()
+			probe, perr := r.refProbe(red, flat, st, s, t, bound)
+			if perr != nil {
+				finish()
+				return netsim.StatusNone, false, perr
+			}
+			if err := r.w.Advance(probe); err != nil {
+				finish()
+				return netsim.StatusNone, false, err
+			}
+			rt.res.Epochs++
+			if r.w.Version() != ver {
+				red2, flat2, err := r.w.Compiled()
+				if err != nil {
+					finish()
+					return netsim.StatusNone, false, err
+				}
+				at, _ := st.At()
+				cur, ok := red.Original(at)
+				if !ok {
+					cur = at
+				}
+				hdr := st.Header()
+				if hb := st.Result().MaxHeaderBits; hb > rt.res.MaxHeaderBits {
+					rt.res.MaxHeaderBits = hb
+				}
+				segBase += st.Result().Hops
+				st2, err := mkStepper(red2, cur, hdr)
+				if err != nil {
+					rt.res.Hops += segBase
+					return netsim.StatusNone, false, err
+				}
+				prevHops = 0
+				st, red, flat = st2, red2, flat2
+				rt.res.Resumptions++
+			}
+		}
+	}
+	finish()
+	out := st.Result()
+	if err := st.Err(); err != nil {
+		if errors.Is(err, netsim.ErrHopBudget) {
+			return netsim.StatusNone, false, nil // churn turbulence: retry round
+		}
+		return netsim.StatusNone, false, fmt.Errorf("dynamic: reference walk: %w", err)
+	}
+	if !out.Delivered {
+		return netsim.StatusNone, false, fmt.Errorf("dynamic: message dropped at %d", out.Final)
+	}
+	return out.Header.Status, true, nil
+}
+
+// refProbe builds the probe for the reference path. The lookahead runs on
+// the flat snapshot of the same reduced graph (identical structure), so
+// both execution paths expose identical adversary semantics.
+func (r *Router) refProbe(red *degred.Reduced, flat *flatgraph.Graph, st *netsim.Stepper,
+	s, t graph.NodeID, bound int) (Probe, error) {
+	at, inPort := st.At()
+	orig, ok := red.Original(at)
+	if !ok {
+		orig = at
+	}
+	dense, ok := flat.Index(at)
+	if !ok {
+		return Probe{Active: true, At: orig}, nil
+	}
+	h := st.Header()
+	seq := flatgraph.Seq{Seed: r.cfg.Seed, Base: 3, Length: r.seqLen(bound)}
+	la, err := flat.ResumeRouteStepper(dense, int32(inPort), s, t, seq,
+		h.Index, h.Dir == netsim.Backward, h.Status == netsim.StatusSuccess)
+	if err != nil {
+		return Probe{Active: true, At: orig}, nil
+	}
+	return Probe{
+		Active:   true,
+		At:       orig,
+		nextLink: r.flatLookahead(flat, la, s, t, seq),
+	}, nil
+}
+
+// projector returns the gadget-to-original projection of a reduction.
+func projector(red *degred.Reduced) func(graph.NodeID) graph.NodeID {
+	return func(v graph.NodeID) graph.NodeID {
+		if o, ok := red.Original(v); ok {
+			return o
+		}
+		return v
+	}
+}
+
+// definitiveFailure runs the §4 closure check on the instantaneous
+// topology: walk T_bound from the source entry, and accept the failure
+// verdict only if the visited set is closed under neighbourhood (it equals
+// the source component) and contains no gadget of t. This is what makes a
+// dynamic failure verdict oracle-sound: it certifies unreachability on the
+// topology as it stands at decision time.
+func (r *Router) definitiveFailure(s, t graph.NodeID, bound int) (bool, error) {
+	red, flat, err := r.w.Compiled()
+	if err != nil {
+		return false, err
+	}
+	entry, ok := red.Entry(s)
+	if !ok {
+		return false, fmt.Errorf("dynamic: cover check: %w: %d", graph.ErrNodeNotFound, s)
+	}
+	dense, ok := flat.Index(entry)
+	if !ok {
+		return false, fmt.Errorf("dynamic: cover check: gadget %d missing from snapshot", entry)
+	}
+	seq := flatgraph.Seq{Seed: r.cfg.Seed, Base: 3, Length: r.seqLen(bound)}
+	visited := make([]bool, flat.NumNodes())
+	if _, err := flat.CoverWalk(dense, seq, visited, nil); err != nil {
+		return false, fmt.Errorf("dynamic: cover check: %w", err)
+	}
+	if !flat.Closed(visited) {
+		return false, nil
+	}
+	for i, vis := range visited {
+		if vis && flat.OriginalOf(int32(i)) == t {
+			return false, nil // t is reachable right now; not a failure
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,60 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Spec is a declarative schedule description, the wire/flag form used by
+// the adhocd /v1/dynamic endpoint and the churnsim driver. Exactly the
+// fields relevant to Kind are consulted.
+type Spec struct {
+	// Kind selects the schedule: "static", "churn" (Bernoulli edge
+	// churn), "markov" (on/off links over the deployed underlay),
+	// "waypoint" (random-waypoint mobility), or "adversary" (the
+	// next-link cutter).
+	Kind string `json:"kind"`
+	// Seed drives the schedule's randomness.
+	Seed uint64 `json:"seed,omitempty"`
+	// PDrop is the per-edge removal probability (churn) per epoch.
+	PDrop float64 `json:"p_drop,omitempty"`
+	// AddRate is the expected fresh edges per epoch (churn).
+	AddRate float64 `json:"add_rate,omitempty"`
+	// PDown and PUp are the Markov link transition probabilities.
+	PDown float64 `json:"p_down,omitempty"`
+	PUp   float64 `json:"p_up,omitempty"`
+	// SpeedMin and SpeedMax bound waypoint travel per epoch.
+	SpeedMin float64 `json:"speed_min,omitempty"`
+	SpeedMax float64 `json:"speed_max,omitempty"`
+	// Radius is the waypoint model's unit-disk connectivity radius.
+	Radius float64 `json:"radius,omitempty"`
+	// Gabriel planarizes the waypoint model's per-epoch topology.
+	Gabriel bool `json:"gabriel,omitempty"`
+}
+
+// ErrUnknownKind reports an unrecognized schedule kind.
+var ErrUnknownKind = errors.New("dynamic: unknown schedule kind")
+
+// Build instantiates the described schedule.
+func (s Spec) Build() (Schedule, error) {
+	switch s.Kind {
+	case "", "static":
+		return Static{}, nil
+	case "churn":
+		return &EdgeChurn{Seed: s.Seed, PDrop: s.PDrop, AddRate: s.AddRate}, nil
+	case "markov":
+		return &MarkovLinks{Seed: s.Seed, PDown: s.PDown, PUp: s.PUp}, nil
+	case "waypoint":
+		if s.Radius <= 0 {
+			return nil, ErrNoRadius
+		}
+		return &RandomWaypoint{
+			Seed: s.Seed, SpeedMin: s.SpeedMin, SpeedMax: s.SpeedMax,
+			Radius: s.Radius, Gabriel: s.Gabriel,
+		}, nil
+	case "adversary":
+		return &LinkCutter{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, s.Kind)
+	}
+}

@@ -1,0 +1,145 @@
+package dynamic
+
+import (
+	"errors"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// ErrNoRadius is returned by RandomWaypoint when no connectivity radius is
+// configured.
+var ErrNoRadius = errors.New("dynamic: random waypoint requires Radius > 0")
+
+// RandomWaypoint is the classic mobility model over the unit square: each
+// node walks toward a uniformly random waypoint at its own uniformly
+// random speed, picks a new waypoint (and speed) on arrival, and the radio
+// topology is re-derived each epoch as the unit-disk graph of the current
+// positions — optionally Gabriel-planarized, matching the gen.UDG2D /
+// gen.Gabriel workload families. Nodes without positions are placed
+// uniformly at random (deterministically in Seed) on the first epoch.
+//
+// Topology updates are applied as an edge diff against the current graph
+// in canonical edge order, so an epoch that moves nobody out of range
+// mutates nothing (the compile cache stays warm) and identical seeds
+// replay identical topology histories.
+type RandomWaypoint struct {
+	// Seed drives placement, waypoint choice, and speed choice.
+	Seed uint64
+	// SpeedMin and SpeedMax bound the per-epoch travel distance, in units
+	// of the unit square. SpeedMax <= 0 freezes all nodes (pure
+	// re-derivation, useful as a baseline cell in sweeps).
+	SpeedMin, SpeedMax float64
+	// Radius is the unit-disk connectivity radius.
+	Radius float64
+	// Gabriel additionally planarizes each epoch's unit-disk graph by the
+	// empty-diameter-disk rule.
+	Gabriel bool
+
+	rng      *prng.Source
+	waypoint map[graph.NodeID]geom.Point
+	speed    map[graph.NodeID]float64
+}
+
+// Advance moves every node one epoch along its leg and re-derives the
+// edge set from the new positions.
+func (m *RandomWaypoint) Advance(w *World, _ int, _ Probe) error {
+	if m.Radius <= 0 {
+		return ErrNoRadius
+	}
+	if m.rng == nil {
+		m.rng = prng.New(m.Seed)
+		m.waypoint = make(map[graph.NodeID]geom.Point)
+		m.speed = make(map[graph.NodeID]float64)
+		w.SeedPositions(m.Seed ^ 0x9e3779b97f4a7c15)
+	}
+	for _, v := range w.Graph().Nodes() {
+		pos, ok := w.Pos(v)
+		if !ok {
+			// A node added after the first epoch: place it now.
+			pos = geom.Point{X: m.rng.Float64(), Y: m.rng.Float64()}
+		}
+		wp, hasWP := m.waypoint[v]
+		if !hasWP || geom.Dist(pos, wp) < 1e-12 {
+			wp = geom.Point{X: m.rng.Float64(), Y: m.rng.Float64()}
+			m.waypoint[v] = wp
+			m.speed[v] = m.legSpeed()
+		}
+		step := m.speed[v]
+		if d := geom.Dist(pos, wp); d <= step {
+			pos = wp // arrive; a new leg starts next epoch
+		} else if d > 0 {
+			pos = pos.Add(wp.Sub(pos).Scale(step / d))
+		}
+		w.SetPos(v, pos)
+	}
+	return m.applyGeometry(w)
+}
+
+// legSpeed draws a per-leg speed in [SpeedMin, SpeedMax].
+func (m *RandomWaypoint) legSpeed() float64 {
+	lo, hi := m.SpeedMin, m.SpeedMax
+	if hi <= 0 {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo + (hi-lo)*m.rng.Float64()
+}
+
+// applyGeometry diffs the position-derived edge set against the current
+// graph and applies removals then insertions in canonical order.
+func (m *RandomWaypoint) applyGeometry(w *World) error {
+	nodes := w.Graph().Nodes()
+	pts := make([]geom.Point, len(nodes))
+	for i, v := range nodes {
+		p, _ := w.Pos(v)
+		pts[i] = p
+	}
+	udg := geom.UnitDiskEdges(pts, m.Radius)
+	if m.Gabriel {
+		udg = geom.GabrielEdges(pts, udg)
+	}
+	want := make(map[Edge]int, len(udg))
+	for _, e := range udg {
+		u, v := nodes[e[0]], nodes[e[1]]
+		if v < u {
+			u, v = v, u
+		}
+		want[Edge{U: u, V: v}]++
+	}
+	cur := make(map[Edge]int)
+	for _, e := range w.Edges() {
+		cur[e]++
+	}
+
+	var removals, adds []Edge
+	for e, c := range cur {
+		for k := want[e]; k < c; k++ {
+			removals = append(removals, e)
+		}
+	}
+	for e, c := range want {
+		for k := cur[e]; k < c; k++ {
+			adds = append(adds, e)
+		}
+	}
+	sortEdges(removals)
+	sortEdges(adds)
+	for _, e := range removals {
+		if err := w.RemoveEdgeBetween(e.U, e.V); err != nil {
+			return err
+		}
+	}
+	for _, e := range adds {
+		if _, _, err := w.AddEdge(e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}

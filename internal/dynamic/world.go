@@ -1,0 +1,246 @@
+// Package dynamic is the dynamic-network subsystem: routing over
+// topologies that change while messages are in flight.
+//
+// The paper proves its guarantees for static networks (§1.1: "we assume
+// that the network is static"), but the mechanism it builds — stateless
+// intermediate nodes, all routing state in an O(log n) header — is exactly
+// what makes the walk *resumable*: at any instant the entire run is
+// (current node, header), so when the topology changes the message simply
+// keeps applying the walk rule on whatever graph now exists. This package
+// operationalizes that observation:
+//
+//   - a World owns a mutable port-labeled graph (plus optional node
+//     positions), an epoch clock, and a per-epoch compile cache of the
+//     Figure 1 degree reduction and its flat CSR snapshot;
+//   - Schedules mutate the world at epoch boundaries: Bernoulli edge
+//     churn, Markov on/off links, random-waypoint mobility that re-derives
+//     unit-disk (optionally Gabriel) edges from moving positions, and an
+//     adversarial scheduler that cuts the link the walk is about to use;
+//   - a Router advances the walk hop-by-hop through the existing steppers
+//     (flatgraph.RouteStepper on the hot path, netsim.Stepper as the
+//     instrumented reference), advancing the world every HopsPerEpoch hops
+//     and carrying the stateless header across snapshot recompiles.
+//
+// Verdict semantics under dynamics: a success verdict is sound by
+// construction (every hop traversed a then-existing edge, so reaching a
+// gadget of t is a real delivery); a failure verdict is only reported
+// after the §4 closure check certifies, on the instantaneous topology,
+// that t lies outside the source's component.
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/degred"
+	"repro/internal/flatgraph"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// Edge is an undirected original-graph link in canonical order (U ≤ V;
+// U == V is a self-loop).
+type Edge struct {
+	U, V graph.NodeID
+}
+
+// World owns an evolving network: the live mutable graph, optional node
+// positions (mobility models derive connectivity from them), the epoch
+// clock, and the compile cache that turns the current topology into the
+// degree-reduced flat snapshot the walkers run on. All mutation goes
+// through World methods so the topology version is tracked exactly; the
+// compile cache is keyed by that version, which is what makes per-epoch
+// recompilation an incremental cost instead of a per-hop one.
+//
+// A World is not safe for concurrent use; each dynamic route drives one
+// world. (Serving layers build a fresh world per request from a shared
+// compiled engine.)
+type World struct {
+	g     *graph.Graph
+	pos   map[graph.NodeID]geom.Point
+	sched Schedule
+
+	epoch   int
+	version uint64
+
+	compiledVersion uint64
+	compiledOK      bool
+	red             *degred.Reduced
+	flat            *flatgraph.Graph
+	recompiles      int64
+}
+
+// NewWorld builds a world over a private clone of g, evolving under sched
+// (nil = static). The caller's graph is never mutated.
+func NewWorld(g *graph.Graph, sched Schedule) *World {
+	return &World{g: g.Clone(), sched: sched}
+}
+
+// NewWorldFromCompiled builds a world over a private clone of g and seeds
+// the epoch-0 compile cache with an existing reduction of g, so a prepared
+// engine's compile work is reused until the first mutation. red must be
+// the reduction of g.
+func NewWorldFromCompiled(g *graph.Graph, red *degred.Reduced, sched Schedule) *World {
+	w := NewWorld(g, sched)
+	if red != nil {
+		w.red, w.flat = red, red.Flat()
+		w.compiledVersion, w.compiledOK = w.version, w.flat != nil
+	}
+	return w
+}
+
+// Graph returns the live graph. Callers must treat it as read-only; all
+// mutation goes through the World so versioning stays exact.
+func (w *World) Graph() *graph.Graph { return w.g }
+
+// Epoch returns the current epoch number (0 before the first Advance).
+func (w *World) Epoch() int { return w.epoch }
+
+// Version returns the topology version: it increments on every structural
+// mutation and is the compile-cache key.
+func (w *World) Version() uint64 { return w.version }
+
+// Recompiles returns how many times Compiled actually rebuilt the
+// reduction+snapshot (cache misses) over the world's lifetime.
+func (w *World) Recompiles() int64 { return w.recompiles }
+
+// Advance moves the clock to the next epoch and lets the schedule mutate
+// the topology. p describes the in-flight walk for reactive schedules
+// (pass Probe{} when none is running).
+func (w *World) Advance(p Probe) error {
+	w.epoch++
+	if w.sched == nil {
+		return nil
+	}
+	if err := w.sched.Advance(w, w.epoch, p); err != nil {
+		return fmt.Errorf("dynamic: epoch %d: %w", w.epoch, err)
+	}
+	return nil
+}
+
+// Compiled returns the degree reduction and flat CSR snapshot of the
+// current topology, rebuilding them only when the version changed since
+// the last call — the per-epoch compile cache.
+func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
+	if w.compiledOK && w.compiledVersion == w.version {
+		return w.red, w.flat, nil
+	}
+	red, err := degred.Reduce(w.g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dynamic: recompile at version %d: %w", w.version, err)
+	}
+	flat := red.Flat()
+	if flat == nil {
+		return nil, nil, fmt.Errorf("dynamic: flat snapshot failed at version %d", w.version)
+	}
+	w.red, w.flat = red, flat
+	w.compiledVersion, w.compiledOK = w.version, true
+	w.recompiles++
+	return w.red, w.flat, nil
+}
+
+// AddEdge inserts an edge between u and v (assigning the next free port at
+// each endpoint) and bumps the topology version.
+func (w *World) AddEdge(u, v graph.NodeID) (portU, portV int, err error) {
+	pu, pv, err := w.g.AddEdge(u, v)
+	if err == nil {
+		w.version++
+	}
+	return pu, pv, err
+}
+
+// RemoveEdge deletes the edge at port p of node v and bumps the topology
+// version.
+func (w *World) RemoveEdge(v graph.NodeID, p int) error {
+	if err := w.g.RemoveEdge(v, p); err != nil {
+		return err
+	}
+	w.version++
+	return nil
+}
+
+// RemoveEdgeBetween deletes one edge joining u and v (the lowest-port one
+// at u), bumping the topology version. It reports graph.ErrPortRange if no
+// such edge exists.
+func (w *World) RemoveEdgeBetween(u, v graph.NodeID) error {
+	d := w.g.Degree(u)
+	if d < 0 {
+		return fmt.Errorf("%w: %d", graph.ErrNodeNotFound, u)
+	}
+	for p := 0; p < d; p++ {
+		h, err := w.g.Neighbor(u, p)
+		if err != nil {
+			return err
+		}
+		if h.To == v {
+			return w.RemoveEdge(u, p)
+		}
+	}
+	return fmt.Errorf("%w: no edge %d-%d", graph.ErrPortRange, u, v)
+}
+
+// Edges lists the current links once each, in the deterministic scan order
+// (node insertion order, ports ascending). Self-loops appear once.
+func (w *World) Edges() []Edge {
+	var out []Edge
+	for _, v := range w.g.Nodes() {
+		for p := 0; p < w.g.Degree(v); p++ {
+			h, err := w.g.Neighbor(v, p)
+			if err != nil {
+				continue
+			}
+			if h.To > v || (h.To == v && h.ToPort > p) {
+				out = append(out, Edge{U: v, V: h.To})
+			}
+		}
+	}
+	return out
+}
+
+// Pos returns node v's position, if one is known.
+func (w *World) Pos(v graph.NodeID) (geom.Point, bool) {
+	p, ok := w.pos[v]
+	return p, ok
+}
+
+// SetPos places node v. Positions alone carry no topology (edges change
+// only via Add/RemoveEdge), so this does not bump the version.
+func (w *World) SetPos(v graph.NodeID, p geom.Point) {
+	if w.pos == nil {
+		w.pos = make(map[graph.NodeID]geom.Point, w.g.NumNodes())
+	}
+	w.pos[v] = p
+}
+
+// SetPositions installs a full placement (copied).
+func (w *World) SetPositions(pos map[graph.NodeID]geom.Point) {
+	w.pos = make(map[graph.NodeID]geom.Point, len(pos))
+	for v, p := range pos {
+		w.pos[v] = p
+	}
+}
+
+// HasPositions reports whether every node has a position.
+func (w *World) HasPositions() bool {
+	if w.pos == nil {
+		return false
+	}
+	for _, v := range w.g.Nodes() {
+		if _, ok := w.pos[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SeedPositions places every node without a position uniformly at random
+// in the unit square, deterministically in seed. Mobility schedules call
+// this when handed a world that has no geometry yet.
+func (w *World) SeedPositions(seed uint64) {
+	src := prng.New(seed)
+	for _, v := range w.g.Nodes() {
+		if _, ok := w.pos[v]; !ok {
+			w.SetPos(v, geom.Point{X: src.Float64(), Y: src.Float64()})
+		}
+	}
+}

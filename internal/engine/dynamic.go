@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// NewWorld returns a dynamic world seeded with this engine's network and
+// its already-compiled degree reduction, evolving under sched. The world
+// owns a private clone of the graph, so any number of worlds (one per
+// dynamic query, in the serving layer) can evolve independently while the
+// engine keeps serving static queries; none of them recompiles anything
+// until its topology actually diverges.
+func (e *Engine) NewWorld(sched dynamic.Schedule) *dynamic.World {
+	return dynamic.NewWorldFromCompiled(e.g, e.red, sched)
+}
+
+// RouteDynamic answers one s→t query over the evolving world w, advancing
+// the topology every cfg.HopsPerEpoch hops and carrying the stateless
+// header across snapshot recompiles. Protocol parameters (sequence family
+// seed, length factor, known bound, bound cap) always come from the
+// engine so dynamic and static queries speak the same protocol; cfg
+// supplies only the dynamics knobs.
+func (e *Engine) RouteDynamic(w *dynamic.World, s, t graph.NodeID, cfg dynamic.Config) (*dynamic.Result, error) {
+	cfg.Seed = e.cfg.Seed
+	cfg.LengthFactor = e.cfg.LengthFactor
+	cfg.KnownN = e.cfg.KnownBound
+	if cfg.MaxBound == 0 {
+		cfg.MaxBound = e.cfg.MaxBound
+	}
+	res, err := dynamic.NewRouter(w, cfg).Route(s, t)
+	e.m.recordDynamic(res, err)
+	return res, err
+}

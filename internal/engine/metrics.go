@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/count"
+	"repro/internal/dynamic"
 	"repro/internal/hybrid"
 	"repro/internal/route"
 )
@@ -17,6 +18,11 @@ type metrics struct {
 	hybrids    atomic.Int64
 	batches    atomic.Int64
 	errors     atomic.Int64
+
+	dynamicRoutes      atomic.Int64
+	dynamicEpochs      atomic.Int64
+	dynamicRecompiles  atomic.Int64
+	dynamicResumptions atomic.Int64
 
 	hops   atomic.Int64
 	rounds atomic.Int64
@@ -41,6 +47,13 @@ type Snapshot struct {
 	Batches int64 `json:"batches"`
 	// Errors counts queries that returned an error.
 	Errors int64 `json:"errors"`
+	// DynamicRoutes counts RouteDynamic queries; the companion counters
+	// total the epochs their worlds advanced, the snapshot recompiles the
+	// churn forced, and the mid-walk header migrations taken.
+	DynamicRoutes      int64 `json:"dynamic_routes"`
+	DynamicEpochs      int64 `json:"dynamic_epochs"`
+	DynamicRecompiles  int64 `json:"dynamic_recompiles"`
+	DynamicResumptions int64 `json:"dynamic_resumptions"`
 	// Hops is the total message hops across all queries.
 	Hops int64 `json:"hops"`
 	// Rounds is the total doubling rounds across all queries.
@@ -55,7 +68,7 @@ type Snapshot struct {
 
 // Queries returns the total number of completed queries of all kinds.
 func (s Snapshot) Queries() int64 {
-	return s.Routes + s.Broadcasts + s.Counts + s.Hybrids
+	return s.Routes + s.Broadcasts + s.Counts + s.Hybrids + s.DynamicRoutes
 }
 
 // Stats returns a snapshot of the engine's metrics.
@@ -69,9 +82,13 @@ func (e *Engine) Stats() Snapshot {
 		Errors:         e.m.errors.Load(),
 		Hops:           e.m.hops.Load(),
 		Rounds:         e.m.rounds.Load(),
-		SeqCacheHits:   e.m.seqHits.Load(),
-		SeqCacheMisses: e.m.seqMisses.Load(),
-		PeakHeaderBits: e.m.peakHeaderBits.Load(),
+		SeqCacheHits:       e.m.seqHits.Load(),
+		SeqCacheMisses:     e.m.seqMisses.Load(),
+		PeakHeaderBits:     e.m.peakHeaderBits.Load(),
+		DynamicRoutes:      e.m.dynamicRoutes.Load(),
+		DynamicEpochs:      e.m.dynamicEpochs.Load(),
+		DynamicRecompiles:  e.m.dynamicRecompiles.Load(),
+		DynamicResumptions: e.m.dynamicResumptions.Load(),
 	}
 }
 
@@ -121,6 +138,20 @@ func (m *metrics) recordCount(res *count.Result, err error) {
 	}
 	m.hops.Add(res.Hops)
 	m.rounds.Add(int64(res.Rounds))
+}
+
+func (m *metrics) recordDynamic(res *dynamic.Result, err error) {
+	m.dynamicRoutes.Add(1)
+	m.recordErr(err)
+	if res == nil {
+		return
+	}
+	m.hops.Add(res.Hops)
+	m.rounds.Add(int64(res.Rounds))
+	m.dynamicEpochs.Add(int64(res.Epochs))
+	m.dynamicRecompiles.Add(int64(res.Recompiles))
+	m.dynamicResumptions.Add(int64(res.Resumptions))
+	m.maxHeader(res.MaxHeaderBits)
 }
 
 func (m *metrics) recordHybrid(res *hybrid.Result, err error) {

@@ -23,6 +23,7 @@ func Runners() []Runner {
 		{ID: "E8", Name: "zig-zag transform", Run: E8ZigZag},
 		{ID: "E9", Name: "hybrid", Run: E9Hybrid},
 		{ID: "E10", Name: "static assumption stress", Run: E10StaticAssumption},
+		{ID: "E11", Name: "dynamic networks", Run: E11DynamicNetworks},
 		{ID: "A1", Name: "confirm mode ablation", Run: A1ConfirmMode},
 		{ID: "A2", Name: "growth factor ablation", Run: A2GrowthFactor},
 		{ID: "A3", Name: "length factor ablation", Run: A3LengthFactor},

@@ -1,5 +1,5 @@
 // Package exp is the experiment harness: one runner per experiment in
-// DESIGN.md's index (F1, E1–E9), each producing a Table that cmd/experiments
+// DESIGN.md's index (F1, E1–E11, A1–A5), each producing a Table that cmd/experiments
 // renders to Markdown and CSV, and that bench_test.go wraps as benchmarks.
 //
 // The paper is a theory note with a single figure and no evaluation tables;
@@ -125,6 +125,11 @@ func fmtRate(num, den int) string {
 	}
 	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
 }
+
+// Median returns the median of a slice (which it sorts in place; 0 for an
+// empty slice). Exported for workload drivers (cmd/churnsim) that render
+// their sweeps through this package's tables.
+func Median(xs []int64) int64 { return median(xs) }
 
 // median returns the median of a slice (which it sorts in place).
 func median(xs []int64) int64 {

@@ -1,6 +1,10 @@
 package flatgraph
 
-import "repro/internal/graph"
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
 
 // RouteStepper is the hop-at-a-time form of RouteWalk, for callers that
 // interleave the guaranteed walk with another process (the Corollary 2
@@ -26,10 +30,32 @@ type RouteStepper struct {
 // RouteStepper starts a route round at the given dense start node,
 // searching for dst and confirming back to src.
 func (f *Graph) RouteStepper(start int32, src, dst graph.NodeID, seq Seq) (*RouteStepper, error) {
+	return f.ResumeRouteStepper(start, 0, src, dst, seq, 1, false, false)
+}
+
+// ResumeRouteStepper reconstructs a route round mid-flight from its
+// stateless header state — the index into the sequence, the direction, and
+// the verdict so far — at an arbitrary re-entry position. This is the
+// resumption the paper's obliviousness argument licenses: a walk's entire
+// state is (position, header), so when the topology is recompiled into a
+// new snapshot the round picks up wherever the message happens to stand.
+// The dynamic subsystem re-enters at the canonical gadget of the message's
+// current original node with inPort 0, exactly like a fresh round's start.
+func (f *Graph) ResumeRouteStepper(node, inPort int32, src, dst graph.NodeID, seq Seq, index int64, backward, success bool) (*RouteStepper, error) {
 	if !f.regular3 || seq.Base != 3 {
 		return nil, ErrNotRegular
 	}
-	return &RouteStepper{f: f, seq: seq, src: src, dst: dst, node: start, index: 1}, nil
+	if node < 0 || int(node) >= f.NumNodes() {
+		return nil, fmt.Errorf("flatgraph: resume at node %d outside [0,%d)", node, f.NumNodes())
+	}
+	if inPort < 0 || inPort > 2 {
+		return nil, fmt.Errorf("flatgraph: resume with in-port %d outside [0,3)", inPort)
+	}
+	return &RouteStepper{
+		f: f, seq: seq, src: src, dst: dst,
+		node: node, inPort: inPort, index: index,
+		backward: backward, success: success,
+	}, nil
 }
 
 // Step performs one activation (and its hop, if any). It returns true once

@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// The dynamic-network subsystem drives AddEdge/RemoveEdge continuously
+// (churn schedules, mobility re-derivation), so the mutation invariants —
+// port compactness, mutual half-edge pointers, self-loop handling — get
+// property and fuzz coverage here against an independent edge-multiset
+// model, beyond the example-based cases in remove_test.go.
+
+// edgeKey canonicalizes an undirected edge for the model multiset.
+func edgeKey(u, v NodeID) [2]NodeID {
+	if v < u {
+		u, v = v, u
+	}
+	return [2]NodeID{u, v}
+}
+
+// modelOf extracts g's edge multiset by scanning half-edges.
+func modelOf(t *testing.T, g *Graph) map[[2]NodeID]int {
+	t.Helper()
+	m := make(map[[2]NodeID]int)
+	for _, v := range g.Nodes() {
+		for p := 0; p < g.Degree(v); p++ {
+			h, err := g.Neighbor(v, p)
+			if err != nil {
+				t.Fatalf("neighbor(%d,%d): %v", v, p, err)
+			}
+			if h.To > v || (h.To == v && h.ToPort > p) {
+				m[edgeKey(v, h.To)]++
+			}
+		}
+	}
+	return m
+}
+
+// checkInvariants verifies the structural contract after a mutation: the
+// graph validates (mutual pointers, ports in range), the port space of
+// every node is compact (exactly 0..deg-1, enforced by Neighbor's range
+// errors at both fenceposts), degrees sum to twice the edge count, and
+// the edge multiset matches the independently maintained model.
+func checkInvariants(t *testing.T, g *Graph, model map[[2]NodeID]int) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	degSum := 0
+	for _, v := range g.Nodes() {
+		d := g.Degree(v)
+		degSum += d
+		if _, err := g.Neighbor(v, d); err == nil {
+			t.Fatalf("node %d: port %d beyond degree resolved", v, d)
+		}
+		if _, err := g.Neighbor(v, -1); err == nil {
+			t.Fatalf("node %d: negative port resolved", v)
+		}
+	}
+	if degSum != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2×edges %d", degSum, 2*g.NumEdges())
+	}
+	got := modelOf(t, g)
+	if len(got) != len(model) {
+		t.Fatalf("edge multiset diverged: got %v, want %v", got, model)
+	}
+	for k, c := range model {
+		if got[k] != c {
+			t.Fatalf("edge %v count %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+// mutate applies ops random mutations to a fresh graph, cross-checking
+// the model after every step. Returns the number of mutations that took
+// effect (for the fuzz target's interestingness signal).
+func mutate(t *testing.T, seed uint64, ops int) int {
+	t.Helper()
+	g := New()
+	model := make(map[[2]NodeID]int)
+	src := prng.New(seed)
+	const idSpace = 12
+	applied := 0
+	for i := 0; i < ops; i++ {
+		switch src.Intn(10) {
+		case 0, 1: // ensure a node
+			g.EnsureNode(NodeID(src.Intn(idSpace)))
+		case 2, 3, 4, 5: // add an edge (self-loops and parallels welcome)
+			u := NodeID(src.Intn(idSpace))
+			v := NodeID(src.Intn(idSpace))
+			g.EnsureNode(u)
+			g.EnsureNode(v)
+			pu, pv, err := g.AddEdge(u, v)
+			if err != nil {
+				t.Fatalf("op %d: AddEdge(%d,%d): %v", i, u, v, err)
+			}
+			if u == v && pu == pv {
+				t.Fatalf("op %d: self-loop got one port (%d) for both halves", i, pu)
+			}
+			model[edgeKey(u, v)]++
+			applied++
+		default: // remove a random port of a random node
+			nodes := g.Nodes()
+			if len(nodes) == 0 {
+				continue
+			}
+			v := nodes[src.Intn(len(nodes))]
+			d := g.Degree(v)
+			if d == 0 {
+				if err := g.RemoveEdge(v, 0); err == nil {
+					t.Fatalf("op %d: removing port 0 of isolated node %d succeeded", i, v)
+				}
+				continue
+			}
+			p := src.Intn(d)
+			h, err := g.Neighbor(v, p)
+			if err != nil {
+				t.Fatalf("op %d: neighbor(%d,%d): %v", i, v, p, err)
+			}
+			if err := g.RemoveEdge(v, p); err != nil {
+				t.Fatalf("op %d: RemoveEdge(%d,%d): %v", i, v, p, err)
+			}
+			k := edgeKey(v, h.To)
+			model[k]--
+			if model[k] == 0 {
+				delete(model, k)
+			} else if model[k] < 0 {
+				t.Fatalf("op %d: removed nonexistent edge %v", i, k)
+			}
+			applied++
+		}
+		checkInvariants(t, g, model)
+	}
+	return applied
+}
+
+// TestMutationInvariantsProperty is the deterministic property sweep that
+// always runs in the ordinary suite.
+func TestMutationInvariantsProperty(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mutate(t, seed, 120)
+		})
+	}
+}
+
+// FuzzMutationInvariants lets the fuzzer drive the op mix; the seed corpus
+// runs as part of the ordinary suite.
+func FuzzMutationInvariants(f *testing.F) {
+	f.Add(uint64(1), uint16(64))
+	f.Add(uint64(0xdead), uint16(200))
+	f.Add(uint64(42), uint16(7))
+	f.Fuzz(func(t *testing.T, seed uint64, opsRaw uint16) {
+		mutate(t, seed, int(opsRaw)%256+1)
+	})
+}
+
+// TestRemoveEdgePreservesOtherAdjacency pins the subtle part of the
+// swap-with-last compaction: removing one edge must not reorder the
+// neighbor multiset of any *other* node (only the two endpoints' port
+// tables may change), and on the endpoints exactly the removed half must
+// disappear.
+func TestRemoveEdgePreservesOtherAdjacency(t *testing.T) {
+	src := prng.New(99)
+	g := New()
+	const n = 8
+	for i := 0; i < n; i++ {
+		g.EnsureNode(NodeID(i))
+	}
+	for i := 0; i < 24; i++ {
+		if _, _, err := g.AddEdge(NodeID(src.Intn(n)), NodeID(src.Intn(n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	neighborsOf := func(v NodeID) []NodeID {
+		var out []NodeID
+		for p := 0; p < g.Degree(v); p++ {
+			h, _ := g.Neighbor(v, p)
+			out = append(out, h.To)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for iter := 0; iter < 24; iter++ {
+		var v NodeID = -1
+		for _, cand := range g.Nodes() {
+			if g.Degree(cand) > 0 {
+				v = cand
+				break
+			}
+		}
+		if v < 0 {
+			break
+		}
+		p := src.Intn(g.Degree(v))
+		h, _ := g.Neighbor(v, p)
+		before := make(map[NodeID][]NodeID)
+		for _, u := range g.Nodes() {
+			before[u] = neighborsOf(u)
+		}
+		if err := g.RemoveEdge(v, p); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range g.Nodes() {
+			if u == v || u == h.To {
+				continue
+			}
+			after := neighborsOf(u)
+			if len(after) != len(before[u]) {
+				t.Fatalf("bystander %d changed degree removing (%d,%d)", u, v, p)
+			}
+			for i := range after {
+				if after[i] != before[u][i] {
+					t.Fatalf("bystander %d neighbor multiset changed removing (%d,%d)", u, v, p)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,17 @@ func (e *Engine) Stepper(start graph.NodeID, startPort int, h Header, maxHops in
 // Done reports whether the run has terminated.
 func (s *Stepper) Done() bool { return s.done }
 
+// Header returns the message header as it stands right now — the complete
+// routing state of the in-flight run. Callers that migrate a run onto a new
+// topology snapshot (the dynamic subsystem) carry this header into a fresh
+// Stepper; nothing else needs to survive the migration, which is the
+// paper's statelessness made operational.
+func (s *Stepper) Header() Header { return s.header }
+
+// At returns the current position: the node holding the message and the
+// port it arrived on.
+func (s *Stepper) At() (graph.NodeID, int) { return s.at, s.inPort }
+
 // Result returns the result so far (final once Done).
 func (s *Stepper) Result() *Result { return s.res }
 

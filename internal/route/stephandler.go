@@ -1,0 +1,22 @@
+package route
+
+import (
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/ues"
+)
+
+// StepHandler returns Algorithm Route's stateless per-node handler (the
+// paper's backtracking confirmation) for callers that drive the walk
+// manually through a netsim.Stepper rather than a Router — notably the
+// dynamic subsystem, which interleaves hops with topology changes and
+// re-injects the carried header into a fresh engine after each change.
+// originalOf projects gadget nodes of the reduced graph back to the
+// original nodes they simulate (pass nil for identity). seq must be the
+// T_bound all nodes of the deployment consult.
+func StepHandler(seq ues.Sequence, originalOf func(graph.NodeID) graph.NodeID) netsim.Handler {
+	if originalOf == nil {
+		originalOf = func(v graph.NodeID) graph.NodeID { return v }
+	}
+	return &routeHandler{seq: seq, originalOf: originalOf, confirm: ConfirmBacktrack}
+}
