@@ -1,6 +1,9 @@
 // Command adhocd serves guaranteed-delivery routing over HTTP/JSON: it
-// loads (or generates) a network, compiles it once into a prepared engine,
-// and answers route/batch/broadcast/count/hybrid queries concurrently.
+// loads (or generates) a boot network, compiles it once into a prepared
+// engine, and answers route/batch/broadcast/count/hybrid queries
+// concurrently — and it serves further networks compiled at runtime from
+// client specs, plus named long-lived dynamic worlds shared by all their
+// clients.
 //
 // Usage:
 //
@@ -8,11 +11,11 @@
 //	adhocd -addr :8080 -gen grid -rows 16 -cols 16
 //	adhocd -addr :8080 -gen udg2d -n 256 -radius 0.15 -gen-seed 1
 //
-// Endpoints:
+// Boot-network endpoints:
 //
-//	GET  /healthz       — liveness
+//	GET  /healthz       — liveness (bypasses admission control)
 //	GET  /v1/network    — served network summary
-//	GET  /v1/stats      — engine metrics (queries, hops, cache hits, …)
+//	GET  /v1/stats      — engine metrics + registry/world occupancy
 //	POST /v1/route      — {"src":0,"dst":35,"with_path":false}
 //	POST /v1/batch      — {"pairs":[[0,1],[2,3]]} or {"src":0,"targets":[1,2]}
 //	POST /v1/broadcast  — {"src":0}
@@ -20,12 +23,33 @@
 //	POST /v1/hybrid     — {"src":0,"dst":35,"walk_seed":9}
 //	POST /v1/dynamic    — {"src":0,"dst":35,"schedule":{"kind":"markov","p_down":0.05,"p_up":0.5,"seed":9}}
 //
-// /v1/dynamic routes over an evolving copy of the served network: each
-// request gets a private world seeded with the compiled engine's topology,
-// the requested schedule (churn, markov, waypoint, adversary — see
-// internal/dynamic.Spec) mutates it every hops_per_epoch hops, and the
-// walk carries its stateless header across the recompiled snapshots. The
-// served network itself is never mutated.
+// Multi-tenant endpoints:
+//
+//	POST   /v1/networks            — compile a network from a spec
+//	                                 ({"kind":"grid","rows":8,"cols":8,"seed":7} or
+//	                                  {"kind":"edges","edges":[[0,1],[1,2]]});
+//	                                 idempotent, singleflight-deduped, LRU-cached
+//	GET    /v1/networks            — resident networks + cache stats
+//	GET    /v1/networks/{id}       — one network's summary
+//	POST   /v1/networks/{id}/route — route on a registered network
+//	POST   /v1/networks/{id}/batch — batch on a registered network
+//	POST   /v1/worlds              — create a named shared dynamic world
+//	                                 ({"name":"sweep1","schedule":{...},"network_id":"net-…"})
+//	GET    /v1/worlds              — list worlds
+//	GET    /v1/worlds/{id}         — world state (epoch, version, links)
+//	POST   /v1/worlds/{id}/advance — tick the epoch clock ({"epochs":10})
+//	POST   /v1/worlds/{id}/route   — route over the shared evolving world
+//	DELETE /v1/worlds/{id}         — drop a world
+//
+// /v1/dynamic routes over an evolving private copy of the boot network per
+// request; /v1/worlds/{id}/route instead shares one concurrency-safe world
+// across all its clients, so the compiled snapshot cache stays warm across
+// queries. Served engine topologies are never mutated.
+//
+// Hardening: request bodies are capped (-max-body → 413), batch sizes are
+// capped (-max-batch → 400), concurrent requests are bounded (-max-inflight
+// → 429), registry specs are size-limited (-max-network-nodes → 413), and
+// client disconnects cancel not-yet-started batch members.
 //
 // With -pprof, net/http/pprof is additionally mounted under /debug/pprof/
 // so serving hot spots can be profiled in place.
@@ -51,6 +75,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -79,6 +104,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		workers  = fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		drainFor = fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		maxBody     = fs.Int64("max-body", defaultMaxBody, "request body cap in bytes (-1 = unlimited)")
+		maxBatch    = fs.Int("max-batch", defaultMaxBatch, "batch members per request (-1 = unlimited)")
+		maxInflight = fs.Int("max-inflight", defaultMaxInflight, "concurrently admitted requests (-1 = unlimited)")
+		maxNets     = fs.Int("max-networks", registry.DefaultCapacity, "resident runtime-compiled networks (LRU beyond)")
+		maxNetNodes = fs.Int("max-network-nodes", registry.DefaultMaxNodes, "node cap for runtime-compiled network specs")
+		maxWorlds   = fs.Int("max-worlds", registry.DefaultWorldLimit, "resident named dynamic worlds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,7 +129,19 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintf(out, "adhocd: compiled %s (%d nodes, %d links, %d reduced nodes)\n",
 		desc, g.NumNodes(), g.NumEdges(), eng.Reduced().Graph().NumNodes())
-	return serve(*addr, newServer(eng, pos, desc, *pprofOn), out, ready, *drainFor)
+	srv := newServer(eng, pos, desc, serverConfig{
+		pprof:       *pprofOn,
+		maxBody:     *maxBody,
+		maxBatch:    *maxBatch,
+		maxInflight: *maxInflight,
+		maxWorlds:   *maxWorlds,
+		registry: registry.Config{
+			Capacity: *maxNets,
+			MaxNodes: *maxNetNodes,
+			Workers:  *workers,
+		},
+	})
+	return serve(*addr, srv, out, ready, *drainFor)
 }
 
 // buildGraph loads the network file, or generates the requested family.

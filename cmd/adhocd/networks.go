@@ -1,0 +1,85 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/registry"
+)
+
+// networkCreateReply is the POST /v1/networks response: the stable
+// spec-derived ID to route against, whether the engine was already
+// resident, and the compiled network summary.
+type networkCreateReply struct {
+	networkInfo
+	Cached bool `json:"cached"`
+}
+
+// handleNetworkCreate compiles (or returns the cached engine for) the
+// posted spec. The ID is deterministic in the spec, so the call is
+// idempotent; concurrent posts of the same spec are singleflighted into
+// one compile by the registry.
+func (s *server) handleNetworkCreate(w http.ResponseWriter, r *http.Request) {
+	var spec registry.Spec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	ent, cached, err := s.reg.Obtain(spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, registry.ErrBadSpec):
+			status = http.StatusBadRequest
+		case errors.Is(err, registry.ErrTooLarge):
+			// The spec is well-formed; the server refuses its size.
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	status := http.StatusCreated
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, networkCreateReply{
+		networkInfo: infoOf(ent.ID, ent.Desc, ent.Eng),
+		Cached:      cached,
+	})
+}
+
+// handleNetworkList lists the resident networks (most recently used
+// first) plus the registry traffic counters.
+func (s *server) handleNetworkList(w http.ResponseWriter, _ *http.Request) {
+	ents := s.reg.List()
+	infos := make([]networkInfo, len(ents))
+	for i, ent := range ents {
+		infos[i] = infoOf(ent.ID, ent.Desc, ent.Eng)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Networks []networkInfo  `json:"networks"`
+		Stats    registry.Stats `json:"stats"`
+	}{infos, s.reg.Stats()})
+}
+
+// networkFor resolves a registry network ID, answering 404 itself when it
+// is absent or evicted (the client re-registers the spec via the
+// idempotent POST /v1/networks).
+func (s *server) networkFor(w http.ResponseWriter, id string) (*registry.Entry, bool) {
+	ent, ok := s.reg.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: fmt.Sprintf("unknown network %q (re-register via POST /v1/networks)", id)})
+		return nil, false
+	}
+	return ent, true
+}
+
+// handleNetworkInfo describes one resident network.
+func (s *server) handleNetworkInfo(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.networkFor(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(ent.ID, ent.Desc, ent.Eng))
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 
@@ -11,39 +12,127 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/registry"
 	"repro/internal/route"
 )
 
-// server exposes a compiled engine over HTTP/JSON. All endpoints are
-// stateless (the engine serves concurrent queries with zero coordination,
-// and each dynamic query evolves its own private world), so the handler
-// needs no locking of its own.
-type server struct {
-	eng  *engine.Engine
-	pos  map[graph.NodeID]geom.Point // node placement, when the network is geometric
-	desc string
-	mux  *http.ServeMux
+// Request-handling limits. Every knob is flag-tunable; the defaults are
+// the serve(1) values.
+const (
+	defaultMaxBody     = 1 << 20 // 1 MiB request bodies
+	defaultMaxBatch    = 4096    // batch members per request
+	defaultMaxInflight = 256     // concurrently admitted requests
+	maxWorldAdvance    = 1024    // epochs per explicit advance request
+)
+
+// serverConfig carries the serving-layer knobs from flags (or tests) into
+// newServer. The zero value enables everything at the defaults above with
+// profiling off.
+type serverConfig struct {
+	pprof       bool
+	maxBody     int64 // bytes; < 0 disables the cap
+	maxBatch    int   // batch members; < 0 disables the cap
+	maxInflight int   // admitted requests; < 0 disables admission control
+	registry    registry.Config
+	maxWorlds   int
 }
 
-// newServer wires the endpoint table around a compiled engine. desc is a
-// human-readable description of the served network (shown by /v1/network);
-// pos, when non-nil, is the placement mobility schedules start from.
-// enableProfiling additionally mounts net/http/pprof under /debug/pprof/ so
-// serving hot spots can be profiled in place; it is opt-in (the -pprof
-// flag) because the profile endpoints expose internals and can be made to
-// burn CPU on demand.
-func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string, enableProfiling bool) *server {
-	s := &server{eng: eng, pos: pos, desc: desc, mux: http.NewServeMux()}
+func (c serverConfig) bodyLimit() int64 {
+	if c.maxBody == 0 {
+		return defaultMaxBody
+	}
+	if c.maxBody < 0 {
+		return 0
+	}
+	return c.maxBody
+}
+
+func (c serverConfig) batchLimit() int {
+	if c.maxBatch == 0 {
+		return defaultMaxBatch
+	}
+	if c.maxBatch < 0 {
+		return 0
+	}
+	return c.maxBatch
+}
+
+func (c serverConfig) inflightLimit() int {
+	if c.maxInflight == 0 {
+		return defaultMaxInflight
+	}
+	if c.maxInflight < 0 {
+		return 0
+	}
+	return c.maxInflight
+}
+
+// server exposes compiled engines over HTTP/JSON. The boot network
+// (compiled from the flags) serves the classic unprefixed endpoints; the
+// registry compiles and caches further networks on demand
+// (/v1/networks/…), and the world table holds named long-lived evolving
+// topologies shared by all their clients (/v1/worlds/…). Static queries
+// need no coordination (stateless protocol on immutable compiled state);
+// shared worlds carry their own locking.
+type server struct {
+	eng  *engine.Engine
+	pos  map[graph.NodeID]geom.Point // node placement, when the boot network is geometric
+	desc string
+
+	reg    *registry.Registry
+	worlds *registry.Worlds
+
+	maxBody  int64
+	maxBatch int
+	inflight chan struct{} // admission semaphore; nil = unlimited
+
+	mux *http.ServeMux
+}
+
+// newServer wires the endpoint table around the boot engine plus the
+// multi-tenant registry and world table. desc describes the boot network
+// (shown by /v1/network); pos, when non-nil, is the placement mobility
+// schedules start from. cfg.pprof additionally mounts net/http/pprof
+// under /debug/pprof/; it is opt-in (the -pprof flag) because the profile
+// endpoints expose internals and can be made to burn CPU on demand.
+func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string, cfg serverConfig) *server {
+	s := &server{
+		eng:      eng,
+		pos:      pos,
+		desc:     desc,
+		reg:      registry.New(cfg.registry),
+		worlds:   registry.NewWorlds(cfg.maxWorlds),
+		maxBody:  cfg.bodyLimit(),
+		maxBatch: cfg.batchLimit(),
+		mux:      http.NewServeMux(),
+	}
+	if n := cfg.inflightLimit(); n > 0 {
+		s.inflight = make(chan struct{}, n)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/network", s.handleNetwork)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/route", s.handleRoute)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/route", s.defaultEngine(s.handleRoute))
+	s.mux.HandleFunc("POST /v1/batch", s.defaultEngine(s.handleBatch))
 	s.mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
 	s.mux.HandleFunc("POST /v1/count", s.handleCount)
 	s.mux.HandleFunc("POST /v1/hybrid", s.handleHybrid)
 	s.mux.HandleFunc("POST /v1/dynamic", s.handleDynamic)
-	if enableProfiling {
+
+	// Multi-tenant surface: runtime-compiled networks and shared worlds.
+	s.mux.HandleFunc("POST /v1/networks", s.handleNetworkCreate)
+	s.mux.HandleFunc("GET /v1/networks", s.handleNetworkList)
+	s.mux.HandleFunc("GET /v1/networks/{id}", s.handleNetworkInfo)
+	s.mux.HandleFunc("POST /v1/networks/{id}/route", s.namedEngine(s.handleRoute))
+	s.mux.HandleFunc("POST /v1/networks/{id}/batch", s.namedEngine(s.handleBatch))
+	s.mux.HandleFunc("POST /v1/worlds", s.handleWorldCreate)
+	s.mux.HandleFunc("GET /v1/worlds", s.handleWorldList)
+	s.mux.HandleFunc("GET /v1/worlds/{id}", s.handleWorldInfo)
+	s.mux.HandleFunc("POST /v1/worlds/{id}/advance", s.handleWorldAdvance)
+	s.mux.HandleFunc("POST /v1/worlds/{id}/route", s.handleWorldRoute)
+	s.mux.HandleFunc("DELETE /v1/worlds/{id}", s.handleWorldDelete)
+
+	if cfg.pprof {
 		// pprof.Index dispatches the named profiles (heap, goroutine, …)
 		// itself; only the handlers with dedicated logic need explicit
 		// routes.
@@ -56,8 +145,54 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: admission control, then the request
+// body cap, then the endpoint table. Liveness probes bypass admission —
+// a saturated server is still alive.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Path == "/healthz" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests,
+				errorBody{Error: "server at capacity: too many in-flight requests"})
+			return
+		}
+	}
+	if s.maxBody > 0 && r.Body != nil {
+		// Oversized bodies fail inside decodeBody with a MaxBytesError,
+		// mapped to 413 there.
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// engineHandler is a query handler parameterized by the engine it serves —
+// the same handler code serves the boot network and every registry tenant.
+type engineHandler func(w http.ResponseWriter, r *http.Request, eng *engine.Engine)
+
+// defaultEngine binds an engineHandler to the boot network.
+func (s *server) defaultEngine(h engineHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.eng) }
+}
+
+// namedEngine binds an engineHandler to the registry network named in the
+// {id} path segment. An unknown (or evicted) ID is 404: the client
+// re-registers the spec via POST /v1/networks, which is idempotent.
+func (s *server) namedEngine(h engineHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ent, ok := s.networkFor(w, r.PathValue("id"))
+		if !ok {
+			return
+		}
+		h(w, r, ent.Eng)
+	}
+}
 
 // writeJSON emits v with the proper content type.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -83,23 +218,46 @@ func writeErr(w http.ResponseWriter, err error) {
 }
 
 // decodeBody parses the request body into v, rejecting unknown fields so
-// client typos surface as 400s instead of silent defaults.
+// client typos surface as 400s instead of silent defaults. A body over
+// the server's size cap is 413; trailing data after the JSON value is
+// 400 (a second concatenated payload must not be silently dropped).
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		writeDecodeErr(w, err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		if err != nil {
+			writeDecodeErr(w, err)
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "trailing data after JSON body"})
 		return false
 	}
 	return true
+}
+
+// writeDecodeErr distinguishes "body too large" (413, the cap is the
+// server's) from malformed JSON (400, the bytes are the client's).
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// networkInfo describes the served network.
+// networkInfo describes a served network.
 type networkInfo struct {
+	ID           string `json:"id,omitempty"`
 	Desc         string `json:"desc"`
 	Nodes        int    `json:"nodes"`
 	Links        int    `json:"links"`
@@ -108,23 +266,30 @@ type networkInfo struct {
 	Seed         uint64 `json:"seed"`
 }
 
+func infoOf(id, desc string, eng *engine.Engine) networkInfo {
+	return networkInfo{
+		ID:           id,
+		Desc:         desc,
+		Nodes:        eng.Graph().NumNodes(),
+		Links:        eng.Graph().NumEdges(),
+		ReducedNodes: eng.Reduced().Graph().NumNodes(),
+		Workers:      eng.Workers(),
+		Seed:         eng.Config().Seed,
+	}
+}
+
 func (s *server) handleNetwork(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, networkInfo{
-		Desc:         s.desc,
-		Nodes:        s.eng.Graph().NumNodes(),
-		Links:        s.eng.Graph().NumEdges(),
-		ReducedNodes: s.eng.Reduced().Graph().NumNodes(),
-		Workers:      s.eng.Workers(),
-		Seed:         s.eng.Config().Seed,
-	})
+	writeJSON(w, http.StatusOK, infoOf("", s.desc, s.eng))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.eng.Stats()
 	writeJSON(w, http.StatusOK, struct {
 		engine.Snapshot
-		Queries int64 `json:"queries"`
-	}{Snapshot: snap, Queries: snap.Queries()})
+		Queries  int64          `json:"queries"`
+		Registry registry.Stats `json:"registry"`
+		Worlds   int            `json:"worlds"`
+	}{Snapshot: snap, Queries: snap.Queries(), Registry: s.reg.Stats(), Worlds: s.worlds.Len()})
 }
 
 // routeRequest asks for one s→t query; WithPath additionally reconstructs
@@ -162,14 +327,14 @@ func routeReplyOf(src, dst graph.NodeID, res *route.Result) routeReply {
 	}
 }
 
-func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, eng *engine.Engine) {
 	var req routeRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	src, dst := graph.NodeID(req.Src), graph.NodeID(req.Dst)
 	if req.WithPath {
-		res, path, err := s.eng.RouteWithPath(src, dst)
+		res, path, err := eng.RouteWithPath(src, dst)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -181,7 +346,7 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, reply)
 		return
 	}
-	res, err := s.eng.Route(src, dst)
+	res, err := eng.Route(src, dst)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -204,9 +369,16 @@ type batchReply struct {
 	Failed    int          `json:"failed"`
 }
 
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, eng *engine.Engine) {
 	var req batchRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	// One request must not purchase unbounded walk work: the member count
+	// is capped server-side (the batch analogue of the dynamics clamps).
+	if n := len(req.Pairs) + len(req.Targets); s.maxBatch > 0 && n > s.maxBatch {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("batch of %d members exceeds server limit %d", n, s.maxBatch)})
 		return
 	}
 	var pairs []engine.Pair
@@ -228,8 +400,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch: provide pairs or src+targets"})
 		return
 	}
+	// The request context cancels members that have not started when the
+	// client disconnects, so an abandoned fan-out stops burning workers.
 	reply := batchReply{Results: make([]routeReply, len(pairs))}
-	for i, br := range s.eng.RouteBatch(pairs) {
+	for i, br := range eng.RouteBatch(r.Context(), pairs) {
 		if br.Err != nil {
 			reply.Results[i] = routeReply{Src: int64(br.Src), Dst: int64(br.Dst), Error: br.Err.Error()}
 			reply.Failed++
@@ -327,6 +501,21 @@ const (
 	minDynamicHopsPerEpoch = 8
 )
 
+// clampDynamics applies the server-side bounds to client dynamics knobs.
+// A negative hops_per_epoch freezes the epoch clock (the world evolves
+// only via explicit advances), which is cheaper than any positive value
+// and therefore always allowed.
+func clampDynamics(hopsPerEpoch, maxRounds int) dynamic.Config {
+	cfg := dynamic.Config{HopsPerEpoch: hopsPerEpoch, MaxRounds: maxRounds}
+	if cfg.MaxRounds > maxDynamicRounds {
+		cfg.MaxRounds = maxDynamicRounds
+	}
+	if cfg.HopsPerEpoch > 0 && cfg.HopsPerEpoch < minDynamicHopsPerEpoch {
+		cfg.HopsPerEpoch = minDynamicHopsPerEpoch
+	}
+	return cfg
+}
+
 // dynamicRequest asks for one s→t query over an evolving private copy of
 // the served network. The schedule spec selects and parameterizes the
 // dynamics; hops_per_epoch couples protocol time to topology time
@@ -357,6 +546,23 @@ type dynamicReply struct {
 	FinalLinks    int    `json:"final_links"`
 }
 
+func dynamicReplyOf(src, dst int64, res *dynamic.Result, world *dynamic.World) dynamicReply {
+	return dynamicReply{
+		Src:           src,
+		Dst:           dst,
+		Status:        res.Status.String(),
+		Hops:          res.Hops,
+		Rounds:        res.Rounds,
+		AbortedRounds: res.AbortedRounds,
+		Bound:         res.Bound,
+		Epochs:        res.Epochs,
+		Recompiles:    res.Recompiles,
+		Resumptions:   res.Resumptions,
+		HeaderBits:    res.MaxHeaderBits,
+		FinalLinks:    world.NumEdges(),
+	}
+}
+
 func (s *server) handleDynamic(w http.ResponseWriter, r *http.Request) {
 	var req dynamicRequest
 	if !decodeBody(w, r, &req) {
@@ -374,30 +580,11 @@ func (s *server) handleDynamic(w http.ResponseWriter, r *http.Request) {
 	// Unlike the other endpoints, a dynamic query's cost scales with its
 	// knobs (each churned epoch buys a recompile), so they are clamped
 	// server-side: one request must not purchase unbounded CPU.
-	cfg := dynamic.Config{HopsPerEpoch: req.HopsPerEpoch, MaxRounds: req.MaxRounds}
-	if cfg.MaxRounds > maxDynamicRounds {
-		cfg.MaxRounds = maxDynamicRounds
-	}
-	if cfg.HopsPerEpoch > 0 && cfg.HopsPerEpoch < minDynamicHopsPerEpoch {
-		cfg.HopsPerEpoch = minDynamicHopsPerEpoch
-	}
-	res, err := s.eng.RouteDynamic(world, graph.NodeID(req.Src), graph.NodeID(req.Dst), cfg)
+	res, err := s.eng.RouteDynamic(world, graph.NodeID(req.Src), graph.NodeID(req.Dst),
+		clampDynamics(req.HopsPerEpoch, req.MaxRounds))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, dynamicReply{
-		Src:           req.Src,
-		Dst:           req.Dst,
-		Status:        res.Status.String(),
-		Hops:          res.Hops,
-		Rounds:        res.Rounds,
-		AbortedRounds: res.AbortedRounds,
-		Bound:         res.Bound,
-		Epochs:        res.Epochs,
-		Recompiles:    res.Recompiles,
-		Resumptions:   res.Resumptions,
-		HeaderBits:    res.MaxHeaderBits,
-		FinalLinks:    world.Graph().NumEdges(),
-	})
+	writeJSON(w, http.StatusOK, dynamicReplyOf(req.Src, req.Dst, res, world))
 }

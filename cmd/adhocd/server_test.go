@@ -23,7 +23,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, nil, "test 4x4 grid + 5-cycle", false))
+	ts := httptest.NewServer(newServer(eng, nil, "test 4x4 grid + 5-cycle", serverConfig{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -37,7 +37,7 @@ func TestPprofMount(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, enabled := range []bool{false, true} {
-		ts := httptest.NewServer(newServer(eng, nil, "pprof probe", enabled))
+		ts := httptest.NewServer(newServer(eng, nil, "pprof probe", serverConfig{pprof: enabled}))
 		resp, err := http.Get(ts.URL + "/debug/pprof/")
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// worldCreateRequest names a long-lived shared world: the network it is
+// seeded from (the boot network unless network_id names a registry
+// entry), the schedule that evolves it, and an optional client-chosen
+// name.
+type worldCreateRequest struct {
+	Name      string       `json:"name,omitempty"`
+	NetworkID string       `json:"network_id,omitempty"`
+	Schedule  dynamic.Spec `json:"schedule"`
+}
+
+// worldInfo describes one shared world's instantaneous state.
+type worldInfo struct {
+	ID         string `json:"id"`
+	NetworkID  string `json:"network_id,omitempty"`
+	Desc       string `json:"desc"`
+	Epoch      int    `json:"epoch"`
+	Version    uint64 `json:"version"`
+	Links      int    `json:"links"`
+	Recompiles int64  `json:"recompiles"`
+}
+
+func worldInfoOf(ent *registry.WorldEntry) worldInfo {
+	// One atomic world snapshot: racing an advance must not pair one
+	// epoch's clock with another epoch's link count.
+	snap := ent.W.Snapshot()
+	return worldInfo{
+		ID:         ent.ID,
+		NetworkID:  ent.NetworkID,
+		Desc:       ent.Desc,
+		Epoch:      snap.Epoch,
+		Version:    snap.Version,
+		Links:      snap.Links,
+		Recompiles: snap.Recompiles,
+	}
+}
+
+// handleWorldCreate builds a world over a private clone of the named
+// network's topology (seeded with its compiled artifacts) and registers
+// it for shared use. Creation is cheap — the first route pays any
+// recompile the schedule forces.
+func (s *server) handleWorldCreate(w http.ResponseWriter, r *http.Request) {
+	var req worldCreateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	eng, pos := s.eng, s.pos
+	if req.NetworkID != "" {
+		ent, ok := s.networkFor(w, req.NetworkID)
+		if !ok {
+			return
+		}
+		eng, pos = ent.Eng, ent.Pos
+	}
+	sched, err := req.Schedule.Build()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// Refuse doomed creates (bad name, duplicate, table full) before
+	// paying for the world clone; the Create below re-checks
+	// authoritatively.
+	if err := s.worlds.Precheck(req.Name); err != nil {
+		writeWorldCreateErr(w, err)
+		return
+	}
+	world := eng.NewWorld(sched)
+	if pos != nil {
+		world.SetPositions(pos)
+	}
+	desc := req.Schedule.Kind
+	if desc == "" {
+		desc = "static"
+	}
+	ent, err := s.worlds.Create(req.Name, &registry.WorldEntry{
+		NetworkID: req.NetworkID,
+		Desc:      desc,
+		Eng:       eng,
+		W:         world,
+	})
+	if err != nil {
+		writeWorldCreateErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, worldInfoOf(ent))
+}
+
+// writeWorldCreateErr maps world admission errors onto HTTP statuses.
+func writeWorldCreateErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, registry.ErrWorldCapacity):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, registry.ErrWorldExists):
+		status = http.StatusConflict
+	case errors.Is(err, registry.ErrBadWorldName):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *server) handleWorldList(w http.ResponseWriter, _ *http.Request) {
+	ents := s.worlds.List()
+	infos := make([]worldInfo, len(ents))
+	for i, ent := range ents {
+		infos[i] = worldInfoOf(ent)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Worlds []worldInfo `json:"worlds"`
+	}{infos})
+}
+
+// worldFor resolves the {id} path segment, answering 404 itself when the
+// world does not exist.
+func (s *server) worldFor(w http.ResponseWriter, r *http.Request) (*registry.WorldEntry, bool) {
+	id := r.PathValue("id")
+	ent, ok := s.worlds.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown world %q", id)})
+		return nil, false
+	}
+	return ent, true
+}
+
+func (s *server) handleWorldInfo(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.worldFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, worldInfoOf(ent))
+}
+
+func (s *server) handleWorldDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.worlds.Delete(id) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown world %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+// worldAdvanceRequest ticks the world's epoch clock without routing —
+// pre-evolving a scenario before queries, or driving topology time from
+// an external clock.
+type worldAdvanceRequest struct {
+	Epochs int `json:"epochs,omitempty"`
+}
+
+func (s *server) handleWorldAdvance(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.worldFor(w, r)
+	if !ok {
+		return
+	}
+	var req worldAdvanceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n := req.Epochs
+	if n <= 0 {
+		n = 1
+	}
+	// Each epoch may force a recompile, so the per-request count is capped
+	// like every other cost knob.
+	if n > maxWorldAdvance {
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("epochs %d exceeds server limit %d", n, maxWorldAdvance)})
+		return
+	}
+	for i := 0; i < n; i++ {
+		if err := ent.W.Advance(dynamic.Probe{}); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, worldInfoOf(ent))
+}
+
+// worldRouteRequest is one s→t query over a shared world. hops_per_epoch
+// couples this walk's hops to the shared epoch clock; negative freezes
+// the clock for this query (the world still evolves under other traffic
+// and explicit advances).
+type worldRouteRequest struct {
+	Src          int64 `json:"src"`
+	Dst          int64 `json:"dst"`
+	HopsPerEpoch int   `json:"hops_per_epoch,omitempty"`
+	MaxRounds    int   `json:"max_rounds,omitempty"`
+}
+
+func (s *server) handleWorldRoute(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.worldFor(w, r)
+	if !ok {
+		return
+	}
+	var req worldRouteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := ent.Eng.RouteDynamic(ent.W, graph.NodeID(req.Src), graph.NodeID(req.Dst),
+		clampDynamics(req.HopsPerEpoch, req.MaxRounds))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dynamicReplyOf(req.Src, req.Dst, res, ent.W))
+}

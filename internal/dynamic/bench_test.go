@@ -94,6 +94,96 @@ func BenchmarkEpochCacheHit(b *testing.B) {
 	}
 }
 
+// sharedBenchEpochs is the churn history both world-reuse benchmarks
+// replay before querying, so the pair isolates exactly the per-request
+// world cost the serving layer avoids by sharing.
+const sharedBenchEpochs = 10
+
+// BenchmarkPrivateWorldRoute is the one-world-per-request serving shape
+// (PR 3's /v1/dynamic): every query pays a fresh clone, the full churn
+// history replay, and the recompiles that history forces, before a
+// frozen-clock route.
+func BenchmarkPrivateWorldRoute(b *testing.B) {
+	g := gen.Torus(5, 5)
+	red, err := degred.Reduce(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	red.Flat()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewWorldFromCompiled(g, red, &EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+		for e := 0; e < sharedBenchEpochs; e++ {
+			if err := w.Advance(Probe{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := NewRouter(w, Config{Seed: 3, HopsPerEpoch: -1}).Route(0, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharedWorldRoute is the named-world serving shape
+// (/v1/worlds/{id}/route): the world evolved once, its compile cache is
+// warm, and each query is just a route over the shared snapshot — the
+// per-request world construction is gone.
+func BenchmarkSharedWorldRoute(b *testing.B) {
+	g := gen.Torus(5, 5)
+	red, err := degred.Reduce(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	red.Flat()
+	w := NewWorldFromCompiled(g, red, &EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+	for e := 0; e < sharedBenchEpochs; e++ {
+		if err := w.Advance(Probe{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRouter(w, Config{Seed: 3, HopsPerEpoch: -1}).Route(0, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharedWorldRouteParallel is the same shared world under
+// concurrent clients, measuring what the world lock costs when every
+// query reads one warm snapshot.
+func BenchmarkSharedWorldRouteParallel(b *testing.B) {
+	g := gen.Torus(5, 5)
+	red, err := degred.Reduce(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	red.Flat()
+	w := NewWorldFromCompiled(g, red, &EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+	for e := 0; e < sharedBenchEpochs; e++ {
+		if err := w.Advance(Probe{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := NewRouter(w, Config{Seed: 3, HopsPerEpoch: -1}).Route(0, 18); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStaticReference anchors the comparison: the static prepared
 // router on the same graph and query.
 func BenchmarkStaticReference(b *testing.B) {

@@ -113,6 +113,13 @@ type Result struct {
 // Router routes messages over an evolving World, advancing the walk
 // hop-by-hop and the world every HopsPerEpoch hops. It holds no state
 // between Route calls beyond what the World itself carries.
+//
+// Any number of Routers may drive one shared World concurrently: each
+// walk runs on the immutable snapshot current at its last epoch boundary,
+// and the World serializes epoch advances and shares recompiles. On a
+// shared world the per-Result Epochs/Recompiles counters attribute
+// whatever happened during the route, which may include epochs triggered
+// by concurrent walks.
 type Router struct {
 	w   *World
 	cfg Config
@@ -141,7 +148,7 @@ type runState struct {
 // retried rather than failed, and a failed round's verdict is only
 // accepted after the closure check passes on the instantaneous topology.
 func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
-	if !r.w.Graph().HasNode(s) {
+	if !r.w.HasNode(s) {
 		return nil, fmt.Errorf("dynamic: source: %w: %d", graph.ErrNodeNotFound, s)
 	}
 	res := &Result{}

@@ -30,6 +30,7 @@ package dynamic
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/degred"
 	"repro/internal/flatgraph"
@@ -52,10 +53,25 @@ type Edge struct {
 // compile cache is keyed by that version, which is what makes per-epoch
 // recompilation an incremental cost instead of a per-hop one.
 //
-// A World is not safe for concurrent use; each dynamic route drives one
-// world. (Serving layers build a fresh world per request from a shared
-// compiled engine.)
+// A World is safe for concurrent use: any number of Routers may share one
+// world (the serving layer's named long-lived worlds), each advancing the
+// clock as its own walk progresses. State is guarded by an internal
+// mutex; Advance additionally serializes whole epochs so a schedule's
+// mutation burst is never interleaved with another schedule run, and
+// Compiled rebuilds the snapshot under the lock so concurrent routers
+// share one recompile instead of racing to duplicate it. The one
+// concurrency caveat is Graph(): it returns the live graph, whose direct
+// readers synchronize only with mutations made through World methods on
+// the same goroutine — concurrent callers should use the locked
+// HasNode/NumNodes/NumEdges/Edges accessors instead.
 type World struct {
+	// advMu serializes Advance calls: one epoch's schedule mutations
+	// complete before the next epoch begins. It is always acquired before
+	// mu (schedules mutate through the public locked methods), never the
+	// other way around.
+	advMu sync.Mutex
+	// mu guards every field below.
+	mu    sync.Mutex
 	g     *graph.Graph
 	pos   map[graph.NodeID]geom.Point
 	sched Schedule
@@ -89,39 +105,111 @@ func NewWorldFromCompiled(g *graph.Graph, red *degred.Reduced, sched Schedule) *
 	return w
 }
 
-// Graph returns the live graph. Callers must treat it as read-only; all
-// mutation goes through the World so versioning stays exact.
+// Graph returns the live graph. Callers must treat it as read-only (all
+// mutation goes through the World so versioning stays exact) and, when
+// other goroutines share the world, must not read it while an Advance may
+// be mutating — use HasNode/NumNodes/NumEdges/Edges for synchronized
+// reads.
 func (w *World) Graph() *graph.Graph { return w.g }
 
+// HasNode reports whether node v currently exists. Safe under concurrent
+// mutation.
+func (w *World) HasNode(v graph.NodeID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.g.HasNode(v)
+}
+
+// NumNodes returns the current node count. Safe under concurrent mutation.
+func (w *World) NumNodes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.g.NumNodes()
+}
+
+// NumEdges returns the current link count. Safe under concurrent mutation.
+func (w *World) NumEdges() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.g.NumEdges()
+}
+
 // Epoch returns the current epoch number (0 before the first Advance).
-func (w *World) Epoch() int { return w.epoch }
+func (w *World) Epoch() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
 
 // Version returns the topology version: it increments on every structural
 // mutation and is the compile-cache key.
-func (w *World) Version() uint64 { return w.version }
+func (w *World) Version() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.version
+}
 
 // Recompiles returns how many times Compiled actually rebuilt the
 // reduction+snapshot (cache misses) over the world's lifetime.
-func (w *World) Recompiles() int64 { return w.recompiles }
+func (w *World) Recompiles() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recompiles
+}
+
+// Snapshot is a consistent point-in-time summary of a world's state —
+// all fields observed under one lock, so a reader racing a concurrent
+// Advance never pairs one epoch's clock with another epoch's topology.
+type Snapshot struct {
+	Epoch      int
+	Version    uint64
+	Links      int
+	Recompiles int64
+}
+
+// Snapshot returns the world's current state atomically.
+func (w *World) Snapshot() Snapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Snapshot{
+		Epoch:      w.epoch,
+		Version:    w.version,
+		Links:      w.g.NumEdges(),
+		Recompiles: w.recompiles,
+	}
+}
 
 // Advance moves the clock to the next epoch and lets the schedule mutate
 // the topology. p describes the in-flight walk for reactive schedules
-// (pass Probe{} when none is running).
+// (pass Probe{} when none is running). Concurrent Advances are serialized:
+// on a shared world, topology time ticks with total traffic.
 func (w *World) Advance(p Probe) error {
+	w.advMu.Lock()
+	defer w.advMu.Unlock()
+	w.mu.Lock()
 	w.epoch++
+	epoch := w.epoch
+	w.mu.Unlock()
 	if w.sched == nil {
 		return nil
 	}
-	if err := w.sched.Advance(w, w.epoch, p); err != nil {
-		return fmt.Errorf("dynamic: epoch %d: %w", w.epoch, err)
+	// The schedule runs outside mu (it mutates through the locked public
+	// methods) but inside advMu, so exactly one epoch is in progress.
+	if err := w.sched.Advance(w, epoch, p); err != nil {
+		return fmt.Errorf("dynamic: epoch %d: %w", epoch, err)
 	}
 	return nil
 }
 
 // Compiled returns the degree reduction and flat CSR snapshot of the
 // current topology, rebuilding them only when the version changed since
-// the last call — the per-epoch compile cache.
+// the last call — the per-epoch compile cache. The rebuild happens under
+// the world lock, so concurrent routers blocked on the same stale version
+// share one recompile. The returned artifacts are immutable snapshots,
+// safe to walk after the world has moved on.
 func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.compiledOK && w.compiledVersion == w.version {
 		return w.red, w.flat, nil
 	}
@@ -142,6 +230,8 @@ func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
 // AddEdge inserts an edge between u and v (assigning the next free port at
 // each endpoint) and bumps the topology version.
 func (w *World) AddEdge(u, v graph.NodeID) (portU, portV int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	pu, pv, err := w.g.AddEdge(u, v)
 	if err == nil {
 		w.version++
@@ -152,6 +242,12 @@ func (w *World) AddEdge(u, v graph.NodeID) (portU, portV int, err error) {
 // RemoveEdge deletes the edge at port p of node v and bumps the topology
 // version.
 func (w *World) RemoveEdge(v graph.NodeID, p int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.removeEdgeLocked(v, p)
+}
+
+func (w *World) removeEdgeLocked(v graph.NodeID, p int) error {
 	if err := w.g.RemoveEdge(v, p); err != nil {
 		return err
 	}
@@ -163,6 +259,8 @@ func (w *World) RemoveEdge(v graph.NodeID, p int) error {
 // at u), bumping the topology version. It reports graph.ErrPortRange if no
 // such edge exists.
 func (w *World) RemoveEdgeBetween(u, v graph.NodeID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	d := w.g.Degree(u)
 	if d < 0 {
 		return fmt.Errorf("%w: %d", graph.ErrNodeNotFound, u)
@@ -173,7 +271,7 @@ func (w *World) RemoveEdgeBetween(u, v graph.NodeID) error {
 			return err
 		}
 		if h.To == v {
-			return w.RemoveEdge(u, p)
+			return w.removeEdgeLocked(u, p)
 		}
 	}
 	return fmt.Errorf("%w: no edge %d-%d", graph.ErrPortRange, u, v)
@@ -182,6 +280,8 @@ func (w *World) RemoveEdgeBetween(u, v graph.NodeID) error {
 // Edges lists the current links once each, in the deterministic scan order
 // (node insertion order, ports ascending). Self-loops appear once.
 func (w *World) Edges() []Edge {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	var out []Edge
 	for _, v := range w.g.Nodes() {
 		for p := 0; p < w.g.Degree(v); p++ {
@@ -199,6 +299,8 @@ func (w *World) Edges() []Edge {
 
 // Pos returns node v's position, if one is known.
 func (w *World) Pos(v graph.NodeID) (geom.Point, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	p, ok := w.pos[v]
 	return p, ok
 }
@@ -206,6 +308,12 @@ func (w *World) Pos(v graph.NodeID) (geom.Point, bool) {
 // SetPos places node v. Positions alone carry no topology (edges change
 // only via Add/RemoveEdge), so this does not bump the version.
 func (w *World) SetPos(v graph.NodeID, p geom.Point) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.setPosLocked(v, p)
+}
+
+func (w *World) setPosLocked(v graph.NodeID, p geom.Point) {
 	if w.pos == nil {
 		w.pos = make(map[graph.NodeID]geom.Point, w.g.NumNodes())
 	}
@@ -214,6 +322,8 @@ func (w *World) SetPos(v graph.NodeID, p geom.Point) {
 
 // SetPositions installs a full placement (copied).
 func (w *World) SetPositions(pos map[graph.NodeID]geom.Point) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.pos = make(map[graph.NodeID]geom.Point, len(pos))
 	for v, p := range pos {
 		w.pos[v] = p
@@ -222,6 +332,8 @@ func (w *World) SetPositions(pos map[graph.NodeID]geom.Point) {
 
 // HasPositions reports whether every node has a position.
 func (w *World) HasPositions() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.pos == nil {
 		return false
 	}
@@ -237,10 +349,12 @@ func (w *World) HasPositions() bool {
 // in the unit square, deterministically in seed. Mobility schedules call
 // this when handed a world that has no geometry yet.
 func (w *World) SeedPositions(seed uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	src := prng.New(seed)
 	for _, v := range w.g.Nodes() {
 		if _, ok := w.pos[v]; !ok {
-			w.SetPos(v, geom.Point{X: src.Float64(), Y: src.Float64()})
+			w.setPosLocked(v, geom.Point{X: src.Float64(), Y: src.Float64()})
 		}
 	}
 }

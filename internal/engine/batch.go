@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -31,7 +32,15 @@ type BatchResult struct {
 // returned in input order. The member queries share the compiled network
 // exactly as concurrent Route calls do — the batch adds scheduling only,
 // which is the point: the stateless protocol needs no per-session setup.
-func (e *Engine) RouteBatch(pairs []Pair) []BatchResult {
+//
+// ctx cancels the batch between members: queries not yet started when ctx
+// is done are not routed and report ctx.Err() instead (members already in
+// flight run to completion — one query is microseconds, so cancellation
+// latency is one walk, not one batch). A nil ctx means context.Background().
+func (e *Engine) RouteBatch(ctx context.Context, pairs []Pair) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.m.batches.Add(1)
 	out := make([]BatchResult, len(pairs))
 	if len(pairs) == 0 {
@@ -52,6 +61,10 @@ func (e *Engine) RouteBatch(pairs []Pair) []BatchResult {
 				if i >= len(pairs) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Pair: pairs[i], Err: err}
+					continue
+				}
 				res, err := e.Route(pairs[i].Src, pairs[i].Dst)
 				out[i] = BatchResult{Pair: pairs[i], Res: res, Err: err}
 			}
@@ -62,11 +75,12 @@ func (e *Engine) RouteBatch(pairs []Pair) []BatchResult {
 }
 
 // RouteAll routes from one source to every target — the one-to-many shape
-// of gossip-style workloads — via the batch pool.
-func (e *Engine) RouteAll(s graph.NodeID, targets []graph.NodeID) []BatchResult {
+// of gossip-style workloads — via the batch pool. ctx cancels as in
+// RouteBatch.
+func (e *Engine) RouteAll(ctx context.Context, s graph.NodeID, targets []graph.NodeID) []BatchResult {
 	pairs := make([]Pair, len(targets))
 	for i, t := range targets {
 		pairs[i] = Pair{Src: s, Dst: t}
 	}
-	return e.RouteBatch(pairs)
+	return e.RouteBatch(ctx, pairs)
 }

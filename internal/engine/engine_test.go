@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -160,7 +161,7 @@ func TestRouteBatch(t *testing.T) {
 	g := gen.Grid(4, 4)
 	e := mustCompile(t, g, Config{Seed: 1, Workers: 3})
 	pairs := []Pair{{0, 15}, {0, 7777}, {3, 12}, {5, 5}, {4242, 0}}
-	out := e.RouteBatch(pairs)
+	out := e.RouteBatch(context.Background(), pairs)
 	if len(out) != len(pairs) {
 		t.Fatalf("got %d results, want %d", len(out), len(pairs))
 	}
@@ -182,14 +183,37 @@ func TestRouteBatch(t *testing.T) {
 		t.Fatalf("member 4 (absent src) err = %v, want ErrNodeNotFound", out[4].Err)
 	}
 
-	all := e.RouteAll(0, g.Nodes())
+	all := e.RouteAll(context.Background(), 0, g.Nodes())
 	for _, br := range all {
 		if br.Err != nil || br.Res.Status != netsim.StatusSuccess {
 			t.Fatalf("RouteAll member %+v: %v err %v", br.Pair, br.Res, br.Err)
 		}
 	}
-	if e.RouteBatch(nil) == nil {
+	if e.RouteBatch(nil, nil) == nil {
 		t.Fatal("RouteBatch(nil) returned nil slice")
+	}
+}
+
+// TestRouteBatchCancellation checks the context contract: members not yet
+// started when ctx is done are skipped and report the context error.
+func TestRouteBatchCancellation(t *testing.T) {
+	g := gen.Grid(4, 4)
+	e := mustCompile(t, g, Config{Seed: 1, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: no member may route
+	for _, br := range e.RouteAll(ctx, 0, g.Nodes()) {
+		if !errors.Is(br.Err, context.Canceled) {
+			t.Fatalf("member %+v: err %v, want context.Canceled", br.Pair, br.Err)
+		}
+		if br.Res != nil {
+			t.Fatalf("member %+v routed despite canceled ctx", br.Pair)
+		}
+	}
+	// A live context routes normally.
+	for _, br := range e.RouteBatch(context.Background(), []Pair{{0, 15}}) {
+		if br.Err != nil || br.Res.Status != netsim.StatusSuccess {
+			t.Fatalf("live ctx member: %+v err %v", br.Res, br.Err)
+		}
 	}
 }
 
@@ -214,7 +238,7 @@ func TestStats(t *testing.T) {
 	if _, err := e.Hybrid(0, 15, 4); err != nil {
 		t.Fatal(err)
 	}
-	e.RouteBatch([]Pair{{0, 1}, {0, 2}})
+	e.RouteBatch(context.Background(), []Pair{{0, 1}, {0, 2}})
 	s := e.Stats()
 	if s.Routes != 4 || s.Broadcasts != 1 || s.Counts != 1 || s.Hybrids != 1 || s.Batches != 1 {
 		t.Fatalf("counters off: %+v", s)

@@ -74,14 +74,14 @@ func (s Snapshot) Queries() int64 {
 // Stats returns a snapshot of the engine's metrics.
 func (e *Engine) Stats() Snapshot {
 	return Snapshot{
-		Routes:         e.m.routes.Load(),
-		Broadcasts:     e.m.broadcasts.Load(),
-		Counts:         e.m.counts.Load(),
-		Hybrids:        e.m.hybrids.Load(),
-		Batches:        e.m.batches.Load(),
-		Errors:         e.m.errors.Load(),
-		Hops:           e.m.hops.Load(),
-		Rounds:         e.m.rounds.Load(),
+		Routes:             e.m.routes.Load(),
+		Broadcasts:         e.m.broadcasts.Load(),
+		Counts:             e.m.counts.Load(),
+		Hybrids:            e.m.hybrids.Load(),
+		Batches:            e.m.batches.Load(),
+		Errors:             e.m.errors.Load(),
+		Hops:               e.m.hops.Load(),
+		Rounds:             e.m.rounds.Load(),
 		SeqCacheHits:       e.m.seqHits.Load(),
 		SeqCacheMisses:     e.m.seqMisses.Load(),
 		PeakHeaderBits:     e.m.peakHeaderBits.Load(),

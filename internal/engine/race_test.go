@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -68,7 +69,7 @@ func TestConcurrentQueries(t *testing.T) {
 				for i := range pairs {
 					pairs[i] = Pair{Src: 0, Dst: nodes[(s+i)%len(nodes)]}
 				}
-				for _, br := range e.RouteBatch(pairs) {
+				for _, br := range e.RouteBatch(context.Background(), pairs) {
 					if br.Err != nil {
 						errc <- br.Err
 						return
@@ -104,7 +105,7 @@ func TestConcurrentBatches(t *testing.T) {
 			for i := range targets {
 				targets[i] = nodes[(b*5+i)%len(nodes)]
 			}
-			for _, br := range e.RouteAll(nodes[b%len(nodes)], targets) {
+			for _, br := range e.RouteAll(context.Background(), nodes[b%len(nodes)], targets) {
 				if br.Err != nil {
 					t.Errorf("batch %d: %v", b, br.Err)
 					return

@@ -63,8 +63,8 @@ func E11DynamicNetworks(o Options) (*Table, error) {
 			},
 		},
 		{
-			name: "adversarial next-link cutter (2-edge-connected)",
-			base: gen.Torus(4, 4),
+			name:  "adversarial next-link cutter (2-edge-connected)",
+			base:  gen.Torus(4, 4),
 			sched: func(int) dynamic.Schedule { return &dynamic.LinkCutter{} },
 		},
 	}

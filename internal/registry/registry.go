@@ -1,0 +1,285 @@
+// Package registry is the multi-tenant serving layer's state: a bounded
+// LRU cache of compiled routing engines keyed by network spec, and a
+// bounded table of named long-lived dynamic worlds.
+//
+// The paper's protocol is compile-once and stateless per query, which is
+// exactly the shape that serves many tenants from shared artifacts: the
+// expensive work (degree reduction, flat CSR snapshot, sequence family)
+// happens once per distinct network, and every subsequent query — from
+// any client — reads the immutable compiled state. The registry
+// operationalizes that amortization across networks: requests name a
+// network by spec, the first request compiles it (concurrent requests for
+// the same spec are deduplicated into one compile — singleflight), and a
+// bounded LRU keeps the hottest engines resident. Worlds do the same for
+// dynamic state: instead of paying a private evolving World per request,
+// clients create a named world once and route over it concurrently.
+package registry
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Config bounds a Registry. The zero value gets serving-appropriate
+// defaults.
+type Config struct {
+	// Capacity is the maximum number of resident compiled engines
+	// (0 = DefaultCapacity). The least recently used entry is evicted
+	// beyond it.
+	Capacity int
+	// MaxNodes and MaxEdges cap any single spec (0 = defaults) — specs
+	// are client input and compile cost grows superlinearly with size.
+	MaxNodes int
+	MaxEdges int
+	// Workers is the batch worker-pool size compiled into each engine
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Registry defaults.
+const (
+	DefaultCapacity = 8
+	DefaultMaxNodes = 4096
+	DefaultMaxEdges = 1 << 16
+)
+
+func (c Config) capacity() int {
+	if c.Capacity <= 0 {
+		return DefaultCapacity
+	}
+	return c.Capacity
+}
+
+func (c Config) maxNodes() int {
+	if c.MaxNodes <= 0 {
+		return DefaultMaxNodes
+	}
+	return c.MaxNodes
+}
+
+func (c Config) maxEdges() int {
+	if c.MaxEdges <= 0 {
+		return DefaultMaxEdges
+	}
+	return c.MaxEdges
+}
+
+// Entry is one resident compiled network. Immutable after insertion; the
+// engine inside serves any number of concurrent queries.
+type Entry struct {
+	// ID is the stable spec-derived identifier (Spec.ID).
+	ID string
+	// Desc is the human-readable network description.
+	Desc string
+	// Spec is the spec the entry was compiled from.
+	Spec Spec
+	// Eng is the compiled engine.
+	Eng *engine.Engine
+	// Pos is the node placement for geometric specs (nil otherwise);
+	// worlds seeded from this entry start their mobility models here.
+	Pos map[graph.NodeID]geom.Point
+
+	key  string        // canonical Spec.Key, stored so hits compare without re-hashing
+	elem *list.Element // registry LRU position; guarded by Registry.mu
+}
+
+// Stats is a point-in-time snapshot of registry traffic.
+type Stats struct {
+	// Hits counts Obtain/Get calls served from cache; Misses counts
+	// Obtain calls that had to compile (or join a compile in flight).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Compiles counts actual engine compiles; Dedups counts Obtain calls
+	// that joined another caller's in-flight compile instead of starting
+	// their own — the singleflight savings.
+	Compiles int64 `json:"compiles"`
+	Dedups   int64 `json:"dedups"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Size and Capacity describe the cache.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// flight is one in-progress compile; duplicate requesters block on done
+// and share the outcome.
+type flight struct {
+	done chan struct{}
+	ent  *Entry
+	err  error
+}
+
+// Registry is the bounded LRU of compiled engines. Safe for concurrent
+// use.
+type Registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*Entry  // by ID
+	order   *list.List         // of *Entry; front = most recently used
+	flights map[string]*flight // by ID
+
+	hits, misses, compiles, dedups, evictions int64
+}
+
+// New builds an empty registry.
+func New(cfg Config) *Registry {
+	return &Registry{
+		cfg:     cfg,
+		entries: make(map[string]*Entry),
+		order:   list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Get returns the resident entry with the given ID, marking it most
+// recently used. It never compiles: an evicted or never-compiled ID is
+// simply absent (the caller re-Obtains by spec).
+func (r *Registry) Get(id string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ent, ok := r.entries[id]
+	if !ok {
+		return nil, false
+	}
+	r.hits++
+	r.order.MoveToFront(ent.elem)
+	return ent, true
+}
+
+// Obtain returns the compiled engine for spec, compiling it on first use.
+// cached reports whether the entry was already resident. Concurrent
+// Obtains of the same spec are deduplicated: exactly one compiles, the
+// rest block and share the result. Obtains of different specs compile in
+// parallel.
+func (r *Registry) Obtain(spec Spec) (ent *Entry, cached bool, err error) {
+	if err := spec.validate(r.cfg.maxNodes(), r.cfg.maxEdges()); err != nil {
+		return nil, false, err
+	}
+	key := spec.Key()
+	id := idOf(key)
+
+	r.mu.Lock()
+	if ent, ok := r.entries[id]; ok {
+		if ent.key != key {
+			// A truncated-hash collision: never serve another spec's
+			// engine under a matching ID.
+			r.mu.Unlock()
+			return nil, false, fmt.Errorf("%w: id %s collides with resident %s", ErrBadSpec, id, ent.Desc)
+		}
+		r.hits++
+		r.order.MoveToFront(ent.elem)
+		r.mu.Unlock()
+		return ent, true, nil
+	}
+	r.misses++
+	if f, ok := r.flights[id]; ok {
+		// Someone is already compiling this spec: join their flight.
+		r.dedups++
+		r.mu.Unlock()
+		<-f.done
+		if f.err == nil && f.ent.key != key {
+			return nil, false, fmt.Errorf("%w: id %s collides with in-flight compile", ErrBadSpec, id)
+		}
+		return f.ent, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[id] = f
+	r.compiles++
+	r.mu.Unlock()
+
+	// Compile outside the lock: distinct specs must not serialize.
+	f.ent, f.err = r.compile(id, key, spec)
+
+	r.mu.Lock()
+	delete(r.flights, id)
+	if f.err == nil {
+		r.insertLocked(f.ent)
+	}
+	r.mu.Unlock()
+	close(f.done)
+	return f.ent, false, f.err
+}
+
+// compile builds the topology and the engine for spec.
+func (r *Registry) compile(id, key string, spec Spec) (*Entry, error) {
+	g, pos, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	// Authoritative size gate: validate() bounds what the generators can
+	// produce, but the geometric kinds only estimate their edge count, so
+	// the built graph is re-checked before the expensive compile.
+	if g.NumEdges() > r.cfg.maxEdges() {
+		return nil, fmt.Errorf("%w: built %d edges > limit %d", ErrTooLarge, g.NumEdges(), r.cfg.maxEdges())
+	}
+	eng, err := engine.Compile(g, engine.Config{
+		Seed:       spec.Seed,
+		KnownBound: spec.KnownBound,
+		Workers:    r.cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("registry: compile %s: %w", spec.Desc(), err)
+	}
+	return &Entry{ID: id, Desc: spec.Desc(), Spec: spec, Eng: eng, Pos: pos, key: key}, nil
+}
+
+// insertLocked adds ent at the front of the LRU and evicts beyond
+// capacity. Evicted engines stay alive for whoever still references them
+// (a world seeded from one, a request in flight); the registry merely
+// forgets them.
+func (r *Registry) insertLocked(ent *Entry) {
+	if cur, ok := r.entries[ent.ID]; ok {
+		// A concurrent flight for the same ID cannot exist (flights are
+		// keyed by ID), but be idempotent anyway.
+		r.order.MoveToFront(cur.elem)
+		return
+	}
+	ent.elem = r.order.PushFront(ent)
+	r.entries[ent.ID] = ent
+	for r.order.Len() > r.cfg.capacity() {
+		back := r.order.Back()
+		victim := back.Value.(*Entry)
+		r.order.Remove(back)
+		delete(r.entries, victim.ID)
+		r.evictions++
+	}
+}
+
+// List returns the resident entries, most recently used first.
+func (r *Registry) List() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, r.order.Len())
+	for e := r.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*Entry))
+	}
+	return out
+}
+
+// Len returns the number of resident entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Stats snapshots the traffic counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Hits:      r.hits,
+		Misses:    r.misses,
+		Compiles:  r.compiles,
+		Dedups:    r.dedups,
+		Evictions: r.evictions,
+		Size:      len(r.entries),
+		Capacity:  r.cfg.capacity(),
+	}
+}

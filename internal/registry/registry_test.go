@@ -1,0 +1,265 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func gridSpec(rows, cols int, seed uint64) Spec {
+	return Spec{Kind: "grid", Rows: rows, Cols: cols, Seed: seed}
+}
+
+// TestObtainCompilesAndCaches checks the basic hit/miss lifecycle and that
+// the compiled engine actually routes.
+func TestObtainCompilesAndCaches(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	ent, cached, err := r.Obtain(gridSpec(4, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first Obtain reported cached")
+	}
+	if ent.Eng.Graph().NumNodes() != 16 {
+		t.Fatalf("compiled %d nodes, want 16", ent.Eng.Graph().NumNodes())
+	}
+	res, err := ent.Eng.Route(0, 15)
+	if err != nil || res.Status.String() != "success" {
+		t.Fatalf("route on compiled engine: %+v err %v", res, err)
+	}
+
+	again, cached, err := r.Obtain(gridSpec(4, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || again != ent {
+		t.Fatalf("second Obtain: cached=%v same=%v", cached, again == ent)
+	}
+	got, ok := r.Get(ent.ID)
+	if !ok || got != ent {
+		t.Fatalf("Get(%s): ok=%v", ent.ID, ok)
+	}
+	if _, ok := r.Get("net-nope"); ok {
+		t.Fatal("Get of unknown ID succeeded")
+	}
+	s := r.Stats()
+	if s.Compiles != 1 || s.Misses != 1 || s.Hits != 2 || s.Size != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestSpecIdentity checks that the cache key separates what must be
+// separate (topology, protocol seed) and joins what must join.
+func TestSpecIdentity(t *testing.T) {
+	distinct := []Spec{
+		gridSpec(4, 4, 7),
+		gridSpec(4, 4, 8), // different protocol seed
+		gridSpec(4, 5, 7), // different shape
+		{Kind: "torus", Rows: 4, Cols: 4, Seed: 7},
+		{Kind: "udg2d", N: 16, Radius: 0.4, GenSeed: 1, Seed: 7},
+		{Kind: "edges", Edges: [][2]int64{{0, 1}, {1, 2}}, Seed: 7},
+		{Kind: "edges", Edges: [][2]int64{{0, 1}, {1, 3}}, Seed: 7},
+		{Kind: "edges", Edges: [][2]int64{{0, 1}, {1, 2}}, Nodes: 9, Seed: 7},
+	}
+	seen := make(map[string]int)
+	for i, s := range distinct {
+		id := s.ID()
+		if j, dup := seen[id]; dup {
+			t.Fatalf("specs %d and %d share ID %s", i, j, id)
+		}
+		seen[id] = i
+	}
+	if gridSpec(4, 4, 7).ID() != gridSpec(4, 4, 7).ID() {
+		t.Fatal("equal specs produced different IDs")
+	}
+}
+
+// TestSpecValidation checks the size and shape gates.
+func TestSpecValidation(t *testing.T) {
+	r := New(Config{Capacity: 2, MaxNodes: 64, MaxEdges: 32})
+	cases := []struct {
+		spec Spec
+		want error
+	}{
+		{Spec{Kind: "grid", Rows: 100, Cols: 100, Seed: 1}, ErrTooLarge},
+		// rows*cols wraps around int (2^62 * 4 = 2^64 ≡ 0): must still be
+		// refused, not passed to the generator to panic.
+		{Spec{Kind: "grid", Rows: 1 << 62, Cols: 4}, ErrTooLarge},
+		{Spec{Kind: "torus", Rows: 1 << 62, Cols: 4}, ErrTooLarge},
+		{Spec{Kind: "edges", Edges: [][2]int64{{0, 1000000}}}, ErrTooLarge},
+		// int(MaxInt64)+1 wraps negative: the id itself must be capped.
+		{Spec{Kind: "edges", Edges: [][2]int64{{0, 1<<63 - 1}}}, ErrTooLarge},
+		{Spec{Kind: "edges", Edges: make([][2]int64, 33)}, ErrTooLarge},
+		{Spec{Kind: "grid", Rows: 0, Cols: 4}, ErrBadSpec},
+		{Spec{Kind: "udg2d", N: 10}, ErrBadSpec}, // no radius
+		{Spec{Kind: "edges", Edges: [][2]int64{{-1, 0}}}, ErrBadSpec},
+		{Spec{Kind: "wormhole", N: 4}, ErrBadSpec},
+		{Spec{}, ErrBadSpec},
+	}
+	for _, c := range cases {
+		if _, _, err := r.Obtain(c.spec); !errors.Is(err, c.want) {
+			t.Fatalf("Obtain(%+v) err = %v, want %v", c.spec, err, c.want)
+		}
+	}
+	if s := r.Stats(); s.Compiles != 0 || s.Size != 0 {
+		t.Fatalf("rejected specs reached the compiler: %+v", s)
+	}
+}
+
+// TestBuiltEdgeCap checks the authoritative post-build gate: a geometric
+// spec whose estimate squeaks past validate but whose built graph blows
+// the edge limit is refused before the engine compile.
+func TestBuiltEdgeCap(t *testing.T) {
+	r := New(Config{Capacity: 2, MaxNodes: 256, MaxEdges: 64})
+	// radius 1.5 over the unit square connects everything: ~n^2/2 edges.
+	if _, _, err := r.Obtain(Spec{Kind: "udg2d", N: 40, Radius: 1.5, GenSeed: 1}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("dense udg err = %v, want ErrTooLarge", err)
+	}
+	if s := r.Stats(); s.Size != 0 {
+		t.Fatalf("rejected build cached: %+v", s)
+	}
+}
+
+// TestEdgeSpecBuild checks the explicit edge-list kind end to end,
+// including isolated forced nodes.
+func TestEdgeSpecBuild(t *testing.T) {
+	r := New(Config{})
+	ent, _, err := r.Obtain(Spec{
+		Kind:  "edges",
+		Edges: [][2]int64{{0, 1}, {1, 2}, {2, 0}},
+		Nodes: 5, // nodes 3,4 isolated
+		Seed:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ent.Eng.Graph()
+	if g.NumNodes() != 5 || g.NumEdges() != 3 {
+		t.Fatalf("edge spec built %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	res, err := ent.Eng.Route(0, 2)
+	if err != nil || res.Status.String() != "success" {
+		t.Fatalf("route in triangle: %+v err %v", res, err)
+	}
+	res, err = ent.Eng.Route(0, 4)
+	if err != nil || res.Status.String() != "failure" {
+		t.Fatalf("route to isolated node: %+v err %v", res, err)
+	}
+}
+
+// TestLRUEviction checks the bound: least recently used falls out first,
+// and touching an entry protects it.
+func TestLRUEviction(t *testing.T) {
+	r := New(Config{Capacity: 2})
+	a, _, err := r.Obtain(gridSpec(3, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := r.Obtain(gridSpec(3, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b is the LRU.
+	if _, ok := r.Get(a.ID); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c, _, err := r.Obtain(gridSpec(3, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(b.ID); ok {
+		t.Fatal("LRU entry b survived past capacity")
+	}
+	if _, ok := r.Get(a.ID); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if _, ok := r.Get(c.ID); !ok {
+		t.Fatal("fresh entry c missing")
+	}
+	s := r.Stats()
+	if s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("stats after eviction: %+v", s)
+	}
+	// The evicted engine still works for holders of the old reference.
+	if res, err := b.Eng.Route(0, 8); err != nil || res.Status.String() != "success" {
+		t.Fatalf("evicted engine: %+v err %v", res, err)
+	}
+	// Re-obtaining b recompiles under the same ID.
+	b2, cached, err := r.Obtain(gridSpec(3, 3, 2))
+	if err != nil || cached {
+		t.Fatalf("re-obtain after eviction: cached=%v err=%v", cached, err)
+	}
+	if b2.ID != b.ID {
+		t.Fatalf("recompiled ID %s != original %s", b2.ID, b.ID)
+	}
+}
+
+// TestSingleflight launches many concurrent Obtains of one uncached spec
+// and asserts exactly one compile happened and everyone shares the entry.
+func TestSingleflight(t *testing.T) {
+	r := New(Config{Capacity: 4})
+	const clients = 32
+	var wg sync.WaitGroup
+	ents := make([]*Entry, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A non-trivial compile so the flight window is real.
+			ents[i], _, errs[i] = r.Obtain(gridSpec(12, 12, 99))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if ents[i] != ents[0] {
+			t.Fatalf("client %d got a different entry", i)
+		}
+	}
+	s := r.Stats()
+	if s.Compiles != 1 {
+		t.Fatalf("%d compiles for one spec under concurrency, want 1 (stats %+v)", s.Compiles, s)
+	}
+	if s.Dedups+1 != s.Misses {
+		t.Fatalf("dedup accounting off: %+v", s)
+	}
+}
+
+// TestConcurrentMixedTraffic races obtains of several specs against gets
+// and evictions — run under -race in CI.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	r := New(Config{Capacity: 2})
+	specs := []Spec{gridSpec(3, 3, 1), gridSpec(3, 3, 2), gridSpec(3, 3, 3), gridSpec(4, 3, 1)}
+	var wg sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				spec := specs[(c+k)%len(specs)]
+				ent, _, err := r.Obtain(spec)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if res, err := ent.Eng.Route(0, graph.NodeID(ent.Eng.Graph().NumNodes()-1)); err != nil || res == nil {
+					t.Errorf("client %d route: %v", c, err)
+					return
+				}
+				r.Get(spec.ID())
+				r.List()
+				r.Stats()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := r.Len(); n > 2 {
+		t.Fatalf("capacity 2 exceeded: %d resident", n)
+	}
+}

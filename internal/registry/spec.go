@@ -1,0 +1,212 @@
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Spec declaratively describes a network to compile — the wire form of
+// POST /v1/networks. Two shapes exist: a generator invocation (Kind names
+// a gen family and the numeric fields parameterize it) or an explicit
+// edge list (Kind "edges"). Seed and KnownBound configure the protocol
+// the compiled engine speaks; everything else fixes the topology. Equal
+// specs compile to identical engines, which is what makes the spec the
+// registry's cache key.
+type Spec struct {
+	// Kind selects the topology family: "grid", "torus", "cycle", "path",
+	// "udg2d", "udg3d", or "edges" (explicit edge list).
+	Kind string `json:"kind"`
+	// Rows and Cols size the grid/torus kinds.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// N is the node count for cycle, path, and the udg kinds.
+	N int `json:"n,omitempty"`
+	// Radius is the unit-disk connectivity radius (udg kinds).
+	Radius float64 `json:"radius,omitempty"`
+	// GenSeed seeds the randomized generators (udg kinds).
+	GenSeed uint64 `json:"gen_seed,omitempty"`
+	// Edges is the explicit link list for Kind "edges". Node IDs are
+	// created as referenced; parallel edges and self-loops are allowed,
+	// as everywhere in the model.
+	Edges [][2]int64 `json:"edges,omitempty"`
+	// Nodes optionally forces nodes 0..Nodes-1 to exist for Kind "edges"
+	// even when isolated.
+	Nodes int `json:"nodes,omitempty"`
+	// Seed selects the exploration sequence family T_n the engine serves.
+	Seed uint64 `json:"seed,omitempty"`
+	// KnownBound, if > 0, promises a component-size bound, skipping the
+	// doubling loop on every query.
+	KnownBound int `json:"known_bound,omitempty"`
+}
+
+// Spec validation errors; the serving layer maps them to 400s.
+var (
+	ErrBadSpec  = errors.New("registry: invalid network spec")
+	ErrTooLarge = errors.New("registry: network spec exceeds server limits")
+)
+
+// Key returns the canonical identity of the spec: equal keys mean
+// byte-identical compiled engines. Generator kinds key on their
+// parameters; edge lists key on a digest of the canonical edge encoding.
+func (s Spec) Key() string {
+	switch s.Kind {
+	case "edges":
+		h := sha256.New()
+		var buf [16]byte
+		for _, e := range s.Edges {
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(e[0]))
+			binary.LittleEndian.PutUint64(buf[8:16], uint64(e[1]))
+			h.Write(buf[:])
+		}
+		return fmt.Sprintf("edges sha=%x nodes=%d seed=%d known=%d",
+			h.Sum(nil), s.Nodes, s.Seed, s.KnownBound)
+	default:
+		return fmt.Sprintf("kind=%s rows=%d cols=%d n=%d radius=%g genseed=%d seed=%d known=%d",
+			s.Kind, s.Rows, s.Cols, s.N, s.Radius, s.GenSeed, s.Seed, s.KnownBound)
+	}
+}
+
+// ID returns the stable registry identifier derived from Key — the {id}
+// segment of /v1/networks/{id}/…. Deterministic, so re-POSTing a spec is
+// idempotent. 96 hash bits keep birthday collisions out of reach, and
+// the registry additionally verifies the full Key on every cache hit.
+func (s Spec) ID() string { return idOf(s.Key()) }
+
+// idOf derives the registry ID from an already-computed canonical key,
+// so hot paths hash the spec once.
+func idOf(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return "net-" + hex.EncodeToString(sum[:12])
+}
+
+// Desc returns the human-readable one-liner shown in listings.
+func (s Spec) Desc() string {
+	switch s.Kind {
+	case "grid", "torus":
+		return fmt.Sprintf("%s %dx%d seed=%d", s.Kind, s.Rows, s.Cols, s.Seed)
+	case "cycle", "path":
+		return fmt.Sprintf("%s n=%d seed=%d", s.Kind, s.N, s.Seed)
+	case "udg2d", "udg3d":
+		return fmt.Sprintf("%s n=%d r=%g seed=%d", s.Kind, s.N, s.Radius, s.Seed)
+	case "edges":
+		return fmt.Sprintf("edges m=%d seed=%d", len(s.Edges), s.Seed)
+	default:
+		return s.Kind
+	}
+}
+
+// validate bounds the spec against the registry limits before any
+// construction work happens — a spec is attacker-controlled input, and
+// compile cost grows superlinearly with size.
+func (s Spec) validate(maxNodes, maxEdges int) error {
+	nodes := 0
+	switch s.Kind {
+	case "grid", "torus":
+		if s.Rows < 1 || s.Cols < 1 {
+			return fmt.Errorf("%w: %s needs rows >= 1 and cols >= 1", ErrBadSpec, s.Kind)
+		}
+		// Divide instead of multiplying: rows*cols on attacker-chosen
+		// dimensions can wrap around int and slip under the cap.
+		if s.Rows > maxNodes/s.Cols {
+			return fmt.Errorf("%w: %dx%d nodes > limit %d", ErrTooLarge, s.Rows, s.Cols, maxNodes)
+		}
+		nodes = s.Rows * s.Cols
+	case "cycle", "path":
+		if s.N < 1 {
+			return fmt.Errorf("%w: %s needs n >= 1", ErrBadSpec, s.Kind)
+		}
+		nodes = s.N
+	case "udg2d", "udg3d":
+		if s.N < 1 {
+			return fmt.Errorf("%w: %s needs n >= 1", ErrBadSpec, s.Kind)
+		}
+		if s.Radius <= 0 {
+			return fmt.Errorf("%w: %s needs radius > 0", ErrBadSpec, s.Kind)
+		}
+		nodes = s.N
+	case "edges":
+		if len(s.Edges) == 0 && s.Nodes < 1 {
+			return fmt.Errorf("%w: edges kind needs edges or nodes", ErrBadSpec)
+		}
+		if len(s.Edges) > maxEdges {
+			return fmt.Errorf("%w: %d edges > limit %d", ErrTooLarge, len(s.Edges), maxEdges)
+		}
+		if s.Nodes < 0 {
+			return fmt.Errorf("%w: negative nodes", ErrBadSpec)
+		}
+		nodes = s.Nodes
+		for _, e := range s.Edges {
+			if e[0] < 0 || e[1] < 0 {
+				return fmt.Errorf("%w: negative node id in edge [%d,%d]", ErrBadSpec, e[0], e[1])
+			}
+			for _, v := range e {
+				// Node IDs must land inside the cap: comparing v itself
+				// (not int(v)+1, which overflows at MaxInt64) keeps huge
+				// IDs from wrapping past the limit.
+				if v >= int64(maxNodes) {
+					return fmt.Errorf("%w: node id %d >= node limit %d", ErrTooLarge, v, maxNodes)
+				}
+				if int(v)+1 > nodes {
+					nodes = int(v) + 1
+				}
+			}
+		}
+	case "":
+		return fmt.Errorf("%w: missing kind", ErrBadSpec)
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrBadSpec, s.Kind)
+	}
+	if nodes > maxNodes {
+		return fmt.Errorf("%w: %d nodes > limit %d", ErrTooLarge, nodes, maxNodes)
+	}
+	// The structured kinds cap edges implicitly via nodes; the udg kinds
+	// are quadratic in the worst case (radius ~ 1), so check their
+	// potential against the edge limit too.
+	if (s.Kind == "udg2d" || s.Kind == "udg3d") && nodes*(nodes-1)/2 > maxEdges*8 {
+		return fmt.Errorf("%w: udg on %d nodes may exceed edge limit %d", ErrTooLarge, nodes, maxEdges)
+	}
+	return nil
+}
+
+// build constructs the described topology. Geometric kinds additionally
+// return the node placement (mobility schedules start from it).
+func (s Spec) build() (*graph.Graph, map[graph.NodeID]geom.Point, error) {
+	switch s.Kind {
+	case "grid":
+		return gen.Grid(s.Rows, s.Cols), nil, nil
+	case "torus":
+		return gen.Torus(s.Rows, s.Cols), nil, nil
+	case "cycle":
+		return gen.Cycle(s.N), nil, nil
+	case "path":
+		return gen.Path(s.N), nil, nil
+	case "udg2d":
+		geo := gen.UDG2D(s.N, s.Radius, s.GenSeed)
+		return geo.G, geo.Pos, nil
+	case "udg3d":
+		geo := gen.UDG3D(s.N, s.Radius, s.GenSeed)
+		return geo.G, geo.Pos, nil
+	case "edges":
+		g := graph.New()
+		for i := 0; i < s.Nodes; i++ {
+			g.EnsureNode(graph.NodeID(i))
+		}
+		for _, e := range s.Edges {
+			g.EnsureNode(graph.NodeID(e[0]))
+			g.EnsureNode(graph.NodeID(e[1]))
+			if _, _, err := g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1])); err != nil {
+				return nil, nil, fmt.Errorf("%w: edge [%d,%d]: %v", ErrBadSpec, e[0], e[1], err)
+			}
+		}
+		return g, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, s.Kind)
+	}
+}

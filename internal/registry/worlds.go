@@ -1,0 +1,168 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dynamic"
+	"repro/internal/engine"
+)
+
+// World lifecycle errors; the serving layer maps capacity to 429 and the
+// rest to 4xx shape errors.
+var (
+	ErrWorldCapacity = errors.New("registry: world capacity exhausted")
+	ErrWorldExists   = errors.New("registry: world name already in use")
+	ErrBadWorldName  = errors.New("registry: invalid world name")
+)
+
+// DefaultWorldLimit bounds the world table when no limit is configured.
+const DefaultWorldLimit = 16
+
+// WorldEntry is one named long-lived dynamic world: a shared evolving
+// dynamic.World plus the engine whose protocol configuration its routes
+// speak. The World itself is concurrency-safe; any number of requests
+// route over it at once.
+type WorldEntry struct {
+	// ID names the world in /v1/worlds/{id}/…: client-chosen or generated.
+	ID string
+	// NetworkID is the registry ID of the network the world was seeded
+	// from ("" = the daemon's boot network).
+	NetworkID string
+	// Desc describes the schedule driving the world.
+	Desc string
+	// Eng is the engine the world was seeded from; dynamic routes take
+	// their protocol parameters (seed, bounds) from it.
+	Eng *engine.Engine
+	// W is the shared evolving world.
+	W *dynamic.World
+
+	seq int // creation order, for stable listings
+}
+
+// Worlds is the bounded table of named worlds. Unlike the engine LRU,
+// worlds are stateful (they have evolved), so they are never silently
+// evicted: creation beyond the bound fails and clients delete explicitly.
+type Worlds struct {
+	mu    sync.Mutex
+	limit int
+	m     map[string]*WorldEntry
+	names int // generated-name counter ("w<n>")
+	seq   int // creation counter, for stable listing order
+}
+
+// NewWorlds builds an empty world table holding at most limit worlds
+// (0 = DefaultWorldLimit).
+func NewWorlds(limit int) *Worlds {
+	if limit <= 0 {
+		limit = DefaultWorldLimit
+	}
+	return &Worlds{limit: limit, m: make(map[string]*WorldEntry)}
+}
+
+// validWorldName accepts 1..64 chars of [A-Za-z0-9_-] — IDs appear in
+// URL paths.
+func validWorldName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// admitLocked is the shared gate for Create and Precheck: name rules,
+// duplicates, then capacity.
+func (ws *Worlds) admitLocked(name string) error {
+	if name != "" {
+		if !validWorldName(name) {
+			return fmt.Errorf("%w: %q (want 1-64 chars of [A-Za-z0-9_-])", ErrBadWorldName, name)
+		}
+		if _, taken := ws.m[name]; taken {
+			return fmt.Errorf("%w: %q", ErrWorldExists, name)
+		}
+	}
+	if len(ws.m) >= ws.limit {
+		return fmt.Errorf("%w: %d worlds resident (delete one first)", ErrWorldCapacity, len(ws.m))
+	}
+	return nil
+}
+
+// Precheck reports whether Create(name, …) would currently be admitted,
+// without reserving anything. The serving layer calls it before paying
+// for world construction (a full graph clone); Create remains the
+// authoritative check.
+func (ws *Worlds) Precheck(name string) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.admitLocked(name)
+}
+
+// Create registers ent under name (empty = a generated "w<n>" ID) and
+// returns it with ID and ordering filled in.
+func (ws *Worlds) Create(name string, ent *WorldEntry) (*WorldEntry, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err := ws.admitLocked(name); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		for {
+			ws.names++
+			name = fmt.Sprintf("w%d", ws.names)
+			if _, taken := ws.m[name]; !taken {
+				break
+			}
+		}
+	}
+	ent.ID = name
+	ws.seq++
+	ent.seq = ws.seq
+	ws.m[name] = ent
+	return ent, nil
+}
+
+// Get returns the named world.
+func (ws *Worlds) Get(id string) (*WorldEntry, bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ent, ok := ws.m[id]
+	return ent, ok
+}
+
+// Delete removes the named world, reporting whether it existed. In-flight
+// routes over it finish normally (they hold their own reference).
+func (ws *Worlds) Delete(id string) bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	_, ok := ws.m[id]
+	delete(ws.m, id)
+	return ok
+}
+
+// List returns the resident worlds in creation order.
+func (ws *Worlds) List() []*WorldEntry {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	out := make([]*WorldEntry, 0, len(ws.m))
+	for _, ent := range ws.m {
+		out = append(out, ent)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Len returns the number of resident worlds.
+func (ws *Worlds) Len() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return len(ws.m)
+}

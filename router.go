@@ -1,6 +1,8 @@
 package adhocroute
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/route"
@@ -137,7 +139,7 @@ func (r *Router) RouteBatch(queries []BatchQuery) []BatchRouteResult {
 	for i, q := range queries {
 		pairs[i] = engine.Pair{Src: graph.NodeID(q.Src), Dst: graph.NodeID(q.Dst)}
 	}
-	return publicBatchResults(r.eng.RouteBatch(pairs))
+	return publicBatchResults(r.eng.RouteBatch(context.Background(), pairs))
 }
 
 // RouteAll routes from s to every target via the batch pool.
@@ -146,7 +148,7 @@ func (r *Router) RouteAll(s NodeID, targets []NodeID) []BatchRouteResult {
 	for i, t := range targets {
 		ids[i] = graph.NodeID(t)
 	}
-	return publicBatchResults(r.eng.RouteAll(graph.NodeID(s), ids))
+	return publicBatchResults(r.eng.RouteAll(context.Background(), graph.NodeID(s), ids))
 }
 
 // RouterStats is a point-in-time snapshot of a Router's serving metrics.
