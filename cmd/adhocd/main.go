@@ -14,6 +14,9 @@
 // Boot-network endpoints:
 //
 //	GET  /healthz       — liveness (bypasses admission control)
+//	GET  /metrics       — Prometheus text exposition (engine, registry,
+//	                      world, and per-endpoint HTTP metrics); moved to
+//	                      a dedicated listener by -metrics-addr
 //	GET  /v1/network    — served network summary
 //	GET  /v1/stats      — engine metrics + registry/world occupancy
 //	POST /v1/route      — {"src":0,"dst":35,"with_path":false}
@@ -53,6 +56,13 @@
 //
 // With -pprof, net/http/pprof is additionally mounted under /debug/pprof/
 // so serving hot spots can be profiled in place.
+//
+// Observability: every request is metered (latency histogram and status
+// class per endpoint, in-flight gauge, admission rejections), and the
+// engine, network registry, and world table export their counters and
+// latency distributions — see docs/OPERATIONS.md for the metric catalogue
+// and alerting notes, and cmd/loadgen for driving the daemon with
+// realistic load.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -104,6 +114,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		workers  = fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		drainFor = fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		metrics  = fs.String("metrics-addr", "", "serve GET /metrics on this dedicated listener instead of the main port")
 
 		maxBody     = fs.Int64("max-body", defaultMaxBody, "request body cap in bytes (-1 = unlimited)")
 		maxBatch    = fs.Int("max-batch", defaultMaxBatch, "batch members per request (-1 = unlimited)")
@@ -135,13 +146,14 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		maxBatch:    *maxBatch,
 		maxInflight: *maxInflight,
 		maxWorlds:   *maxWorlds,
+		metricsAddr: *metrics,
 		registry: registry.Config{
 			Capacity: *maxNets,
 			MaxNodes: *maxNetNodes,
 			Workers:  *workers,
 		},
 	})
-	return serve(*addr, srv, out, ready, *drainFor)
+	return serve(*addr, srv, *metrics, srv.MetricsHandler(), out, ready, *drainFor)
 }
 
 // buildGraph loads the network file, or generates the requested family.
@@ -174,11 +186,13 @@ func buildGraph(load, kind string, rows, cols, n int, radius float64, seed uint6
 	}
 }
 
-// serve runs the HTTP server until SIGINT/SIGTERM, then drains. The
-// listener is bound synchronously so the address is known (tests bind :0
-// and learn the chosen port via ready) and all writes to out happen on
-// this goroutine.
-func serve(addr string, h http.Handler, out io.Writer, ready chan<- string, drain time.Duration) error {
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains. When
+// metricsAddr is non-empty, a second listener serves the Prometheus
+// exposition (mh) there — the ops port — and shuts down with the main
+// one. Listeners are bound synchronously so the addresses are known
+// (tests bind :0 and learn the chosen ports via ready / the log lines)
+// and all writes to out happen on this goroutine.
+func serve(addr string, h http.Handler, metricsAddr string, mh http.Handler, out io.Writer, ready chan<- string, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -186,30 +200,53 @@ func serve(addr string, h http.Handler, out io.Writer, ready chan<- string, drai
 	if err != nil {
 		return err
 	}
+	srvs := []*http.Server{{Handler: h}}
+	lns := []net.Listener{ln}
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", mh)
+		fmt.Fprintf(out, "adhocd: metrics on %s\n", mln.Addr())
+		srvs = append(srvs, &http.Server{Handler: mmux})
+		lns = append(lns, mln)
+	}
 	fmt.Fprintf(out, "adhocd: listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	srv := &http.Server{Handler: h}
-	errCh := make(chan error, 1)
-	go func() {
-		errCh <- srv.Serve(ln)
-	}()
+	errCh := make(chan error, len(srvs))
+	for i := range srvs {
+		go func(srv *http.Server, ln net.Listener) {
+			errCh <- srv.Serve(ln)
+		}(srvs[i], lns[i])
+	}
 
 	select {
 	case err := <-errCh:
+		// One listener failing takes the daemon down; close the rest.
+		for _, srv := range srvs {
+			srv.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "adhocd: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		return err
+	for _, srv := range srvs {
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
 	}
-	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+	for range srvs {
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
 	}
 	return nil
 }

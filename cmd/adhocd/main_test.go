@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -99,6 +100,87 @@ func TestPprofFlag(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
 	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v (output: %s)", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// syncBuffer is a goroutine-safe output sink: unlike the other daemon
+// tests (which only read the log after the daemon has exited, so the
+// done channel orders the accesses), TestMetricsAddr parses the log
+// while the daemon is still running and may still write to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestMetricsAddr boots the daemon with a dedicated metrics listener and
+// checks the exposition moved there: scrapes answer on the ops port and
+// 404 on the serving port.
+func TestMetricsAddr(t *testing.T) {
+	var out syncBuffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+			"-gen", "grid", "-rows", "3", "-cols", "3"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	// The metrics address is printed before ready fires; parse it out.
+	var maddr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "adhocd: metrics on "); ok {
+			maddr = rest
+		}
+	}
+	if maddr == "" {
+		t.Fatalf("metrics address not logged: %s", out.String())
+	}
+
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET metrics listener /metrics = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET main listener /metrics = %d, want 404 (moved to -metrics-addr)", resp.StatusCode)
+	}
+
 	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
 		t.Fatal(err)
 	}

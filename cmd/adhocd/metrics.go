@@ -1,0 +1,149 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// httpMetrics is the serving-layer instrumentation: one latency histogram
+// and per-status-class counters per registered route pattern, an in-flight
+// gauge, and an admission-rejection counter. Endpoint metrics are
+// pre-built at server construction from the known pattern table, so the
+// per-request cost is one read-only map lookup plus a few atomic adds —
+// no locks, no allocation.
+type httpMetrics struct {
+	inflight  *obs.Gauge
+	rejected  *obs.Counter
+	endpoints map[string]*endpointMetrics
+	other     *endpointMetrics // unmatched paths (mux 404s)
+}
+
+// endpointMetrics instruments one route pattern.
+type endpointMetrics struct {
+	seconds *obs.Histogram
+	classes [6]*obs.Counter // index = status/100 (1xx..5xx); 0 unused
+}
+
+func newEndpointMetrics(o *obs.Registry, endpoint string) (*endpointMetrics, error) {
+	ep := &endpointMetrics{
+		seconds: obs.NewLatencyHistogram("adhoc_http_request_seconds",
+			"HTTP request latency by endpoint (admission to last byte).",
+			obs.Labels{"endpoint": endpoint}),
+	}
+	ms := []obs.Metric{ep.seconds}
+	for c := 1; c <= 5; c++ {
+		ep.classes[c] = obs.NewCounter("adhoc_http_requests_total",
+			"HTTP requests by endpoint and status class.",
+			obs.Labels{"endpoint": endpoint, "code": []string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}[c]})
+		ms = append(ms, ep.classes[c])
+	}
+	return ep, o.Register(ms...)
+}
+
+// newHTTPMetrics builds and registers the serving-layer metrics for the
+// given route patterns.
+func newHTTPMetrics(o *obs.Registry, patterns []string) (*httpMetrics, error) {
+	hm := &httpMetrics{
+		inflight: obs.NewGauge("adhoc_http_inflight_requests",
+			"Requests currently being served (admission gauge).", nil),
+		rejected: obs.NewCounter("adhoc_http_rejected_total",
+			"Requests rejected by admission control (429, server at capacity).", nil),
+		endpoints: make(map[string]*endpointMetrics, len(patterns)),
+	}
+	if err := o.Register(hm.inflight, hm.rejected); err != nil {
+		return nil, err
+	}
+	for _, p := range patterns {
+		ep, err := newEndpointMetrics(o, p)
+		if err != nil {
+			return nil, err
+		}
+		hm.endpoints[p] = ep
+	}
+	other, err := newEndpointMetrics(o, "other")
+	if err != nil {
+		return nil, err
+	}
+	hm.other = other
+	return hm, nil
+}
+
+// record books one finished request. pattern is the matched mux pattern
+// ("" when nothing matched — 404s and admission rejections — which land
+// in the "other" endpoint).
+func (hm *httpMetrics) record(pattern string, status int, start time.Time) {
+	ep, ok := hm.endpoints[pattern]
+	if !ok {
+		ep = hm.other
+	}
+	ep.seconds.ObserveSince(start)
+	if c := status / 100; c >= 1 && c <= 5 {
+		ep.classes[c].Inc()
+	}
+}
+
+// statusRecorder captures the response status for metering. A handler
+// that never calls WriteHeader implicitly answers 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// status returns the effective status code (200 when the handler wrote
+// nothing at all).
+func (r *statusRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// Flush forwards to the underlying writer when it streams (pprof's
+// profile endpoints flush).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// registerMetrics exports every subsystem into the server's obs registry:
+// the boot engine (route/dynamic/batch latency, hop and header-bit
+// distributions, query counters), the network registry (hit/miss/
+// singleflight/eviction traffic and compile latency), the world table
+// (per-world epoch/links/recompiles), and the HTTP layer itself.
+func (s *server) registerMetrics(patterns []string) error {
+	if err := s.eng.RegisterMetrics(s.obs); err != nil {
+		return err
+	}
+	if err := s.reg.RegisterMetrics(s.obs); err != nil {
+		return err
+	}
+	if err := s.worlds.RegisterMetrics(s.obs); err != nil {
+		return err
+	}
+	hm, err := newHTTPMetrics(s.obs, patterns)
+	if err != nil {
+		return err
+	}
+	s.hm = hm
+	return nil
+}

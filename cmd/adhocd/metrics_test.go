@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestMetricsExposition drives real traffic through every subsystem and
+// checks the scrape covers engine, registry, dynamic-world, and HTTP
+// families in valid Prometheus text format.
+func TestMetricsExposition(t *testing.T) {
+	ts := testServer(t)
+
+	// One route (engine), one tenant compile (registry), one shared world
+	// with an advance and a route (dynamic), one 4xx (HTTP classes).
+	mustPost(t, ts.URL+"/v1/route", `{"src":0,"dst":15}`, http.StatusOK)
+	mustPost(t, ts.URL+"/v1/networks", `{"kind":"grid","rows":3,"cols":3,"seed":1}`, http.StatusCreated)
+	mustPost(t, ts.URL+"/v1/worlds", `{"name":"obs1","schedule":{"kind":"churn","p_drop":0.2,"add_rate":1,"seed":4}}`, http.StatusCreated)
+	mustPost(t, ts.URL+"/v1/worlds/obs1/advance", `{"epochs":3}`, http.StatusOK)
+	mustPost(t, ts.URL+"/v1/worlds/obs1/route", `{"src":0,"dst":15,"hops_per_epoch":-1}`, http.StatusOK)
+	mustPost(t, ts.URL+"/v1/route", `not json`, http.StatusBadRequest)
+
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	wants := []string{
+		"# TYPE adhoc_engine_route_seconds histogram",
+		"adhoc_engine_route_seconds_count",
+		"# TYPE adhoc_engine_route_hops histogram",
+		"# TYPE adhoc_engine_route_header_bits histogram",
+		"adhoc_engine_dynamic_routes_total 1",
+		"adhoc_registry_compiles_total 1",
+		"# TYPE adhoc_registry_compile_seconds histogram",
+		"adhoc_registry_networks 1",
+		"adhoc_worlds 1",
+		`adhoc_world_epoch{world="obs1"} 3`,
+		`adhoc_world_recompiles{world="obs1"}`,
+		`adhoc_http_requests_total{code="2xx",endpoint="POST /v1/route"} 1`,
+		`adhoc_http_requests_total{code="4xx",endpoint="POST /v1/route"} 1`,
+		"# TYPE adhoc_http_request_seconds histogram",
+		"adhoc_http_inflight_requests 1",
+	}
+	for _, want := range wants {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+	// Exactly one HELP/TYPE header per family even with one series per
+	// endpoint label.
+	if n := strings.Count(body, "# TYPE adhoc_http_request_seconds histogram"); n != 1 {
+		t.Errorf("adhoc_http_request_seconds TYPE header appears %d times, want 1", n)
+	}
+}
+
+// TestMetricsExpositionParses runs a minimal line-shape validator over the
+// full scrape: every non-comment line must be `name{labels} value` with a
+// parseable float value — the contract a Prometheus scraper enforces.
+func TestMetricsExpositionParses(t *testing.T) {
+	ts := testServer(t)
+	mustPost(t, ts.URL+"/v1/route", `{"src":0,"dst":15}`, http.StatusOK)
+	_, body := getBody(t, ts.URL+"/metrics")
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if line == "" {
+			t.Error("blank line in exposition")
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		var f float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &f); err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+		}
+		series := line[:sp]
+		if i := strings.IndexByte(series, '{'); i >= 0 && !strings.HasSuffix(series, "}") {
+			t.Errorf("unbalanced label braces in %q", line)
+		}
+	}
+}
+
+// TestInfoShapeContract pins the satellite fix: network info and world
+// info share a consistent shape — nodes, links, and compile_ms present in
+// both, with matching topology counts for a world seeded from that
+// network.
+func TestInfoShapeContract(t *testing.T) {
+	ts := testServer(t)
+
+	var net struct {
+		ID        string   `json:"id"`
+		Nodes     int      `json:"nodes"`
+		Links     int      `json:"links"`
+		CompileMS *float64 `json:"compile_ms"`
+	}
+	body := mustPost(t, ts.URL+"/v1/networks", `{"kind":"grid","rows":4,"cols":4,"seed":9}`, http.StatusCreated)
+	if err := json.Unmarshal(body, &net); err != nil {
+		t.Fatal(err)
+	}
+	if net.CompileMS == nil || *net.CompileMS <= 0 {
+		t.Errorf("network compile_ms = %v, want > 0", net.CompileMS)
+	}
+	if net.Nodes != 16 || net.Links != 24 {
+		t.Errorf("network info: %d nodes, %d links; want 16, 24", net.Nodes, net.Links)
+	}
+
+	// GET /v1/networks/{id} must serve the identical shape.
+	code, infoBody := getBody(t, ts.URL+"/v1/networks/"+net.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET network info = %d", code)
+	}
+	var netInfo map[string]any
+	if err := json.Unmarshal([]byte(infoBody), &netInfo); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"nodes", "links", "compile_ms", "reduced_nodes"} {
+		if _, ok := netInfo[key]; !ok {
+			t.Errorf("GET /v1/networks/{id} missing %q: %s", key, infoBody)
+		}
+	}
+
+	// A world seeded from that network reports the same topology counts
+	// plus its own compile accounting.
+	var world struct {
+		Nodes       int      `json:"nodes"`
+		Links       int      `json:"links"`
+		CompileMS   *float64 `json:"compile_ms"`
+		RecompileMS *float64 `json:"recompile_ms"`
+		CacheHits   *int64   `json:"compile_cache_hits"`
+	}
+	wBody := mustPost(t, ts.URL+"/v1/worlds",
+		fmt.Sprintf(`{"name":"contract","network_id":%q,"schedule":{"kind":"static"}}`, net.ID), http.StatusCreated)
+	if err := json.Unmarshal(wBody, &world); err != nil {
+		t.Fatal(err)
+	}
+	if world.Nodes != net.Nodes || world.Links != net.Links {
+		t.Errorf("world info %d nodes/%d links != network %d/%d",
+			world.Nodes, world.Links, net.Nodes, net.Links)
+	}
+	if world.CompileMS == nil || *world.CompileMS <= 0 {
+		t.Errorf("world compile_ms = %v, want > 0 (seed engine compile)", world.CompileMS)
+	}
+	if world.RecompileMS == nil || world.CacheHits == nil {
+		t.Error("world info missing recompile_ms / compile_cache_hits")
+	}
+	if *world.RecompileMS != 0 {
+		t.Errorf("static never-routed world recompile_ms = %g, want 0", *world.RecompileMS)
+	}
+}
+
+// mustPost posts body and returns the response body, failing the test on
+// an unexpected status.
+func mustPost(t *testing.T, url, body string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s = %d, want %d (body: %s)", url, resp.StatusCode, wantCode, b)
+	}
+	return b
+}

@@ -144,6 +144,11 @@ func TestAdmissionControl(t *testing.T) {
 	if code := do(t, ts, "GET", "/healthz", "", nil); code != http.StatusOK {
 		t.Fatalf("healthz under pressure: code %d", code)
 	}
+	// Scrapes too: monitoring must not go blind during the overload it
+	// exists to observe.
+	if code := do(t, ts, "GET", "/metrics", "", nil); code != http.StatusOK {
+		t.Fatalf("metrics under pressure: code %d", code)
+	}
 	// Releasing the slot restores service.
 	<-srv.inflight
 	if code := do(t, ts, "POST", "/v1/route", `{"src":0,"dst":5}`, nil); code != http.StatusOK {

@@ -43,7 +43,7 @@ func (s *server) handleNetworkCreate(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, networkCreateReply{
-		networkInfo: infoOf(ent.ID, ent.Desc, ent.Eng),
+		networkInfo: infoOf(ent.ID, ent.Desc, ent.Eng, ent.CompileTime),
 		Cached:      cached,
 	})
 }
@@ -54,7 +54,7 @@ func (s *server) handleNetworkList(w http.ResponseWriter, _ *http.Request) {
 	ents := s.reg.List()
 	infos := make([]networkInfo, len(ents))
 	for i, ent := range ents {
-		infos[i] = infoOf(ent.ID, ent.Desc, ent.Eng)
+		infos[i] = infoOf(ent.ID, ent.Desc, ent.Eng, ent.CompileTime)
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Networks []networkInfo  `json:"networks"`
@@ -81,5 +81,5 @@ func (s *server) handleNetworkInfo(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, infoOf(ent.ID, ent.Desc, ent.Eng))
+	writeJSON(w, http.StatusOK, infoOf(ent.ID, ent.Desc, ent.Eng, ent.CompileTime))
 }

@@ -7,11 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/route"
 )
@@ -35,6 +37,10 @@ type serverConfig struct {
 	maxInflight int   // admitted requests; < 0 disables admission control
 	registry    registry.Config
 	maxWorlds   int
+	// metricsAddr moves GET /metrics to a dedicated listener (the ops
+	// convention that keeps the scrape surface off the public port).
+	// Empty serves /metrics on the main mux.
+	metricsAddr string
 }
 
 func (c serverConfig) bodyLimit() int64 {
@@ -86,6 +92,9 @@ type server struct {
 	maxBatch int
 	inflight chan struct{} // admission semaphore; nil = unlimited
 
+	obs *obs.Registry // Prometheus metric registry (GET /metrics)
+	hm  *httpMetrics  // per-endpoint request instrumentation
+
 	mux *http.ServeMux
 }
 
@@ -104,53 +113,94 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 		worlds:   registry.NewWorlds(cfg.maxWorlds),
 		maxBody:  cfg.bodyLimit(),
 		maxBatch: cfg.batchLimit(),
+		obs:      obs.NewRegistry(),
 		mux:      http.NewServeMux(),
 	}
 	if n := cfg.inflightLimit(); n > 0 {
 		s.inflight = make(chan struct{}, n)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/network", s.handleNetwork)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/route", s.defaultEngine(s.handleRoute))
-	s.mux.HandleFunc("POST /v1/batch", s.defaultEngine(s.handleBatch))
-	s.mux.HandleFunc("POST /v1/broadcast", s.handleBroadcast)
-	s.mux.HandleFunc("POST /v1/count", s.handleCount)
-	s.mux.HandleFunc("POST /v1/hybrid", s.handleHybrid)
-	s.mux.HandleFunc("POST /v1/dynamic", s.handleDynamic)
+	// handle registers a route and collects its pattern so the HTTP
+	// metrics layer pre-builds one latency histogram + status counters per
+	// endpoint (the per-request path is then a read-only map lookup).
+	var patterns []string
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, h)
+		patterns = append(patterns, pattern)
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /v1/network", s.handleNetwork)
+	handle("GET /v1/stats", s.handleStats)
+	handle("POST /v1/route", s.defaultEngine(s.handleRoute))
+	handle("POST /v1/batch", s.defaultEngine(s.handleBatch))
+	handle("POST /v1/broadcast", s.handleBroadcast)
+	handle("POST /v1/count", s.handleCount)
+	handle("POST /v1/hybrid", s.handleHybrid)
+	handle("POST /v1/dynamic", s.handleDynamic)
 
 	// Multi-tenant surface: runtime-compiled networks and shared worlds.
-	s.mux.HandleFunc("POST /v1/networks", s.handleNetworkCreate)
-	s.mux.HandleFunc("GET /v1/networks", s.handleNetworkList)
-	s.mux.HandleFunc("GET /v1/networks/{id}", s.handleNetworkInfo)
-	s.mux.HandleFunc("POST /v1/networks/{id}/route", s.namedEngine(s.handleRoute))
-	s.mux.HandleFunc("POST /v1/networks/{id}/batch", s.namedEngine(s.handleBatch))
-	s.mux.HandleFunc("POST /v1/worlds", s.handleWorldCreate)
-	s.mux.HandleFunc("GET /v1/worlds", s.handleWorldList)
-	s.mux.HandleFunc("GET /v1/worlds/{id}", s.handleWorldInfo)
-	s.mux.HandleFunc("POST /v1/worlds/{id}/advance", s.handleWorldAdvance)
-	s.mux.HandleFunc("POST /v1/worlds/{id}/route", s.handleWorldRoute)
-	s.mux.HandleFunc("DELETE /v1/worlds/{id}", s.handleWorldDelete)
+	handle("POST /v1/networks", s.handleNetworkCreate)
+	handle("GET /v1/networks", s.handleNetworkList)
+	handle("GET /v1/networks/{id}", s.handleNetworkInfo)
+	handle("POST /v1/networks/{id}/route", s.namedEngine(s.handleRoute))
+	handle("POST /v1/networks/{id}/batch", s.namedEngine(s.handleBatch))
+	handle("POST /v1/worlds", s.handleWorldCreate)
+	handle("GET /v1/worlds", s.handleWorldList)
+	handle("GET /v1/worlds/{id}", s.handleWorldInfo)
+	handle("POST /v1/worlds/{id}/advance", s.handleWorldAdvance)
+	handle("POST /v1/worlds/{id}/route", s.handleWorldRoute)
+	handle("DELETE /v1/worlds/{id}", s.handleWorldDelete)
+
+	// The scrape endpoint stays on the main mux unless an ops-dedicated
+	// listener was requested (-metrics-addr), in which case serve() mounts
+	// MetricsHandler there instead.
+	if cfg.metricsAddr == "" {
+		handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			s.obs.Handler().ServeHTTP(w, r)
+		})
+	}
 
 	if cfg.pprof {
 		// pprof.Index dispatches the named profiles (heap, goroutine, …)
 		// itself; only the handlers with dedicated logic need explicit
 		// routes.
-		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handle("GET /debug/pprof/", pprof.Index)
+		handle("GET /debug/pprof/cmdline", pprof.Cmdline)
+		handle("GET /debug/pprof/profile", pprof.Profile)
+		handle("GET /debug/pprof/symbol", pprof.Symbol)
+		handle("GET /debug/pprof/trace", pprof.Trace)
+	}
+	// Registration can only fail on a static wiring bug (duplicate metric
+	// family); panic so any test catches it immediately.
+	if err := s.registerMetrics(patterns); err != nil {
+		panic(fmt.Sprintf("adhocd: metric registration: %v", err))
 	}
 	return s
 }
 
-// ServeHTTP implements http.Handler: admission control, then the request
-// body cap, then the endpoint table. Liveness probes bypass admission —
-// a saturated server is still alive.
+// MetricsHandler serves the Prometheus exposition — mounted on the main
+// mux (default) or a dedicated -metrics-addr listener.
+func (s *server) MetricsHandler() http.Handler { return s.obs.Handler() }
+
+// ServeHTTP implements http.Handler: metering, admission control, then
+// the request body cap, then the endpoint table. Liveness probes bypass
+// admission — a saturated server is still alive. Every request (including
+// rejected and unmatched ones) is metered: latency by endpoint pattern,
+// status class, and the in-flight gauge.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method == http.MethodGet && r.URL.Path == "/healthz" {
-		s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	sr := &statusRecorder{ResponseWriter: w}
+	s.hm.inflight.Inc()
+	defer s.hm.inflight.Dec()
+	// r.Pattern is filled in by the mux match (empty for 404s and
+	// admission rejections, which land in the "other" endpoint bucket).
+	defer func() { s.hm.record(r.Pattern, sr.status(), start) }()
+	// Liveness probes and metric scrapes bypass admission: a saturated
+	// server is still alive, and monitoring must not go blind during
+	// exactly the overload it exists to observe. (With -metrics-addr the
+	// dedicated listener skips ServeHTTP entirely; this covers the
+	// default main-mux mount.)
+	if r.Method == http.MethodGet && (r.URL.Path == "/healthz" || r.URL.Path == "/metrics") {
+		s.mux.ServeHTTP(sr, r)
 		return
 	}
 	if s.inflight != nil {
@@ -158,18 +208,22 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
 		default:
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests,
+			s.hm.rejected.Inc()
+			sr.Header().Set("Retry-After", "1")
+			writeJSON(sr, http.StatusTooManyRequests,
 				errorBody{Error: "server at capacity: too many in-flight requests"})
 			return
 		}
 	}
 	if s.maxBody > 0 && r.Body != nil {
 		// Oversized bodies fail inside decodeBody with a MaxBytesError,
-		// mapped to 413 there.
+		// mapped to 413 there. MaxBytesReader gets the raw writer, not
+		// the metering wrapper: it detects the server's response type by
+		// direct assertion (no Unwrap) to set Connection: close when the
+		// limit trips, and the wrapper would defeat that.
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sr, r)
 }
 
 // engineHandler is a query handler parameterized by the engine it serves —
@@ -255,18 +309,24 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// networkInfo describes a served network.
+// networkInfo describes a served network. The shape contract shared with
+// worldInfo (pinned by TestInfoShapeContract): nodes, links, and
+// compile_ms always present and consistent.
 type networkInfo struct {
-	ID           string `json:"id,omitempty"`
-	Desc         string `json:"desc"`
-	Nodes        int    `json:"nodes"`
-	Links        int    `json:"links"`
-	ReducedNodes int    `json:"reduced_nodes"`
-	Workers      int    `json:"workers"`
-	Seed         uint64 `json:"seed"`
+	ID           string  `json:"id,omitempty"`
+	Desc         string  `json:"desc"`
+	Nodes        int     `json:"nodes"`
+	Links        int     `json:"links"`
+	ReducedNodes int     `json:"reduced_nodes"`
+	Workers      int     `json:"workers"`
+	Seed         uint64  `json:"seed"`
+	CompileMS    float64 `json:"compile_ms"`
 }
 
-func infoOf(id, desc string, eng *engine.Engine) networkInfo {
+// infoOf summarizes a served engine. compile is the one-off preparation
+// cost: the engine compile for the boot network, topology build + compile
+// for registry tenants (Entry.CompileTime).
+func infoOf(id, desc string, eng *engine.Engine, compile time.Duration) networkInfo {
 	return networkInfo{
 		ID:           id,
 		Desc:         desc,
@@ -275,11 +335,12 @@ func infoOf(id, desc string, eng *engine.Engine) networkInfo {
 		ReducedNodes: eng.Reduced().Graph().NumNodes(),
 		Workers:      eng.Workers(),
 		Seed:         eng.Config().Seed,
+		CompileMS:    float64(compile) / float64(time.Millisecond),
 	}
 }
 
 func (s *server) handleNetwork(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, infoOf("", s.desc, s.eng))
+	writeJSON(w, http.StatusOK, infoOf("", s.desc, s.eng, s.eng.CompileDuration()))
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
@@ -20,15 +21,23 @@ type worldCreateRequest struct {
 	Schedule  dynamic.Spec `json:"schedule"`
 }
 
-// worldInfo describes one shared world's instantaneous state.
+// worldInfo describes one shared world's instantaneous state. It shares
+// the shape contract with networkInfo (pinned by TestInfoShapeContract):
+// nodes, links, and compile_ms always present — compile_ms is the seed
+// engine's one-off compile, recompile_ms the cumulative churn-forced
+// rebuild time this world has paid since.
 type worldInfo struct {
-	ID         string `json:"id"`
-	NetworkID  string `json:"network_id,omitempty"`
-	Desc       string `json:"desc"`
-	Epoch      int    `json:"epoch"`
-	Version    uint64 `json:"version"`
-	Links      int    `json:"links"`
-	Recompiles int64  `json:"recompiles"`
+	ID          string  `json:"id"`
+	NetworkID   string  `json:"network_id,omitempty"`
+	Desc        string  `json:"desc"`
+	Epoch       int     `json:"epoch"`
+	Version     uint64  `json:"version"`
+	Nodes       int     `json:"nodes"`
+	Links       int     `json:"links"`
+	Recompiles  int64   `json:"recompiles"`
+	CacheHits   int64   `json:"compile_cache_hits"`
+	CompileMS   float64 `json:"compile_ms"`
+	RecompileMS float64 `json:"recompile_ms"`
 }
 
 func worldInfoOf(ent *registry.WorldEntry) worldInfo {
@@ -36,13 +45,17 @@ func worldInfoOf(ent *registry.WorldEntry) worldInfo {
 	// epoch's clock with another epoch's link count.
 	snap := ent.W.Snapshot()
 	return worldInfo{
-		ID:         ent.ID,
-		NetworkID:  ent.NetworkID,
-		Desc:       ent.Desc,
-		Epoch:      snap.Epoch,
-		Version:    snap.Version,
-		Links:      snap.Links,
-		Recompiles: snap.Recompiles,
+		ID:          ent.ID,
+		NetworkID:   ent.NetworkID,
+		Desc:        ent.Desc,
+		Epoch:       snap.Epoch,
+		Version:     snap.Version,
+		Nodes:       snap.Nodes,
+		Links:       snap.Links,
+		Recompiles:  snap.Recompiles,
+		CacheHits:   snap.CacheHits,
+		CompileMS:   float64(ent.Eng.CompileDuration()) / float64(time.Millisecond),
+		RecompileMS: float64(snap.RecompileTime) / float64(time.Millisecond),
 	}
 }
 

@@ -1,0 +1,437 @@
+// Command loadgen is a closed-loop HTTP load generator for adhocd: a
+// fixed pool of concurrent workers, each issuing the next request as soon
+// as the previous one completes, so measured latency includes queueing at
+// the server but the offered load never outruns the server's admission
+// (the closed-loop discipline — throughput is a *result*, not an input).
+//
+// Scenarios model the daemon's serving shapes, mixed by weight:
+//
+//	route    POST /v1/route            — the warm static path (µs-scale)
+//	batch    POST /v1/batch            — amortized fan-out (-batch-size pairs)
+//	world    POST /v1/worlds/{id}/route — shared dynamic world, frozen clock
+//	compile  POST /v1/networks         — registry-miss compile storm (every
+//	                                     request posts a never-seen spec)
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -c 32 -d 10s \
+//	        -mix route=8,batch=1,world=1,compile=1 -json report.json
+//
+// The report gives throughput and p50/p90/p95/p99/max latency overall and
+// per scenario, as text on stdout and optionally as JSON (-json path, "-"
+// for stdout) — the shape CI archives next to the benchstat artifact.
+//
+// Percentiles are exact (every sample is kept and sorted at the end), not
+// bucket-estimated: a 10-second run at full tilt stores a few million
+// int64s, which is cheap, and exactness matters when the thing under test
+// is a sub-microsecond route behind an HTTP stack.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// scenarioNames is the fixed scenario order (reports list them this way).
+var scenarioNames = []string{"route", "batch", "world", "compile"}
+
+// config carries the parsed flags.
+type config struct {
+	addr      string
+	c         int
+	d         time.Duration
+	mix       map[string]int
+	batchSize int
+	seed      int64
+	jsonPath  string
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "http://127.0.0.1:8080", "adhocd base URL")
+		c         = fs.Int("c", 8, "concurrent closed-loop workers")
+		d         = fs.Duration("d", 10*time.Second, "test duration")
+		mix       = fs.String("mix", "route=1", "scenario mix as name=weight[,name=weight...]; scenarios: route, batch, world, compile")
+		batchSize = fs.Int("batch-size", 16, "pairs per batch request")
+		seed      = fs.Int64("seed", 1, "workload randomness seed")
+		jsonOut   = fs.String("json", "", "write the JSON report to this path (\"-\" = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	m, err := parseMix(*mix)
+	if err != nil {
+		return nil, err
+	}
+	if *c < 1 {
+		return nil, fmt.Errorf("need -c >= 1, got %d", *c)
+	}
+	if *d <= 0 {
+		return nil, fmt.Errorf("need -d > 0, got %v", *d)
+	}
+	return &config{
+		addr:      strings.TrimSuffix(*addr, "/"),
+		c:         *c,
+		d:         *d,
+		mix:       m,
+		batchSize: *batchSize,
+		seed:      *seed,
+		jsonPath:  *jsonOut,
+	}, nil
+}
+
+// parseMix parses "route=8,batch=1" into weights. Unknown scenario names
+// and non-positive weights are errors: a typo must not silently skew the
+// load shape.
+func parseMix(s string) (map[string]int, error) {
+	known := make(map[string]bool, len(scenarioNames))
+	for _, n := range scenarioNames {
+		known[n] = true
+	}
+	m := make(map[string]int)
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name=weight)", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown scenario %q (want one of %s)", name, strings.Join(scenarioNames, ", "))
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad weight in %q (want a positive integer)", part)
+		}
+		m[name] += n
+		total += n
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return m, nil
+}
+
+// sample is one completed request.
+type sample struct {
+	scenario int8
+	ok       bool
+	ns       int64
+}
+
+// worker runs the closed loop until deadline, appending samples to its
+// private slice (merged after the run — no cross-worker contention).
+type worker struct {
+	gen     *generator
+	rng     *rand.Rand
+	picks   []int8 // weighted scenario table
+	samples []sample
+}
+
+// generator is the shared run state.
+type generator struct {
+	cfg     *config
+	client  *http.Client
+	nodes   int64  // boot network size, for random src/dst
+	worldID string // shared world, when the mix includes "world"
+	// compileSeq makes every compile-storm spec distinct, guaranteeing a
+	// registry miss (the cold path under test).
+	compileSeq atomic.Int64
+}
+
+// probe fetches the boot network summary so src/dst can be drawn from
+// real node IDs (generated networks number nodes 0..n-1).
+func (g *generator) probe() error {
+	resp, err := g.client.Get(g.cfg.addr + "/v1/network")
+	if err != nil {
+		return fmt.Errorf("probe %s/v1/network: %w (is adhocd running?)", g.cfg.addr, err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Nodes int64 `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return fmt.Errorf("probe: decode network info: %w", err)
+	}
+	if info.Nodes < 1 {
+		return fmt.Errorf("probe: server reports %d nodes", info.Nodes)
+	}
+	g.nodes = info.Nodes
+	return nil
+}
+
+// setupWorld creates (or re-creates) the shared world the "world"
+// scenario routes over. A leftover world from a previous run is deleted
+// first so the schedule is always the expected one.
+func (g *generator) setupWorld() error {
+	const name = "loadgen"
+	req, _ := http.NewRequest(http.MethodDelete, g.cfg.addr+"/v1/worlds/"+name, nil)
+	if resp, err := g.client.Do(req); err == nil {
+		resp.Body.Close() // 404 is fine: nothing to clean up
+	}
+	body := fmt.Sprintf(`{"name":%q,"schedule":{"kind":"churn","p_drop":0.02,"add_rate":1,"seed":%d}}`, name, g.cfg.seed)
+	resp, err := g.client.Post(g.cfg.addr+"/v1/worlds", "application/json", strings.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("create world: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("create world: %d (%s)", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	g.worldID = name
+	return nil
+}
+
+// post issues one POST and reports success (2xx). The body is drained so
+// the connection is reused.
+func (g *generator) post(path, body string) bool {
+	resp, err := g.client.Post(g.cfg.addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// do runs one request of the given scenario.
+func (g *generator) do(s int8, rng *rand.Rand) bool {
+	switch scenarioNames[s] {
+	case "route":
+		return g.post("/v1/route",
+			fmt.Sprintf(`{"src":%d,"dst":%d}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)))
+	case "batch":
+		var b strings.Builder
+		b.WriteString(`{"pairs":[`)
+		for i := 0; i < g.cfg.batchSize; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "[%d,%d]", rng.Int63n(g.nodes), rng.Int63n(g.nodes))
+		}
+		b.WriteString(`]}`)
+		return g.post("/v1/batch", b.String())
+	case "world":
+		return g.post("/v1/worlds/"+g.worldID+"/route",
+			fmt.Sprintf(`{"src":%d,"dst":%d,"hops_per_epoch":-1}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)))
+	case "compile":
+		// Every spec is new (seq-distinct protocol seed): a guaranteed
+		// registry miss, compiling an 8x8 grid and churning the LRU.
+		return g.post("/v1/networks",
+			fmt.Sprintf(`{"kind":"grid","rows":8,"cols":8,"seed":%d}`, g.compileSeq.Add(1)))
+	}
+	return false
+}
+
+func (w *worker) loop(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		s := w.picks[w.rng.Intn(len(w.picks))]
+		t0 := time.Now()
+		ok := w.gen.do(s, w.rng)
+		w.samples = append(w.samples, sample{scenario: s, ok: ok, ns: int64(time.Since(t0))})
+	}
+}
+
+// ScenarioReport summarizes one scenario's (or the whole run's) samples.
+type ScenarioReport struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	RPS      float64 `json:"rps"`
+	MeanUS   float64 `json:"mean_us"`
+	P50US    float64 `json:"p50_us"`
+	P90US    float64 `json:"p90_us"`
+	P95US    float64 `json:"p95_us"`
+	P99US    float64 `json:"p99_us"`
+	MaxUS    float64 `json:"max_us"`
+}
+
+// Report is the loadgen output shape (-json).
+type Report struct {
+	Addr        string           `json:"addr"`
+	Concurrency int              `json:"concurrency"`
+	DurationSec float64          `json:"duration_sec"`
+	Mix         map[string]int   `json:"mix"`
+	Total       ScenarioReport   `json:"total"`
+	Scenarios   []ScenarioReport `json:"scenarios"`
+}
+
+// percentile returns the exact q-quantile (0 < q <= 1) of sorted ns
+// samples, by the nearest-rank method.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// summarize builds one report row from latencies (ns, successes only).
+func summarize(name string, requests, errors int64, lats []int64, elapsed time.Duration) ScenarioReport {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	r := ScenarioReport{
+		Name:     name,
+		Requests: requests,
+		Errors:   errors,
+		RPS:      float64(requests) / elapsed.Seconds(),
+		P50US:    us(percentile(lats, 0.50)),
+		P90US:    us(percentile(lats, 0.90)),
+		P95US:    us(percentile(lats, 0.95)),
+		P99US:    us(percentile(lats, 0.99)),
+	}
+	if len(lats) > 0 {
+		var sum int64
+		for _, v := range lats {
+			sum += v
+		}
+		r.MeanUS = us(sum / int64(len(lats)))
+		r.MaxUS = us(lats[len(lats)-1])
+	}
+	return r
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	gen := &generator{
+		cfg: cfg,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.c * 2,
+			MaxIdleConnsPerHost: cfg.c * 2,
+		}},
+	}
+	if err := gen.probe(); err != nil {
+		return err
+	}
+	if cfg.mix["world"] > 0 {
+		if err := gen.setupWorld(); err != nil {
+			return err
+		}
+	}
+
+	// The weighted pick table: scenario s appears mix[s] times.
+	var picks []int8
+	for i, name := range scenarioNames {
+		for k := 0; k < cfg.mix[name]; k++ {
+			picks = append(picks, int8(i))
+		}
+	}
+
+	workers := make([]*worker, cfg.c)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.d)
+	for i := range workers {
+		workers[i] = &worker{
+			gen:   gen,
+			rng:   rand.New(rand.NewSource(cfg.seed + int64(i)*7919)),
+			picks: picks,
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.loop(deadline)
+		}(workers[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge per-worker samples by scenario.
+	perLat := make([][]int64, len(scenarioNames))
+	perReq := make([]int64, len(scenarioNames))
+	perErr := make([]int64, len(scenarioNames))
+	var allLat []int64
+	var allReq, allErr int64
+	for _, w := range workers {
+		for _, s := range w.samples {
+			perReq[s.scenario]++
+			allReq++
+			if !s.ok {
+				perErr[s.scenario]++
+				allErr++
+				continue
+			}
+			perLat[s.scenario] = append(perLat[s.scenario], s.ns)
+			allLat = append(allLat, s.ns)
+		}
+	}
+
+	rep := Report{
+		Addr:        cfg.addr,
+		Concurrency: cfg.c,
+		DurationSec: elapsed.Seconds(),
+		Mix:         cfg.mix,
+		Total:       summarize("total", allReq, allErr, allLat, elapsed),
+	}
+	for i, name := range scenarioNames {
+		if cfg.mix[name] == 0 {
+			continue
+		}
+		rep.Scenarios = append(rep.Scenarios, summarize(name, perReq[i], perErr[i], perLat[i], elapsed))
+	}
+
+	writeText(out, &rep)
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if cfg.jsonPath == "-" {
+			_, err = out.Write(data)
+			return err
+		}
+		return os.WriteFile(cfg.jsonPath, data, 0o644)
+	}
+	return nil
+}
+
+// writeText renders the human-readable report table.
+func writeText(out io.Writer, rep *Report) {
+	fmt.Fprintf(out, "loadgen: %s  c=%d  %.2fs\n", rep.Addr, rep.Concurrency, rep.DurationSec)
+	fmt.Fprintf(out, "%-8s %10s %7s %12s %10s %10s %10s %10s %10s\n",
+		"scenario", "requests", "errors", "rps", "mean", "p50", "p95", "p99", "max")
+	row := func(r ScenarioReport) {
+		fmt.Fprintf(out, "%-8s %10d %7d %12.1f %9.1fµs %9.1fµs %9.1fµs %9.1fµs %9.1fµs\n",
+			r.Name, r.Requests, r.Errors, r.RPS, r.MeanUS, r.P50US, r.P95US, r.P99US, r.MaxUS)
+	}
+	row(rep.Total)
+	if len(rep.Scenarios) > 1 {
+		for _, r := range rep.Scenarios {
+			row(r)
+		}
+	}
+}

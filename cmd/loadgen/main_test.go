@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("route=8, batch=1,world=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["route"] != 8 || m["batch"] != 1 || m["world"] != 2 {
+		t.Fatalf("mix = %v", m)
+	}
+	for _, bad := range []string{"", "nope=1", "route", "route=0", "route=-1", "route=x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	// Repeated names accumulate.
+	m, err = parseMix("route=1,route=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["route"] != 3 {
+		t.Fatalf("repeated mix = %v", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 100}, {1.0, 100}, {0.01, 10}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Errorf("p%g = %d, want %d", c.q*100, got, c.want)
+		}
+	}
+}
+
+// stubServer mimics the adhocd endpoints loadgen drives, counting hits.
+type stubServer struct {
+	routes, batches, worldRoutes, compiles, worldCreates atomic.Int64
+	failRoutes                                           bool
+}
+
+func (st *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"success"}`))
+	}
+	mux.HandleFunc("GET /v1/network", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"nodes":16,"links":24}`))
+	})
+	mux.HandleFunc("POST /v1/route", func(w http.ResponseWriter, _ *http.Request) {
+		st.routes.Add(1)
+		if st.failRoutes {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		ok(w)
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, _ *http.Request) {
+		st.batches.Add(1)
+		ok(w)
+	})
+	mux.HandleFunc("POST /v1/networks", func(w http.ResponseWriter, _ *http.Request) {
+		st.compiles.Add(1)
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"id":"net-x"}`))
+	})
+	mux.HandleFunc("POST /v1/worlds", func(w http.ResponseWriter, _ *http.Request) {
+		st.worldCreates.Add(1)
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"id":"loadgen"}`))
+	})
+	mux.HandleFunc("DELETE /v1/worlds/{id}", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "no such world", http.StatusNotFound)
+	})
+	mux.HandleFunc("POST /v1/worlds/{id}/route", func(w http.ResponseWriter, _ *http.Request) {
+		st.worldRoutes.Add(1)
+		ok(w)
+	})
+	return mux
+}
+
+// TestRunMixedLoad drives all four scenarios against the stub and checks
+// the JSON report: every scenario exercised, totals consistent, and the
+// percentile ordering sane.
+func TestRunMixedLoad(t *testing.T) {
+	st := &stubServer{}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-c", "4", "-d", "300ms",
+		"-mix", "route=4,batch=1,world=1,compile=1",
+		"-batch-size", "4", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+
+	if st.routes.Load() == 0 || st.batches.Load() == 0 ||
+		st.worldRoutes.Load() == 0 || st.compiles.Load() == 0 {
+		t.Fatalf("scenario not exercised: routes=%d batches=%d worldRoutes=%d compiles=%d",
+			st.routes.Load(), st.batches.Load(), st.worldRoutes.Load(), st.compiles.Load())
+	}
+	if st.worldCreates.Load() != 1 {
+		t.Errorf("world created %d times, want 1", st.worldCreates.Load())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Total.Requests == 0 || rep.Total.Errors != 0 {
+		t.Fatalf("total = %+v", rep.Total)
+	}
+	if len(rep.Scenarios) != 4 {
+		t.Fatalf("got %d scenario rows, want 4", len(rep.Scenarios))
+	}
+	var sum int64
+	for _, s := range rep.Scenarios {
+		sum += s.Requests
+		if s.Requests > 0 && s.Errors == 0 {
+			if s.P50US <= 0 || s.P50US > s.P95US || s.P95US > s.P99US || s.P99US > s.MaxUS {
+				t.Errorf("%s: percentile ordering broken: %+v", s.Name, s)
+			}
+		}
+	}
+	if sum != rep.Total.Requests {
+		t.Errorf("scenario requests sum %d != total %d", sum, rep.Total.Requests)
+	}
+	if rep.Total.RPS <= 0 {
+		t.Errorf("rps = %g", rep.Total.RPS)
+	}
+	if !strings.Contains(out.String(), "scenario") || !strings.Contains(out.String(), "route") {
+		t.Errorf("text report missing table:\n%s", out.String())
+	}
+}
+
+// TestRunCountsErrors checks non-2xx responses are reported as errors,
+// not silently folded into the latency population.
+func TestRunCountsErrors(t *testing.T) {
+	st := &stubServer{failRoutes: true}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-addr", ts.URL, "-c", "2", "-d", "100ms", "-mix", "route=1", "-json", "-"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.IndexByte(out.String(), '{')
+	if i < 0 {
+		t.Fatalf("no JSON in output:\n%s", out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()[i:]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Requests == 0 || rep.Total.Errors != rep.Total.Requests {
+		t.Fatalf("errors %d, requests %d — want all errored", rep.Total.Errors, rep.Total.Requests)
+	}
+}
+
+// TestRunBadFlags pins flag validation.
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-mix", "bogus=1"},
+		{"-c", "0"},
+		{"-d", "0s"},
+		{"-bogus"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestRunUnreachable pins the error message when the daemon is absent.
+func TestRunUnreachable(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-d", "100ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "is adhocd running") {
+		t.Fatalf("err = %v", err)
+	}
+}

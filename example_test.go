@@ -81,6 +81,48 @@ func ExampleNetwork_Broadcast() {
 	// nodes: [0 1 2 3 4]
 }
 
+// ExampleNetwork_Compile shows the serving hot path: compile the network
+// once, then share the returned Router across any number of concurrent
+// queries — single routes, batches, and the serving metrics. This is the
+// amortization contract the one-shot Network methods trade away.
+func ExampleNetwork_Compile() {
+	nw := buildRing(8)
+	r, err := nw.Compile(adhocroute.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+
+	// One s→t query on the compiled state.
+	res, err := r.Route(0, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("route:", res.Status)
+
+	// A batch fans out over the engine's bounded worker pool; members run
+	// concurrently and come back in input order.
+	batch := r.RouteBatch([]adhocroute.BatchQuery{
+		{Src: 0, Dst: 3}, {Src: 5, Dst: 1}, {Src: 2, Dst: 2},
+	})
+	delivered := 0
+	for _, br := range batch {
+		if br.Err == nil && br.Result.Status == adhocroute.StatusSuccess {
+			delivered++
+		}
+	}
+	fmt.Println("batch delivered:", delivered)
+
+	// The Router meters itself: 4 routes so far (1 + 3 batch members).
+	stats := r.Stats()
+	fmt.Println("routes served:", stats.Routes)
+	fmt.Println("header fits in O(log n) bits:", stats.PeakHeaderBits < 128)
+	// Output:
+	// route: success
+	// batch delivered: 3
+	// routes served: 4
+	// header fits in O(log n) bits: true
+}
+
 // ExampleNetwork_RouteWithPath reconstructs the walk the message took.
 func ExampleNetwork_RouteWithPath() {
 	nw := buildRing(4)

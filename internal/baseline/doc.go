@@ -1,0 +1,26 @@
+// Package baseline implements the comparator algorithms the paper's
+// introduction positions against, plus ground-truth oracles.
+//
+// Paper anchor: §1.2 and the introduction's related-work framing. The
+// comparators:
+//
+//   - random-walk routing — the "natural, if wasteful, approach" of §1.2,
+//     with its three defects the paper lists (may never arrive, no reliable
+//     confirmation, never terminates when disconnected — here surfaced as a
+//     TTL expiry);
+//   - flooding — the classic broadcast/routing baseline: guaranteed and
+//     fast, but Θ(|E|) messages and per-node state (a seen bit and a parent
+//     port), which is exactly what Theorem 1 avoids;
+//   - greedy geographic routing — position-based forwarding (refs [5,9]),
+//     which fails at local minima (voids);
+//   - GPSR/GFG-style greedy+face routing on planarized graphs (refs
+//     [2,5,9]) — guaranteed on planar 2-D networks, with no 3-D analogue,
+//     the gap motivating the paper;
+//   - a BFS shortest-path oracle for ground truth.
+//
+// Concurrency contract: every entry point is a pure function of its
+// arguments (the seed pins all randomness), holds no package state, and
+// treats the input graph as read-only — so any number of baseline runs
+// may execute concurrently on one graph, as the experiment drivers do.
+// Callers must not mutate the graph mid-run.
+package baseline

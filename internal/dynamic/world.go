@@ -1,36 +1,9 @@
-// Package dynamic is the dynamic-network subsystem: routing over
-// topologies that change while messages are in flight.
-//
-// The paper proves its guarantees for static networks (§1.1: "we assume
-// that the network is static"), but the mechanism it builds — stateless
-// intermediate nodes, all routing state in an O(log n) header — is exactly
-// what makes the walk *resumable*: at any instant the entire run is
-// (current node, header), so when the topology changes the message simply
-// keeps applying the walk rule on whatever graph now exists. This package
-// operationalizes that observation:
-//
-//   - a World owns a mutable port-labeled graph (plus optional node
-//     positions), an epoch clock, and a per-epoch compile cache of the
-//     Figure 1 degree reduction and its flat CSR snapshot;
-//   - Schedules mutate the world at epoch boundaries: Bernoulli edge
-//     churn, Markov on/off links, random-waypoint mobility that re-derives
-//     unit-disk (optionally Gabriel) edges from moving positions, and an
-//     adversarial scheduler that cuts the link the walk is about to use;
-//   - a Router advances the walk hop-by-hop through the existing steppers
-//     (flatgraph.RouteStepper on the hot path, netsim.Stepper as the
-//     instrumented reference), advancing the world every HopsPerEpoch hops
-//     and carrying the stateless header across snapshot recompiles.
-//
-// Verdict semantics under dynamics: a success verdict is sound by
-// construction (every hop traversed a then-existing edge, so reaching a
-// gadget of t is a real delivery); a failure verdict is only reported
-// after the §4 closure check certifies, on the instantaneous topology,
-// that t lies outside the source's component.
 package dynamic
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/degred"
 	"repro/internal/flatgraph"
@@ -84,6 +57,8 @@ type World struct {
 	red             *degred.Reduced
 	flat            *flatgraph.Graph
 	recompiles      int64
+	cacheHits       int64
+	recompileTime   time.Duration
 }
 
 // NewWorld builds a world over a private clone of g, evolving under sched
@@ -157,14 +132,35 @@ func (w *World) Recompiles() int64 {
 	return w.recompiles
 }
 
+// CacheHits returns how many Compiled calls were served from the
+// per-epoch compile cache (version unchanged since the last rebuild).
+func (w *World) CacheHits() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cacheHits
+}
+
+// RecompileTime returns the total wall time spent rebuilding the
+// reduction+snapshot over the world's lifetime — the price churn charged
+// this world so far.
+func (w *World) RecompileTime() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recompileTime
+}
+
 // Snapshot is a consistent point-in-time summary of a world's state —
 // all fields observed under one lock, so a reader racing a concurrent
 // Advance never pairs one epoch's clock with another epoch's topology.
 type Snapshot struct {
 	Epoch      int
 	Version    uint64
+	Nodes      int
 	Links      int
 	Recompiles int64
+	CacheHits  int64
+	// RecompileTime is the total wall time spent in churn-forced rebuilds.
+	RecompileTime time.Duration
 }
 
 // Snapshot returns the world's current state atomically.
@@ -172,10 +168,13 @@ func (w *World) Snapshot() Snapshot {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return Snapshot{
-		Epoch:      w.epoch,
-		Version:    w.version,
-		Links:      w.g.NumEdges(),
-		Recompiles: w.recompiles,
+		Epoch:         w.epoch,
+		Version:       w.version,
+		Nodes:         w.g.NumNodes(),
+		Links:         w.g.NumEdges(),
+		Recompiles:    w.recompiles,
+		CacheHits:     w.cacheHits,
+		RecompileTime: w.recompileTime,
 	}
 }
 
@@ -211,8 +210,10 @@ func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.compiledOK && w.compiledVersion == w.version {
+		w.cacheHits++
 		return w.red, w.flat, nil
 	}
+	start := time.Now()
 	red, err := degred.Reduce(w.g)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dynamic: recompile at version %d: %w", w.version, err)
@@ -224,6 +225,7 @@ func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
 	w.red, w.flat = red, flat
 	w.compiledVersion, w.compiledOK = w.version, true
 	w.recompiles++
+	w.recompileTime += time.Since(start)
 	return w.red, w.flat, nil
 }
 

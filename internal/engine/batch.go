@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/route"
@@ -41,6 +42,8 @@ func (e *Engine) RouteBatch(ctx context.Context, pairs []Pair) []BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	defer e.m.batchSeconds.ObserveSince(start)
 	e.m.batches.Add(1)
 	out := make([]BatchResult, len(pairs))
 	if len(pairs) == 0 {

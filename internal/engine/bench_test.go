@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+)
+
+// BenchmarkInstrumentedSharedWorldRoute is the observability perf guard:
+// the identical warm shared-world query as the dynamic package's
+// BenchmarkSharedWorldRoute (Torus(5,5), 10 churned epochs, frozen-clock
+// 0→18), but through Engine.RouteDynamic — i.e. including the always-on
+// metrics this PR added (two clock reads, the latency/hop/header-bit
+// histogram observes, and the counter adds). The acceptance bar
+// (BENCH_PR5.json) is staying within 10% of BENCH_PR4.json's 0.9 µs.
+func BenchmarkInstrumentedSharedWorldRoute(b *testing.B) {
+	e, err := Compile(gen.Torus(5, 5), Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := e.NewWorld(&dynamic.EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+	for i := 0; i < 10; i++ {
+		if err := w.Advance(dynamic.Probe{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RouteDynamic(w, 0, 18, dynamic.Config{HopsPerEpoch: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstrumentedRoute prices one static prepared route through the
+// instrumented engine (the /v1/route serving path minus HTTP).
+func BenchmarkInstrumentedRoute(b *testing.B) {
+	e, err := Compile(gen.Torus(5, 5), Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Route(0, 18); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

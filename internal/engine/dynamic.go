@@ -28,7 +28,8 @@ func (e *Engine) RouteDynamic(w *dynamic.World, s, t graph.NodeID, cfg dynamic.C
 	if cfg.MaxBound == 0 {
 		cfg.MaxBound = e.cfg.MaxBound
 	}
+	start := sampleStart(e.m.dynamicRoutes.Add(1))
 	res, err := dynamic.NewRouter(w, cfg).Route(s, t)
-	e.m.recordDynamic(res, err)
+	e.m.recordDynamic(res, err, start)
 	return res, err
 }

@@ -1,15 +1,3 @@
-// Package engine implements the prepared routing engine: all per-network
-// machinery — the Figure 1 degree reduction, the port-labeled work graph,
-// and the exploration sequence family T_n — compiled once, then shared by
-// any number of concurrent queries.
-//
-// The amortization contract is the serving-side dual of Theorem 1: because
-// intermediate nodes are stateless and every per-message register fits in
-// the O(log n) header, queries share the compiled network with zero
-// coordination. Compile is the only expensive call (it performs the degree
-// reduction); Route, RouteWithPath, Broadcast, Count, Hybrid, and the
-// batch entry points are read-only on the compiled state and safe to call
-// from any number of goroutines.
 package engine
 
 import (
@@ -17,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/count"
 	"repro/internal/degred"
@@ -70,7 +59,11 @@ type Engine struct {
 	// doubling schedule's handful of distinct bounds is derived once and
 	// shared by every concurrent walker.
 	seqs sync.Map // int -> ues.Sequence
-	m    metrics
+	m    *metrics
+
+	// compileTime is the wall time Compile spent building this engine —
+	// the amortized cost every query shares. Immutable after Compile.
+	compileTime time.Duration
 }
 
 // Compile builds the engine for g: one degree reduction, one router, one
@@ -80,11 +73,19 @@ func Compile(g *graph.Graph, cfg Config) (*Engine, error) {
 	if g == nil {
 		return nil, ErrNoGraph
 	}
+	start := time.Now()
 	red, err := degred.Reduce(g)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	return CompileWithReduced(g, red, cfg)
+	e, err := CompileWithReduced(g, red, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Charge the reduction to the compile clock too: CompileWithReduced
+	// only timed its own share.
+	e.compileTime = time.Since(start)
+	return e, nil
 }
 
 // CompileWithReduced builds the engine from a precomputed degree reduction
@@ -97,12 +98,13 @@ func CompileWithReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Engin
 	if red == nil {
 		return nil, errors.New("engine: nil reduction")
 	}
+	start := time.Now()
 	// Build the compiled CSR snapshot of G′ eagerly: the router, counter,
 	// and every query they serve share this one flat artifact, and serving
 	// should pay for its construction at compile time, not on the first
 	// query.
 	red.Flat()
-	e := &Engine{g: g, red: red, cfg: cfg}
+	e := &Engine{g: g, red: red, cfg: cfg, m: newMetrics()}
 	rcfg := e.routeConfig()
 	var err error
 	if cfg.NoDegreeReduction {
@@ -117,6 +119,7 @@ func CompileWithReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Engin
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
+	e.compileTime = time.Since(start)
 	return e, nil
 }
 
@@ -174,6 +177,11 @@ func (e *Engine) Reduced() *degred.Reduced { return e.red }
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// CompileDuration returns the wall time Compile spent building this
+// engine (degree reduction, router, counter, flat CSR snapshot) — the
+// one-off cost every query amortizes.
+func (e *Engine) CompileDuration() time.Duration { return e.compileTime }
+
 // Workers returns the effective batch worker-pool size.
 func (e *Engine) Workers() int {
 	if e.cfg.Workers > 0 {
@@ -184,15 +192,17 @@ func (e *Engine) Workers() int {
 
 // Route answers one s→t query on the compiled network.
 func (e *Engine) Route(s, t graph.NodeID) (*route.Result, error) {
+	start := sampleStart(e.m.routes.Add(1))
 	res, err := e.router.Route(s, t)
-	e.m.recordRoute(res, err)
+	e.m.recordRoute(res, err, start)
 	return res, err
 }
 
 // RouteWithPath routes s→t and reconstructs the forward path on success.
 func (e *Engine) RouteWithPath(s, t graph.NodeID) (*route.Result, []graph.NodeID, error) {
+	start := sampleStart(e.m.routes.Add(1))
 	res, path, err := e.router.RouteWithPath(s, t)
-	e.m.recordRoute(res, err)
+	e.m.recordRoute(res, err, start)
 	return res, path, err
 }
 

@@ -2,15 +2,30 @@ package engine
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/count"
 	"repro/internal/dynamic"
 	"repro/internal/hybrid"
+	"repro/internal/obs"
 	"repro/internal/route"
 )
 
 // metrics is the engine's lock-free instrumentation. Counters are
-// monotonic; PeakHeaderBits is a CAS-maintained maximum.
+// monotonic; PeakHeaderBits is a CAS-maintained maximum; the histograms
+// are fixed-bucket atomics (obs.Histogram), so recording a query costs a
+// handful of atomic adds — cheap enough to stay always on without
+// regressing the sub-microsecond warm route path (pinned by
+// BenchmarkInstrumentedSharedWorldRoute against BENCH_PR4.json).
+//
+// Latency is sampled: a clock-read pair costs ~90 ns on a busy serving
+// host — a tenth of the whole warm route — so Route and RouteDynamic time
+// every sampleEvery-th query, selected off the query counter they already
+// pay for (no extra atomic op on the unsampled path). The latency
+// histograms' _count therefore totals samples, not queries; use the
+// *_total counters for traffic. Batch latency is always timed (batches
+// are rare relative to their members), as is everything at the HTTP
+// layer, where syscall costs dwarf the clock reads.
 type metrics struct {
 	routes     atomic.Int64
 	broadcasts atomic.Int64
@@ -31,6 +46,81 @@ type metrics struct {
 	seqMisses atomic.Int64
 
 	peakHeaderBits atomic.Int64
+
+	// Latency distributions for the serving-relevant entry points, plus
+	// the paper's own per-route quantities: the hop distribution (§3's
+	// polynomial walk bound observed) and the header-bit distribution
+	// (Theorem 1's O(log n) observed).
+	routeSeconds   *obs.Histogram
+	dynamicSeconds *obs.Histogram
+	batchSeconds   *obs.Histogram
+	hopsPerRoute   *obs.Histogram
+	headerBits     *obs.Histogram
+}
+
+// sampleEvery is the latency sampling period for the sub-microsecond
+// query paths (Route, RouteDynamic). Must be a power of two: the sampling
+// decision is a mask on the query counter.
+const sampleEvery = 8
+
+// Value-histogram bounds: hops per route are polynomial in n (powers of
+// two resolve the doubling schedule's growth); header bits are Θ(log n)
+// (tight linear buckets around the observed 40-90 bit range).
+var (
+	hopBounds       = []int64{16, 64, 256, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22}
+	headerBitBounds = []int64{16, 32, 48, 64, 80, 96, 128, 192, 256}
+)
+
+func newMetrics() *metrics {
+	return &metrics{
+		routeSeconds: obs.NewLatencyHistogram("adhoc_engine_route_seconds",
+			"Latency of Route/RouteWithPath queries on the compiled network.", nil),
+		dynamicSeconds: obs.NewLatencyHistogram("adhoc_engine_dynamic_route_seconds",
+			"Latency of RouteDynamic queries over evolving worlds (includes churn-forced recompiles).", nil),
+		batchSeconds: obs.NewLatencyHistogram("adhoc_engine_batch_seconds",
+			"Latency of whole RouteBatch/RouteAll invocations (all members).", nil),
+		hopsPerRoute: obs.NewHistogram("adhoc_engine_route_hops",
+			"Message hops per routing query (the §3 walk bound, observed).", nil, hopBounds),
+		headerBits: obs.NewHistogram("adhoc_engine_route_header_bits",
+			"Peak serialized header bits per routing query (Theorem 1's O(log n), observed).", nil, headerBitBounds),
+	}
+}
+
+// RegisterMetrics exports this engine's instrumentation into o under the
+// adhoc_engine_* families: the query/hop/round counters as collect-time
+// reads of the existing atomics (zero added hot-path cost), the latency
+// and distribution histograms directly, and the one-time compile duration
+// as a gauge. Register exactly one engine per obs.Registry (the families
+// are unlabeled); the serving layer registers the boot engine and exports
+// tenant engines in aggregate via the network registry.
+func (e *Engine) RegisterMetrics(o *obs.Registry) error {
+	ctr := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	return o.Register(
+		obs.NewCounterFunc("adhoc_engine_routes_total", "Completed Route/RouteWithPath queries (includes batch members).", nil, ctr(&e.m.routes)),
+		obs.NewCounterFunc("adhoc_engine_broadcasts_total", "Completed Broadcast queries.", nil, ctr(&e.m.broadcasts)),
+		obs.NewCounterFunc("adhoc_engine_counts_total", "Completed Count queries (§4 CountNodes).", nil, ctr(&e.m.counts)),
+		obs.NewCounterFunc("adhoc_engine_hybrids_total", "Completed Hybrid queries (Corollary 2 race).", nil, ctr(&e.m.hybrids)),
+		obs.NewCounterFunc("adhoc_engine_batches_total", "RouteBatch/RouteAll invocations (not their members).", nil, ctr(&e.m.batches)),
+		obs.NewCounterFunc("adhoc_engine_errors_total", "Queries that returned an error.", nil, ctr(&e.m.errors)),
+		obs.NewCounterFunc("adhoc_engine_dynamic_routes_total", "Completed RouteDynamic queries.", nil, ctr(&e.m.dynamicRoutes)),
+		obs.NewCounterFunc("adhoc_engine_dynamic_epochs_total", "World epochs advanced by dynamic queries.", nil, ctr(&e.m.dynamicEpochs)),
+		obs.NewCounterFunc("adhoc_engine_dynamic_recompiles_total", "Snapshot recompiles forced by topology churn.", nil, ctr(&e.m.dynamicRecompiles)),
+		obs.NewCounterFunc("adhoc_engine_dynamic_resumptions_total", "Mid-walk header migrations across recompiled snapshots.", nil, ctr(&e.m.dynamicResumptions)),
+		obs.NewCounterFunc("adhoc_engine_hops_total", "Total message hops across all queries.", nil, ctr(&e.m.hops)),
+		obs.NewCounterFunc("adhoc_engine_rounds_total", "Total doubling rounds across all queries.", nil, ctr(&e.m.rounds)),
+		obs.NewCounterFunc("adhoc_engine_seq_cache_hits_total", "T_bound sequence-family cache hits.", nil, ctr(&e.m.seqHits)),
+		obs.NewCounterFunc("adhoc_engine_seq_cache_misses_total", "T_bound sequence-family cache misses (compiles).", nil, ctr(&e.m.seqMisses)),
+		obs.NewGaugeFunc("adhoc_engine_peak_header_bits", "Largest serialized header observed by any query (Theorem 1's O(log n)).", nil, ctr(&e.m.peakHeaderBits)),
+		obs.NewGaugeFunc("adhoc_engine_compile_seconds", "Wall time the one-off engine compile took (degree reduction + flat snapshot).", nil,
+			func() float64 { return e.compileTime.Seconds() }),
+		e.m.routeSeconds,
+		e.m.dynamicSeconds,
+		e.m.batchSeconds,
+		e.m.hopsPerRoute,
+		e.m.headerBits,
+	)
 }
 
 // Snapshot is a point-in-time copy of the engine metrics. Counters taken
@@ -92,6 +182,12 @@ func (e *Engine) Stats() Snapshot {
 	}
 }
 
+// RouteLatencyQuantile estimates the q-quantile (0..1) of Route latency in
+// seconds from the engine's bucketed histogram.
+func (e *Engine) RouteLatencyQuantile(q float64) float64 {
+	return e.m.routeSeconds.Quantile(q)
+}
+
 func (m *metrics) maxHeader(bits int) {
 	v := int64(bits)
 	for {
@@ -108,14 +204,31 @@ func (m *metrics) recordErr(err error) {
 	}
 }
 
-func (m *metrics) recordRoute(res *route.Result, err error) {
-	m.routes.Add(1)
+// sampleStart begins a latency sample when n (the 1-based query ordinal
+// from the kind's own counter) lands on the sampling grid; the zero
+// time.Time means "not sampled" to the record functions.
+func sampleStart(n int64) time.Time {
+	if n&(sampleEvery-1) == 0 {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// recordRoute books one Route/RouteWithPath outcome. The route counter
+// was already incremented at query start (it doubles as the latency
+// sampling grid); start is zero on unsampled queries.
+func (m *metrics) recordRoute(res *route.Result, err error, start time.Time) {
+	if !start.IsZero() {
+		m.routeSeconds.ObserveSince(start)
+	}
 	m.recordErr(err)
 	if res == nil {
 		return
 	}
 	m.hops.Add(res.Hops)
 	m.rounds.Add(int64(len(res.Rounds)))
+	m.hopsPerRoute.Observe(res.Hops)
+	m.headerBits.Observe(int64(res.MaxHeaderBits))
 	m.maxHeader(res.MaxHeaderBits)
 }
 
@@ -140,8 +253,12 @@ func (m *metrics) recordCount(res *count.Result, err error) {
 	m.rounds.Add(int64(res.Rounds))
 }
 
-func (m *metrics) recordDynamic(res *dynamic.Result, err error) {
-	m.dynamicRoutes.Add(1)
+// recordDynamic books one RouteDynamic outcome; the dynamic-route counter
+// was incremented at query start, start is zero on unsampled queries.
+func (m *metrics) recordDynamic(res *dynamic.Result, err error, start time.Time) {
+	if !start.IsZero() {
+		m.dynamicSeconds.ObserveSince(start)
+	}
 	m.recordErr(err)
 	if res == nil {
 		return
@@ -151,6 +268,8 @@ func (m *metrics) recordDynamic(res *dynamic.Result, err error) {
 	m.dynamicEpochs.Add(int64(res.Epochs))
 	m.dynamicRecompiles.Add(int64(res.Recompiles))
 	m.dynamicResumptions.Add(int64(res.Resumptions))
+	m.hopsPerRoute.Observe(res.Hops)
+	m.headerBits.Observe(int64(res.MaxHeaderBits))
 	m.maxHeader(res.MaxHeaderBits)
 }
 

@@ -1,0 +1,34 @@
+// Package flatgraph is the compiled hot path of the routing engine: a CSR
+// (compressed sparse row) snapshot of a port-labeled multigraph plus
+// allocation-free walk loops over it.
+//
+// Paper anchor: §2–§3. Every routing, broadcast, count, and hybrid query
+// ultimately reduces to millions of exploration-sequence hops — one
+// (inPort + T[i]) mod 3 step per hop on the degree-reduced graph of
+// Figure 1. The reference execution path (package netsim driving the
+// stateless handlers of package route) pays a map[NodeID][]Half lookup, an
+// interface-dispatched Sequence.At, and error plumbing on every one of
+// those hops. Braverman's walk rule is deliberately stateless per hop, so
+// the entire loop compiles to flat-array arithmetic:
+//
+//   - nodes get dense int32 indices; the port table is one flat []Half32
+//     indexed by rowStart[node]+port (stride 3 on the 3-regular reduced
+//     graph);
+//   - the PRF symbol derivation (ues.Symbol over prng.Mix64) is inlined via
+//     the concrete Seq value — no interface call;
+//   - all bounds are validated once at Compile, so the hop loop carries no
+//     per-hop error values;
+//   - the walkers optionally prefetch direction blocks so the sequence
+//     oracle is amortized across hops.
+//
+// Concurrency contract: a compiled Graph is immutable after Compile and
+// safe for any number of concurrent walkers — every walk loop works
+// exclusively on its caller's stack plus the shared read-only arrays. The
+// hop-granular RouteStepper holds per-walk state and is single-goroutine,
+// but any number of steppers may share one Graph.
+//
+// The slow token engine remains the semantic reference: the walkers here
+// replicate its verdicts, hop counts, traces, and even its header-size
+// and memory-metering statistics exactly, and the differential tests in
+// package route/count pin that equivalence on random labeled multigraphs.
+package flatgraph

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve prices one hot-path observation: the budget is
+// single-digit nanoseconds, because it sits inside a ~1 µs route.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewLatencyHistogram("adhoc_bench_seconds", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(900) // a warm-route-sized latency: early bucket exit
+	}
+}
+
+// BenchmarkHistogramObserveSince adds the time.Since call the instrumented
+// paths actually pay.
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	h := NewLatencyHistogram("adhoc_bench2_seconds", "bench", nil)
+	t0 := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(t0)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter("adhoc_bench_total", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewLatencyHistogram("adhoc_bench3_seconds", "bench", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(900)
+		}
+	})
+}

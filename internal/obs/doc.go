@@ -1,0 +1,29 @@
+// Package obs is the observability core: counters, gauges, and
+// fixed-bucket histograms rendered in the Prometheus text exposition
+// format (version 0.0.4), built for instrumenting hot paths that complete
+// in under a microsecond.
+//
+// Paper anchor: the metrics this package carries are the paper's own
+// quantities made operational. Theorem 1 bounds the message header at
+// O(log n) bits and node memory likewise — the header-bit histogram is
+// that bound measured empirically per route; §3's doubling schedule bounds
+// hops polynomially — the hop histogram is that bound's observed
+// distribution; and the latency histograms price the universal
+// exploration-sequence walk in wall-clock terms under serving load.
+//
+// Concurrency contract: every metric type is safe for concurrent use from
+// any number of goroutines. The write paths (Counter.Add, Gauge.Set,
+// Histogram.Observe) are lock-free — single atomic adds, plus a short
+// linear scan over the histogram's bucket bounds — and allocation-free, so
+// instrumenting a ~1 µs route path costs nanoseconds, not microseconds.
+// Registration is not lock-free (a registry-wide mutex) and is expected to
+// happen once at startup; collection (WritePrometheus) takes the same
+// mutex to snapshot the metric list, then reads each metric's atomics
+// without stopping writers, so a scrape observes each value atomically but
+// the family as a whole may be torn by at most the traffic that arrived
+// mid-render — the standard Prometheus contract.
+//
+// The package is dependency-free by design (standard library only): the
+// engine, registry, dynamic, and serving layers all import it, and it must
+// never import them back.
+package obs

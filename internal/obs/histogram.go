@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution metric. Bucket bounds are fixed
+// at construction (no re-bucketing, no locks); Observe is a short
+// ascending scan over the bounds plus two atomic adds, so the common case
+// — small values on a hot path — exits the scan early and costs a few
+// nanoseconds.
+//
+// Values are recorded as int64 in the histogram's raw unit. For latency
+// histograms the raw unit is nanoseconds and unit=1e9 renders the
+// Prometheus-conventional seconds; for plain value distributions (hops,
+// header bits) unit=1 renders the raw numbers.
+type Histogram struct {
+	d      desc
+	bounds []int64 // ascending upper bounds (le), in raw units
+	unit   float64 // raw units per rendered unit (1e9 for ns -> s)
+
+	buckets []atomic.Int64 // len(bounds)+1; the last is +Inf
+	sum     atomic.Int64   // raw-unit sum
+}
+
+// DefaultLatencyBounds are the nanosecond bucket bounds used by
+// NewLatencyHistogram: 500 ns to 10 s in a 1-2.5-5 progression, chosen so
+// the sub-microsecond compiled walk, the ~1 ms compile path, and slow
+// multi-second outliers all land in resolved buckets.
+var DefaultLatencyBounds = []int64{
+	500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, // ns .. 0.5 ms
+	1e6, 2.5e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6, // 1 ms .. 0.5 s
+	1e9, 2.5e9, 5e9, 10e9, // 1 s .. 10 s
+}
+
+// NewHistogram builds a raw-unit histogram over the given ascending bucket
+// bounds (a trailing +Inf bucket is implicit). The bounds slice is copied.
+func NewHistogram(name, help string, labels Labels, bounds []int64) *Histogram {
+	return newHistogram(name, help, labels, bounds, 1)
+}
+
+// NewLatencyHistogram builds a nanosecond-valued histogram rendered in
+// seconds (the Prometheus convention for *_seconds families), with
+// DefaultLatencyBounds.
+func NewLatencyHistogram(name, help string, labels Labels) *Histogram {
+	return newHistogram(name, help, labels, DefaultLatencyBounds, 1e9)
+}
+
+func newHistogram(name, help string, labels Labels, bounds []int64, unit float64) *Histogram {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	h := &Histogram{
+		d:      desc{name: name, help: help, typ: "histogram", labels: labels.render()},
+		bounds: append([]int64(nil), bounds...),
+		unit:   unit,
+	}
+	h.buckets = make([]atomic.Int64, len(h.bounds)+1)
+	return h
+}
+
+// Observe records one value (raw units). Lock- and allocation-free.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since t0. Only meaningful on
+// histograms whose raw unit is nanoseconds (NewLatencyHistogram).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(int64(time.Since(t0)))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the raw-unit sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) metricDesc() *desc { return &h.d }
+
+// Write renders the cumulative buckets plus _sum and _count. A scrape
+// racing writers may see a bucket updated and the sum not yet (or vice
+// versa); each individual number is exact.
+func (h *Histogram) Write(b *bytes.Buffer) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		h.d.series(b, "_bucket", `le="`+formatBound(float64(bound)/h.unit)+`"`)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	h.d.series(b, "_bucket", `le="+Inf"`)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+
+	h.d.series(b, "_sum", "")
+	b.WriteByte(' ')
+	writeFloat(b, float64(h.sum.Load())/h.unit)
+	b.WriteByte('\n')
+	h.d.series(b, "_count", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+}
+
+// formatBound renders a bucket bound the shortest way that round-trips.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts
+// by linear interpolation inside the containing bucket — the same
+// estimate Prometheus's histogram_quantile computes server-side. It is a
+// convenience for in-process consumers (tests, the stats endpoint); the
+// exposition format ships the raw buckets. Returns 0 when empty; values
+// in the +Inf bucket clamp to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, bound := range h.bounds {
+		c := h.buckets[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lower := float64(0)
+			if i > 0 {
+				lower = float64(h.bounds[i-1])
+			}
+			if c == 0 {
+				return float64(bound) / h.unit
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return (lower + frac*(float64(bound)-lower)) / h.unit
+		}
+		cum += c
+	}
+	return float64(h.bounds[len(h.bounds)-1]) / h.unit
+}

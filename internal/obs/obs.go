@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attach constant dimensions to a metric (endpoint="route"). They
+// are rendered once at construction; the write path never touches them.
+type Labels map[string]string
+
+// render returns the canonical `k="v",…` form, keys sorted, values
+// escaped per the exposition format.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// desc is the shared identity of a metric: family name, help text, type,
+// and the pre-rendered constant label set.
+type desc struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels string // rendered, without braces; "" when unlabeled
+}
+
+// series renders `name{labels}` (or bare name) plus any extra labels —
+// histograms append their le label through extra.
+func (d *desc) series(b *bytes.Buffer, suffix, extra string) {
+	b.WriteString(d.name)
+	b.WriteString(suffix)
+	if d.labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(d.labels)
+		if d.labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+}
+
+// Metric is anything the registry can render. Write emits only sample
+// lines; the registry emits the # HELP / # TYPE header once per family.
+type Metric interface {
+	metricDesc() *desc
+	Write(b *bytes.Buffer)
+}
+
+// writeFloat renders v the way Prometheus clients do: shortest
+// round-trippable representation.
+func writeFloat(b *bytes.Buffer, v float64) {
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	d desc
+	v atomic.Int64
+}
+
+// NewCounter builds a counter. By convention the name ends in _total.
+func NewCounter(name, help string, labels Labels) *Counter {
+	return &Counter{d: desc{name: name, help: help, typ: "counter", labels: labels.render()}}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricDesc() *desc { return &c.d }
+
+func (c *Counter) Write(b *bytes.Buffer) {
+	c.d.series(b, "", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// Gauge is an integer metric that can go up and down (in-flight requests,
+// resident cache entries).
+type Gauge struct {
+	d desc
+	v atomic.Int64
+}
+
+// NewGauge builds a gauge.
+func NewGauge(name, help string, labels Labels) *Gauge {
+	return &Gauge{d: desc{name: name, help: help, typ: "gauge", labels: labels.render()}}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricDesc() *desc { return &g.d }
+
+func (g *Gauge) Write(b *bytes.Buffer) {
+	g.d.series(b, "", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(g.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// Func is a collect-time metric: fn is called at each scrape and its value
+// rendered. Use it to expose counters a subsystem already maintains (the
+// engine's atomic snapshot fields, the registry's traffic stats) without
+// double-counting on the hot path.
+type Func struct {
+	d  desc
+	fn func() float64
+}
+
+// NewCounterFunc exposes fn as a counter family. fn must be monotone (it
+// typically reads an existing atomic counter).
+func NewCounterFunc(name, help string, labels Labels, fn func() float64) *Func {
+	return &Func{d: desc{name: name, help: help, typ: "counter", labels: labels.render()}, fn: fn}
+}
+
+// NewGaugeFunc exposes fn as a gauge family.
+func NewGaugeFunc(name, help string, labels Labels, fn func() float64) *Func {
+	return &Func{d: desc{name: name, help: help, typ: "gauge", labels: labels.render()}, fn: fn}
+}
+
+func (f *Func) metricDesc() *desc { return &f.d }
+
+func (f *Func) Write(b *bytes.Buffer) {
+	f.d.series(b, "", "")
+	b.WriteByte(' ')
+	writeFloat(b, f.fn())
+	b.WriteByte('\n')
+}
+
+// Sample is one collect-time series of a VecFunc family.
+type Sample struct {
+	Labels Labels
+	Value  float64
+}
+
+// VecFunc is a collect-time metric family with per-sample labels decided
+// at scrape time — e.g. one gauge per resident world, labeled by world ID.
+// fn is called at each scrape.
+type VecFunc struct {
+	d  desc
+	fn func() []Sample
+}
+
+// NewGaugeVecFunc exposes fn's samples as a labeled gauge family.
+func NewGaugeVecFunc(name, help string, fn func() []Sample) *VecFunc {
+	return &VecFunc{d: desc{name: name, help: help, typ: "gauge"}, fn: fn}
+}
+
+func (v *VecFunc) metricDesc() *desc { return &v.d }
+
+func (v *VecFunc) Write(b *bytes.Buffer) {
+	for _, s := range v.fn() {
+		d := desc{name: v.d.name, labels: s.Labels.render()}
+		d.series(b, "", "")
+		b.WriteByte(' ')
+		writeFloat(b, s.Value)
+		b.WriteByte('\n')
+	}
+}
+
+// Registry holds registered metrics and renders them. Safe for concurrent
+// registration and collection; registration is expected at startup,
+// collection at every scrape.
+type Registry struct {
+	mu sync.Mutex
+	ms []Metric
+	// families maps name -> (typ, help) so one family is never registered
+	// under two types, which would render an invalid exposition.
+	families map[string][2]string
+	seen     map[string]bool // name + labels, to reject duplicate series
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string][2]string), seen: make(map[string]bool)}
+}
+
+// Register adds metrics to the registry. It returns an error when a family
+// name is reused with a different type or help, or when an identical
+// series (name + labels) is registered twice.
+func (r *Registry) Register(ms ...Metric) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range ms {
+		d := m.metricDesc()
+		if fam, ok := r.families[d.name]; ok {
+			if fam != [2]string{d.typ, d.help} {
+				return fmt.Errorf("obs: family %q re-registered as %s (was %s)", d.name, d.typ, fam[0])
+			}
+		} else {
+			r.families[d.name] = [2]string{d.typ, d.help}
+		}
+		key := d.name + "{" + d.labels + "}"
+		if _, isVec := m.(*VecFunc); !isVec {
+			if r.seen[key] {
+				return fmt.Errorf("obs: duplicate series %s", key)
+			}
+			r.seen[key] = true
+		}
+		r.ms = append(r.ms, m)
+	}
+	return nil
+}
+
+// MustRegister is Register, panicking on conflict — registration conflicts
+// are programming errors.
+func (r *Registry) MustRegister(ms ...Metric) {
+	if err := r.Register(ms...); err != nil {
+		panic(err)
+	}
+}
+
+// WritePrometheus renders every registered metric in the text exposition
+// format, grouped by family (one # HELP/# TYPE header per family, in
+// first-registration order).
+func (r *Registry) WritePrometheus(b *bytes.Buffer) {
+	r.mu.Lock()
+	ms := make([]Metric, len(r.ms))
+	copy(ms, r.ms)
+	r.mu.Unlock()
+
+	// Stable-sort by family, preserving registration order within one, so
+	// all series of a family sit under a single header.
+	sort.SliceStable(ms, func(i, j int) bool {
+		return ms[i].metricDesc().name < ms[j].metricDesc().name
+	})
+	last := ""
+	for _, m := range ms {
+		d := m.metricDesc()
+		if d.name != last {
+			last = d.name
+			fmt.Fprintf(b, "# HELP %s %s\n", d.name, strings.ReplaceAll(d.help, "\n", " "))
+			fmt.Fprintf(b, "# TYPE %s %s\n", d.name, d.typ)
+		}
+		m.Write(b)
+	}
+}
+
+// Handler serves the registry in the Prometheus text exposition format —
+// mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b bytes.Buffer
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(b.Bytes())
+	})
+}

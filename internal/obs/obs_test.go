@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("adhoc_test_total", "test counter", Labels{"kind": "a"})
+	g := NewGauge("adhoc_test_inflight", "test gauge", nil)
+	r.MustRegister(c, g)
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Dec()
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP adhoc_test_total test counter",
+		"# TYPE adhoc_test_total counter",
+		`adhoc_test_total{kind="a"} 4`,
+		"# TYPE adhoc_test_inflight gauge",
+		"adhoc_test_inflight 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestFamilyGrouping checks that two series of one family render under a
+// single HELP/TYPE header — scrapers reject repeated headers.
+func TestFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(
+		NewCounter("adhoc_req_total", "requests", Labels{"endpoint": "route"}),
+		NewCounter("adhoc_other_total", "other", nil),
+		NewCounter("adhoc_req_total", "requests", Labels{"endpoint": "batch"}),
+	)
+	out := render(t, r)
+	if n := strings.Count(out, "# TYPE adhoc_req_total counter"); n != 1 {
+		t.Errorf("family header rendered %d times, want 1:\n%s", n, out)
+	}
+	i := strings.Index(out, `endpoint="route"`)
+	j := strings.Index(out, `endpoint="batch"`)
+	h := strings.Index(out, "# TYPE adhoc_req_total")
+	if i < 0 || j < 0 || h < 0 || i < h || j < h {
+		t.Errorf("family series not grouped under their header:\n%s", out)
+	}
+}
+
+func TestRegisterConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(NewCounter("adhoc_x_total", "x", nil))
+	if err := r.Register(NewCounter("adhoc_x_total", "x", nil)); err == nil {
+		t.Error("duplicate series accepted")
+	}
+	if err := r.Register(NewGauge("adhoc_x_total", "x", Labels{"a": "b"})); err == nil {
+		t.Error("family type conflict accepted")
+	}
+	// Same family, different labels: fine.
+	if err := r.Register(NewCounter("adhoc_x_total", "x", Labels{"a": "b"})); err != nil {
+		t.Errorf("distinct series of one family rejected: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("adhoc_esc_total", "esc", Labels{"v": "a\"b\\c\nd"})
+	r.MustRegister(c)
+	c.Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `v="a\"b\\c\nd"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	h := NewHistogram("adhoc_hops", "hops per route", nil, []int64{1, 10, 100})
+	for _, v := range []int64{0, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	r := NewRegistry()
+	r.MustRegister(h)
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE adhoc_hops histogram",
+		`adhoc_hops_bucket{le="1"} 2`,
+		`adhoc_hops_bucket{le="10"} 3`,
+		`adhoc_hops_bucket{le="100"} 4`,
+		`adhoc_hops_bucket{le="+Inf"} 5`,
+		"adhoc_hops_sum 556",
+		"adhoc_hops_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 556 {
+		t.Errorf("Sum = %d, want 556", got)
+	}
+}
+
+// TestLatencyHistogramSeconds checks the ns -> seconds rendering: bounds
+// and sum must come out in seconds or every latency alert threshold would
+// be off by 1e9.
+func TestLatencyHistogramSeconds(t *testing.T) {
+	h := NewLatencyHistogram("adhoc_route_seconds", "route latency", nil)
+	h.Observe(1_000)     // 1 µs
+	h.Observe(2_000_000) // 2 ms
+	r := NewRegistry()
+	r.MustRegister(h)
+	out := render(t, r)
+	for _, want := range []string{
+		`adhoc_route_seconds_bucket{le="1e-06"} 1`,
+		`adhoc_route_seconds_bucket{le="0.0025"} 2`,
+		`adhoc_route_seconds_bucket{le="+Inf"} 2`,
+		"adhoc_route_seconds_sum 0.002001",
+		"adhoc_route_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latency exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("adhoc_q", "q", nil, []int64{10, 20, 30, 40})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	// 100 observations uniform over (0,40]: 25 per bucket.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v % 40)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 15 || p50 > 25 {
+		t.Errorf("p50 = %g, want ~20", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 35 || p99 > 40 {
+		t.Errorf("p99 = %g, want ~40", p99)
+	}
+	// Everything past the last bound clamps to it.
+	h2 := NewHistogram("adhoc_q2", "q", nil, []int64{10})
+	h2.Observe(1000)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("overflow quantile = %g, want clamp to 10", got)
+	}
+}
+
+func TestVecFunc(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(NewGaugeVecFunc("adhoc_world_epoch", "epoch per world", func() []Sample {
+		return []Sample{
+			{Labels: Labels{"world": "w1"}, Value: 3},
+			{Labels: Labels{"world": "w2"}, Value: 9},
+		}
+	}))
+	out := render(t, r)
+	for _, want := range []string{
+		`adhoc_world_epoch{world="w1"} 3`,
+		`adhoc_world_epoch{world="w2"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vec exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.MustRegister(NewCounterFunc("adhoc_fn_total", "fn", nil, func() float64 { return float64(n) }))
+	n = 42
+	if out := render(t, r); !strings.Contains(out, "adhoc_fn_total 42") {
+		t.Errorf("func metric not read at collect time:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter("adhoc_h_total", "h", nil)
+	r.MustRegister(c)
+	c.Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "adhoc_h_total 1") {
+		t.Errorf("handler body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentObserve exercises the lock-free write paths under -race
+// and checks nothing is lost: the bucket sums must equal the observation
+// count exactly (atomic adds drop nothing).
+func TestConcurrentObserve(t *testing.T) {
+	h := NewLatencyHistogram("adhoc_conc_seconds", "c", nil)
+	c := NewCounter("adhoc_conc_total", "c", nil)
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*1000 + i))
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+}

@@ -1,28 +1,15 @@
-// Package registry is the multi-tenant serving layer's state: a bounded
-// LRU cache of compiled routing engines keyed by network spec, and a
-// bounded table of named long-lived dynamic worlds.
-//
-// The paper's protocol is compile-once and stateless per query, which is
-// exactly the shape that serves many tenants from shared artifacts: the
-// expensive work (degree reduction, flat CSR snapshot, sequence family)
-// happens once per distinct network, and every subsequent query — from
-// any client — reads the immutable compiled state. The registry
-// operationalizes that amortization across networks: requests name a
-// network by spec, the first request compiles it (concurrent requests for
-// the same spec are deduplicated into one compile — singleflight), and a
-// bounded LRU keeps the hottest engines resident. Worlds do the same for
-// dynamic state: instead of paying a private evolving World per request,
-// clients create a named world once and route over it concurrently.
 package registry
 
 import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Config bounds a Registry. The zero value gets serving-appropriate
@@ -83,6 +70,10 @@ type Entry struct {
 	// Pos is the node placement for geometric specs (nil otherwise);
 	// worlds seeded from this entry start their mobility models here.
 	Pos map[graph.NodeID]geom.Point
+	// CompileTime is the wall time this entry's compile took (topology
+	// build + engine compile) — zero coordination cost afterwards; shown
+	// by the serving layer's network info endpoints.
+	CompileTime time.Duration
 
 	key  string        // canonical Spec.Key, stored so hits compare without re-hashing
 	elem *list.Element // registry LRU position; guarded by Registry.mu
@@ -125,6 +116,10 @@ type Registry struct {
 	flights map[string]*flight // by ID
 
 	hits, misses, compiles, dedups, evictions int64
+
+	// compileSeconds distributes the cost of actual compiles (not dedup
+	// joiners) — the latency a cold tenant pays and the LRU amortizes.
+	compileSeconds *obs.Histogram
 }
 
 // New builds an empty registry.
@@ -134,7 +129,47 @@ func New(cfg Config) *Registry {
 		entries: make(map[string]*Entry),
 		order:   list.New(),
 		flights: make(map[string]*flight),
+		compileSeconds: obs.NewLatencyHistogram("adhoc_registry_compile_seconds",
+			"Latency of tenant network compiles (topology build + degree reduction + flat snapshot).", nil),
 	}
+}
+
+// RegisterMetrics exports the registry's traffic counters, occupancy
+// gauges, compile-latency histogram, and a per-resident-network query
+// gauge into o under the adhoc_registry_* / adhoc_network_* families. The
+// counters are collect-time reads of the stats the registry already
+// maintains, so the serving hot path pays nothing extra.
+func (r *Registry) RegisterMetrics(o *obs.Registry) error {
+	stat := func(f func(Stats) int64) func() float64 {
+		return func() float64 { return float64(f(r.Stats())) }
+	}
+	return o.Register(
+		obs.NewCounterFunc("adhoc_registry_hits_total", "Obtain/Get calls served from cache.", nil,
+			stat(func(s Stats) int64 { return s.Hits })),
+		obs.NewCounterFunc("adhoc_registry_misses_total", "Obtain calls that compiled or joined an in-flight compile.", nil,
+			stat(func(s Stats) int64 { return s.Misses })),
+		obs.NewCounterFunc("adhoc_registry_compiles_total", "Actual engine compiles performed.", nil,
+			stat(func(s Stats) int64 { return s.Compiles })),
+		obs.NewCounterFunc("adhoc_registry_dedups_total", "Obtain calls that joined another caller's compile (singleflight savings).", nil,
+			stat(func(s Stats) int64 { return s.Dedups })),
+		obs.NewCounterFunc("adhoc_registry_evictions_total", "Entries dropped by the LRU bound.", nil,
+			stat(func(s Stats) int64 { return s.Evictions })),
+		obs.NewGaugeFunc("adhoc_registry_networks", "Resident compiled engines.", nil,
+			stat(func(s Stats) int64 { return int64(s.Size) })),
+		obs.NewGaugeFunc("adhoc_registry_capacity", "Configured LRU capacity.", nil,
+			stat(func(s Stats) int64 { return int64(s.Capacity) })),
+		r.compileSeconds,
+		obs.NewGaugeVecFunc("adhoc_network_queries",
+			"Completed queries per resident network (drops when an engine is evicted, hence a gauge).",
+			func() []obs.Sample {
+				ents := r.List()
+				out := make([]obs.Sample, len(ents))
+				for i, ent := range ents {
+					out[i] = obs.Sample{Labels: obs.Labels{"network": ent.ID}, Value: float64(ent.Eng.Stats().Queries())}
+				}
+				return out
+			}),
+	)
 }
 
 // Get returns the resident entry with the given ID, marking it most
@@ -208,6 +243,7 @@ func (r *Registry) Obtain(spec Spec) (ent *Entry, cached bool, err error) {
 
 // compile builds the topology and the engine for spec.
 func (r *Registry) compile(id, key string, spec Spec) (*Entry, error) {
+	start := time.Now()
 	g, pos, err := spec.build()
 	if err != nil {
 		return nil, err
@@ -226,7 +262,9 @@ func (r *Registry) compile(id, key string, spec Spec) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: compile %s: %w", spec.Desc(), err)
 	}
-	return &Entry{ID: id, Desc: spec.Desc(), Spec: spec, Eng: eng, Pos: pos, key: key}, nil
+	elapsed := time.Since(start)
+	r.compileSeconds.Observe(int64(elapsed))
+	return &Entry{ID: id, Desc: spec.Desc(), Spec: spec, Eng: eng, Pos: pos, CompileTime: elapsed, key: key}, nil
 }
 
 // insertLocked adds ent at the front of the LRU and evicts beyond

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // World lifecycle errors; the serving layer maps capacity to 429 and the
@@ -165,4 +166,38 @@ func (ws *Worlds) Len() int {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	return len(ws.m)
+}
+
+// RegisterMetrics exports the world table into o: an occupancy gauge plus
+// per-world epoch/link/recompile/cache-hit gauges labeled by world ID.
+// Everything is read at collect time: each family lists the table and
+// snapshots every world under its routing mutex, so one scrape costs a
+// handful of brief lock acquisitions per resident world — held only for
+// field copies, never across a recompile, and paid at scrape cadence
+// (seconds), not query cadence.
+func (ws *Worlds) RegisterMetrics(o *obs.Registry) error {
+	perWorld := func(name, help string, f func(dynamic.Snapshot) float64) *obs.VecFunc {
+		return obs.NewGaugeVecFunc(name, help, func() []obs.Sample {
+			ents := ws.List()
+			out := make([]obs.Sample, len(ents))
+			for i, ent := range ents {
+				out[i] = obs.Sample{Labels: obs.Labels{"world": ent.ID}, Value: f(ent.W.Snapshot())}
+			}
+			return out
+		})
+	}
+	return o.Register(
+		obs.NewGaugeFunc("adhoc_worlds", "Resident named dynamic worlds.", nil,
+			func() float64 { return float64(ws.Len()) }),
+		perWorld("adhoc_world_epoch", "Current epoch per resident world.",
+			func(s dynamic.Snapshot) float64 { return float64(s.Epoch) }),
+		perWorld("adhoc_world_links", "Current link count per resident world.",
+			func(s dynamic.Snapshot) float64 { return float64(s.Links) }),
+		perWorld("adhoc_world_recompiles", "Churn-forced snapshot recompiles per resident world.",
+			func(s dynamic.Snapshot) float64 { return float64(s.Recompiles) }),
+		perWorld("adhoc_world_compile_cache_hits", "Compile-cache hits per resident world.",
+			func(s dynamic.Snapshot) float64 { return float64(s.CacheHits) }),
+		perWorld("adhoc_world_recompile_seconds", "Total wall time spent in churn-forced rebuilds per resident world.",
+			func(s dynamic.Snapshot) float64 { return s.RecompileTime.Seconds() }),
+	)
 }
