@@ -25,6 +25,8 @@
 //	POST /v1/count      — {"src":0}
 //	POST /v1/hybrid     — {"src":0,"dst":35,"walk_seed":9}
 //	POST /v1/dynamic    — {"src":0,"dst":35,"schedule":{"kind":"markov","p_down":0.05,"p_up":0.5,"seed":9}}
+//	GET  /v1/traces     — flight recorder: retained slow/failed traces, newest first
+//	GET  /v1/traces/{id} — one retained trace: span tree, events, per-hop tail
 //
 // Multi-tenant endpoints:
 //
@@ -60,9 +62,14 @@
 // Observability: every request is metered (latency histogram and status
 // class per endpoint, in-flight gauge, admission rejections), and the
 // engine, network registry, and world table export their counters and
-// latency distributions — see docs/OPERATIONS.md for the metric catalogue
-// and alerting notes, and cmd/loadgen for driving the daemon with
-// realistic load.
+// latency distributions. Requests are additionally traced: the W3C
+// traceparent header is honored and propagated, sampling is head-based
+// (-trace-sample) with an always-on flight recorder retaining the last
+// slow/failed traces (-trace-slow, -trace-capacity) for GET /v1/traces,
+// and -log-format=json emits one structured line per request. See
+// docs/OPERATIONS.md for the metric catalogue, alerting notes, and the
+// tracing guide, and cmd/loadgen for driving the daemon with realistic
+// load.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -76,6 +83,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -113,8 +121,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		known    = fs.Int("known", 0, "known component bound (0 = doubling loop)")
 		workers  = fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		drainFor = fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
-		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		metrics  = fs.String("metrics-addr", "", "serve GET /metrics on this dedicated listener instead of the main port")
+		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (on the ops listener when -metrics-addr is set)")
+		metrics  = fs.String("metrics-addr", "", "serve GET /metrics (and /debug/pprof/ with -pprof) on this dedicated listener instead of the main port")
+
+		logFormat   = fs.String("log-format", "text", `request log format: "text" (quiet) or "json" (one structured line per request)`)
+		traceSample = fs.Float64("trace-sample", defaultTraceSample, "head-sampling probability for request traces in [0,1]; an upstream traceparent sampled flag always wins")
+		traceSlow   = fs.Duration("trace-slow", defaultTraceSlow, "flight-recorder retention threshold: keep sampled traces at least this slow (0 keeps all; errors are always kept)")
+		traceCap    = fs.Int("trace-capacity", defaultTraceCapacity, "retained traces in the flight-recorder ring")
 
 		maxBody     = fs.Int64("max-body", defaultMaxBody, "request body cap in bytes (-1 = unlimited)")
 		maxBatch    = fs.Int("max-batch", defaultMaxBatch, "batch members per request (-1 = unlimited)")
@@ -125,6 +138,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
 	g, pos, desc, err := buildGraph(*load, *genKind, *rows, *cols, *n, *radius, *genSeed)
 	if err != nil {
@@ -140,6 +156,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintf(out, "adhocd: compiled %s (%d nodes, %d links, %d reduced nodes)\n",
 		desc, g.NumNodes(), g.NumEdges(), eng.Reduced().Graph().NumNodes())
+	var logOut io.Writer
+	if *logFormat == "json" {
+		logOut = out
+	}
 	srv := newServer(eng, pos, desc, serverConfig{
 		pprof:       *pprofOn,
 		maxBody:     *maxBody,
@@ -152,8 +172,28 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			MaxNodes: *maxNetNodes,
 			Workers:  *workers,
 		},
+		traceSample:   *traceSample,
+		traceSlow:     *traceSlow,
+		traceCapacity: *traceCap,
+		logOut:        logOut,
 	})
-	return serve(*addr, srv, *metrics, srv.MetricsHandler(), out, ready, *drainFor)
+	// The ops mux backs the dedicated -metrics-addr listener: the scrape
+	// endpoint, plus the pprof surface when -pprof is set (so profiling
+	// stays off the public port whenever an ops port exists).
+	var ops http.Handler
+	if *metrics != "" {
+		om := http.NewServeMux()
+		om.Handle("GET /metrics", srv.MetricsHandler())
+		if *pprofOn {
+			om.HandleFunc("GET /debug/pprof/", pprof.Index)
+			om.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+			om.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+			om.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+			om.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		}
+		ops = om
+	}
+	return serve(*addr, srv, *metrics, ops, out, ready, *drainFor)
 }
 
 // buildGraph loads the network file, or generates the requested family.
@@ -187,12 +227,12 @@ func buildGraph(load, kind string, rows, cols, n int, radius float64, seed uint6
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains. When
-// metricsAddr is non-empty, a second listener serves the Prometheus
-// exposition (mh) there — the ops port — and shuts down with the main
-// one. Listeners are bound synchronously so the addresses are known
-// (tests bind :0 and learn the chosen ports via ready / the log lines)
-// and all writes to out happen on this goroutine.
-func serve(addr string, h http.Handler, metricsAddr string, mh http.Handler, out io.Writer, ready chan<- string, drain time.Duration) error {
+// metricsAddr is non-empty, a second listener serves the ops handler
+// (Prometheus exposition plus, with -pprof, the profile endpoints) there
+// and shuts down with the main one. Listeners are bound synchronously so
+// the addresses are known (tests bind :0 and learn the chosen ports via
+// ready / the log lines) and all writes to out happen on this goroutine.
+func serve(addr string, h http.Handler, metricsAddr string, ops http.Handler, out io.Writer, ready chan<- string, drain time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -208,10 +248,8 @@ func serve(addr string, h http.Handler, metricsAddr string, mh http.Handler, out
 			ln.Close()
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		mmux := http.NewServeMux()
-		mmux.Handle("GET /metrics", mh)
 		fmt.Fprintf(out, "adhocd: metrics on %s\n", mln.Addr())
-		srvs = append(srvs, &http.Server{Handler: mmux})
+		srvs = append(srvs, &http.Server{Handler: ops})
 		lns = append(lns, mln)
 	}
 	fmt.Fprintf(out, "adhocd: listening on %s\n", ln.Addr())

@@ -194,6 +194,65 @@ func TestMetricsAddr(t *testing.T) {
 	}
 }
 
+// TestPprofOnMetricsAddr boots the daemon with both -pprof and
+// -metrics-addr and checks the profiling surface moved to the ops
+// listener: live there, absent from the public port.
+func TestPprofOnMetricsAddr(t *testing.T) {
+	var out syncBuffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-pprof",
+			"-gen", "grid", "-rows", "3", "-cols", "3"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	var maddr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "adhocd: metrics on "); ok {
+			maddr = rest
+		}
+	}
+	if maddr == "" {
+		t.Fatalf("metrics address not logged: %s", out.String())
+	}
+
+	resp, err := http.Get("http://" + maddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("ops pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ops listener /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET main listener /debug/pprof/ = %d, want 404 (moved to ops port)", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v (output: %s)", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
 // serves a real request, then delivers SIGINT and expects a clean drain.
 func TestServeAndGracefulShutdown(t *testing.T) {

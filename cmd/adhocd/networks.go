@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/registry"
+	"repro/internal/trace"
 )
 
 // networkCreateReply is the POST /v1/networks response: the stable
@@ -25,7 +26,7 @@ func (s *server) handleNetworkCreate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &spec) {
 		return
 	}
-	ent, cached, err := s.reg.Obtain(spec)
+	ent, cached, err := s.reg.ObtainTraced(spec, trace.FromContext(r.Context()))
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/route"
+	"repro/internal/trace"
 )
 
 // Request-handling limits. Every knob is flag-tunable; the defaults are
@@ -41,6 +42,19 @@ type serverConfig struct {
 	// convention that keeps the scrape surface off the public port).
 	// Empty serves /metrics on the main mux.
 	metricsAddr string
+
+	// Tracing knobs (see trace.go). traceSample is the head-sampling
+	// probability in [0,1]; an upstream traceparent sampled flag always
+	// wins, so even at 0 a caller can force a trace. traceSlow is the
+	// retention latency threshold (0 retains every sampled trace — the
+	// test/debug mode; negative disables latency retention, keeping only
+	// errors). traceCapacity sizes the flight-recorder ring (0 = package
+	// default). logOut, when non-nil, receives one structured JSON line
+	// per request (-log-format=json).
+	traceSample   float64
+	traceSlow     time.Duration
+	traceCapacity int
+	logOut        io.Writer
 }
 
 func (c serverConfig) bodyLimit() int64 {
@@ -95,6 +109,9 @@ type server struct {
 	obs *obs.Registry // Prometheus metric registry (GET /metrics)
 	hm  *httpMetrics  // per-endpoint request instrumentation
 
+	tracer *trace.Tracer // request tracing + flight recorder (GET /v1/traces)
+	reqLog *requestLog   // structured request log (-log-format=json); nil = quiet
+
 	mux *http.ServeMux
 }
 
@@ -114,7 +131,13 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 		maxBody:  cfg.bodyLimit(),
 		maxBatch: cfg.batchLimit(),
 		obs:      obs.NewRegistry(),
-		mux:      http.NewServeMux(),
+		tracer: trace.New(trace.Config{
+			SampleRate:    cfg.traceSample,
+			SlowThreshold: cfg.traceSlow,
+			Capacity:      cfg.traceCapacity,
+		}),
+		reqLog: newRequestLog(cfg.logOut),
+		mux:    http.NewServeMux(),
 	}
 	if n := cfg.inflightLimit(); n > 0 {
 		s.inflight = make(chan struct{}, n)
@@ -150,6 +173,10 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 	handle("POST /v1/worlds/{id}/route", s.handleWorldRoute)
 	handle("DELETE /v1/worlds/{id}", s.handleWorldDelete)
 
+	// Flight recorder: retained slow/failed traces, newest first.
+	handle("GET /v1/traces", s.handleTraceList)
+	handle("GET /v1/traces/{id}", s.handleTraceGet)
+
 	// The scrape endpoint stays on the main mux unless an ops-dedicated
 	// listener was requested (-metrics-addr), in which case serve() mounts
 	// MetricsHandler there instead.
@@ -159,10 +186,13 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 		})
 	}
 
-	if cfg.pprof {
+	if cfg.pprof && cfg.metricsAddr == "" {
 		// pprof.Index dispatches the named profiles (heap, goroutine, …)
 		// itself; only the handlers with dedicated logic need explicit
-		// routes.
+		// routes. With a dedicated ops listener (-metrics-addr) the
+		// profile endpoints move there instead — serve() mounts them next
+		// to /metrics — keeping the public port free of introspection
+		// surfaces.
 		handle("GET /debug/pprof/", pprof.Index)
 		handle("GET /debug/pprof/cmdline", pprof.Cmdline)
 		handle("GET /debug/pprof/profile", pprof.Profile)
@@ -191,9 +221,17 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sr := &statusRecorder{ResponseWriter: w}
 	s.hm.inflight.Inc()
 	defer s.hm.inflight.Dec()
+	// Tracing decides per request (upstream traceparent or sampling coin);
+	// a sampled request carries its root span in the context for the
+	// handlers to hang walk spans off.
+	tr, r := s.startTrace(sr, r)
 	// r.Pattern is filled in by the mux match (empty for 404s and
 	// admission rejections, which land in the "other" endpoint bucket).
-	defer func() { s.hm.record(r.Pattern, sr.status(), start) }()
+	defer func() {
+		s.hm.record(r.Pattern, sr.status(), start)
+		s.finishTrace(tr, r, sr.status())
+		s.reqLog.write(r, sr.status(), time.Since(start), tr)
+	}()
 	// Liveness probes and metric scrapes bypass admission: a saturated
 	// server is still alive, and monitoring must not go blind during
 	// exactly the overload it exists to observe. (With -metrics-addr the
@@ -407,7 +445,7 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, eng *engine
 		writeJSON(w, http.StatusOK, reply)
 		return
 	}
-	res, err := eng.Route(src, dst)
+	res, err := eng.RouteTraced(src, dst, trace.FromContext(r.Context()))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -641,8 +679,8 @@ func (s *server) handleDynamic(w http.ResponseWriter, r *http.Request) {
 	// Unlike the other endpoints, a dynamic query's cost scales with its
 	// knobs (each churned epoch buys a recompile), so they are clamped
 	// server-side: one request must not purchase unbounded CPU.
-	res, err := s.eng.RouteDynamic(world, graph.NodeID(req.Src), graph.NodeID(req.Dst),
-		clampDynamics(req.HopsPerEpoch, req.MaxRounds))
+	res, err := s.eng.RouteDynamicTraced(world, graph.NodeID(req.Src), graph.NodeID(req.Dst),
+		clampDynamics(req.HopsPerEpoch, req.MaxRounds), trace.FromContext(r.Context()))
 	if err != nil {
 		writeErr(w, err)
 		return

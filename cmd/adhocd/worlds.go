@@ -9,6 +9,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/registry"
+	"repro/internal/trace"
 )
 
 // worldCreateRequest names a long-lived shared world: the network it is
@@ -219,8 +220,8 @@ func (s *server) handleWorldRoute(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := ent.Eng.RouteDynamic(ent.W, graph.NodeID(req.Src), graph.NodeID(req.Dst),
-		clampDynamics(req.HopsPerEpoch, req.MaxRounds))
+	res, err := ent.Eng.RouteDynamicTraced(ent.W, graph.NodeID(req.Src), graph.NodeID(req.Dst),
+		clampDynamics(req.HopsPerEpoch, req.MaxRounds), trace.FromContext(r.Context()))
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -21,6 +21,11 @@
 // per scenario, as text on stdout and optionally as JSON (-json path, "-"
 // for stdout) — the shape CI archives next to the benchstat artifact.
 //
+// Every request carries a generated W3C traceparent (sampled), so the
+// daemon traces each one; the report lists the trace IDs of the k slowest
+// requests per scenario (-slowest), resolvable against the daemon's
+// flight recorder via GET /v1/traces/{id}.
+//
 // Percentiles are exact (every sample is kept and sorted at the end), not
 // bucket-estimated: a 10-second run at full tilt stores a few million
 // int64s, which is cheap, and exactness matters when the thing under test
@@ -42,6 +47,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 func main() {
@@ -63,6 +70,7 @@ type config struct {
 	batchSize int
 	seed      int64
 	jsonPath  string
+	slowest   int
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -75,6 +83,7 @@ func parseFlags(args []string) (*config, error) {
 		batchSize = fs.Int("batch-size", 16, "pairs per batch request")
 		seed      = fs.Int64("seed", 1, "workload randomness seed")
 		jsonOut   = fs.String("json", "", "write the JSON report to this path (\"-\" = stdout)")
+		slowest   = fs.Int("slowest", 3, "report the trace IDs of the k slowest requests per scenario (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -89,6 +98,9 @@ func parseFlags(args []string) (*config, error) {
 	if *d <= 0 {
 		return nil, fmt.Errorf("need -d > 0, got %v", *d)
 	}
+	if *slowest < 0 {
+		return nil, fmt.Errorf("need -slowest >= 0, got %d", *slowest)
+	}
 	return &config{
 		addr:      strings.TrimSuffix(*addr, "/"),
 		c:         *c,
@@ -97,6 +109,7 @@ func parseFlags(args []string) (*config, error) {
 		batchSize: *batchSize,
 		seed:      *seed,
 		jsonPath:  *jsonOut,
+		slowest:   *slowest,
 	}, nil
 }
 
@@ -135,11 +148,14 @@ func parseMix(s string) (map[string]int, error) {
 	return m, nil
 }
 
-// sample is one completed request.
+// sample is one completed request. Every request carries a generated
+// traceparent, so trace holds the ID the server knows this request by —
+// the join key into adhocd's GET /v1/traces/{id} for the slow tail.
 type sample struct {
 	scenario int8
 	ok       bool
 	ns       int64
+	trace    trace.TraceID
 }
 
 // worker runs the closed loop until deadline, appending samples to its
@@ -206,10 +222,16 @@ func (g *generator) setupWorld() error {
 	return nil
 }
 
-// post issues one POST and reports success (2xx). The body is drained so
-// the connection is reused.
-func (g *generator) post(path, body string) bool {
-	resp, err := g.client.Post(g.cfg.addr+path, "application/json", strings.NewReader(body))
+// post issues one POST with the given traceparent and reports success
+// (2xx). The body is drained so the connection is reused.
+func (g *generator) post(path, body, traceparent string) bool {
+	req, err := http.NewRequest(http.MethodPost, g.cfg.addr+path, strings.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
+	resp, err := g.client.Do(req)
 	if err != nil {
 		return false
 	}
@@ -218,12 +240,12 @@ func (g *generator) post(path, body string) bool {
 	return resp.StatusCode >= 200 && resp.StatusCode < 300
 }
 
-// do runs one request of the given scenario.
-func (g *generator) do(s int8, rng *rand.Rand) bool {
+// do runs one request of the given scenario under the given traceparent.
+func (g *generator) do(s int8, rng *rand.Rand, traceparent string) bool {
 	switch scenarioNames[s] {
 	case "route":
 		return g.post("/v1/route",
-			fmt.Sprintf(`{"src":%d,"dst":%d}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)))
+			fmt.Sprintf(`{"src":%d,"dst":%d}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)), traceparent)
 	case "batch":
 		var b strings.Builder
 		b.WriteString(`{"pairs":[`)
@@ -234,15 +256,16 @@ func (g *generator) do(s int8, rng *rand.Rand) bool {
 			fmt.Fprintf(&b, "[%d,%d]", rng.Int63n(g.nodes), rng.Int63n(g.nodes))
 		}
 		b.WriteString(`]}`)
-		return g.post("/v1/batch", b.String())
+		return g.post("/v1/batch", b.String(), traceparent)
 	case "world":
 		return g.post("/v1/worlds/"+g.worldID+"/route",
-			fmt.Sprintf(`{"src":%d,"dst":%d,"hops_per_epoch":-1}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)))
+			fmt.Sprintf(`{"src":%d,"dst":%d,"hops_per_epoch":-1}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)),
+			traceparent)
 	case "compile":
 		// Every spec is new (seq-distinct protocol seed): a guaranteed
 		// registry miss, compiling an 8x8 grid and churning the LRU.
 		return g.post("/v1/networks",
-			fmt.Sprintf(`{"kind":"grid","rows":8,"cols":8,"seed":%d}`, g.compileSeq.Add(1)))
+			fmt.Sprintf(`{"kind":"grid","rows":8,"cols":8,"seed":%d}`, g.compileSeq.Add(1)), traceparent)
 	}
 	return false
 }
@@ -250,9 +273,13 @@ func (g *generator) do(s int8, rng *rand.Rand) bool {
 func (w *worker) loop(deadline time.Time) {
 	for time.Now().Before(deadline) {
 		s := w.picks[w.rng.Intn(len(w.picks))]
+		// Every request carries a fresh sampled traceparent, so the server
+		// traces it and the slow tail can be pulled from /v1/traces by ID.
+		tid := trace.NewTraceID()
+		tp := trace.Traceparent(tid, trace.NewSpanID(), trace.FlagSampled)
 		t0 := time.Now()
-		ok := w.gen.do(s, w.rng)
-		w.samples = append(w.samples, sample{scenario: s, ok: ok, ns: int64(time.Since(t0))})
+		ok := w.gen.do(s, w.rng, tp)
+		w.samples = append(w.samples, sample{scenario: s, ok: ok, ns: int64(time.Since(t0)), trace: tid})
 	}
 }
 
@@ -268,6 +295,16 @@ type ScenarioReport struct {
 	P95US    float64 `json:"p95_us"`
 	P99US    float64 `json:"p99_us"`
 	MaxUS    float64 `json:"max_us"`
+	// Slowest lists the k worst successful requests (-slowest), worst
+	// first, with the trace IDs the server knows them by — fetch the full
+	// walk timeline from adhocd's GET /v1/traces/{id}.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// SlowRequest identifies one slow-tail request for trace lookup.
+type SlowRequest struct {
+	TraceID string  `json:"trace_id"`
+	US      float64 `json:"us"`
 }
 
 // Report is the loadgen output shape (-json).
@@ -296,9 +333,14 @@ func percentile(sorted []int64, q float64) int64 {
 	return sorted[rank]
 }
 
-// summarize builds one report row from latencies (ns, successes only).
-func summarize(name string, requests, errors int64, lats []int64, elapsed time.Duration) ScenarioReport {
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+// summarize builds one report row from the scenario's successful samples,
+// including the k-slowest tail with trace IDs.
+func summarize(name string, requests, errors int64, oks []sample, elapsed time.Duration, k int) ScenarioReport {
+	sort.Slice(oks, func(i, j int) bool { return oks[i].ns < oks[j].ns })
+	lats := make([]int64, len(oks))
+	for i, s := range oks {
+		lats[i] = s.ns
+	}
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
 	r := ScenarioReport{
 		Name:     name,
@@ -310,13 +352,16 @@ func summarize(name string, requests, errors int64, lats []int64, elapsed time.D
 		P95US:    us(percentile(lats, 0.95)),
 		P99US:    us(percentile(lats, 0.99)),
 	}
-	if len(lats) > 0 {
+	if len(oks) > 0 {
 		var sum int64
 		for _, v := range lats {
 			sum += v
 		}
 		r.MeanUS = us(sum / int64(len(lats)))
 		r.MaxUS = us(lats[len(lats)-1])
+	}
+	for i := len(oks) - 1; i >= 0 && len(r.Slowest) < k; i-- {
+		r.Slowest = append(r.Slowest, SlowRequest{TraceID: oks[i].trace.String(), US: us(oks[i].ns)})
 	}
 	return r
 }
@@ -369,11 +414,12 @@ func run(args []string, out io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Merge per-worker samples by scenario.
-	perLat := make([][]int64, len(scenarioNames))
+	// Merge per-worker samples by scenario (successes keep their trace ID
+	// for the slow-tail report).
+	perOK := make([][]sample, len(scenarioNames))
 	perReq := make([]int64, len(scenarioNames))
 	perErr := make([]int64, len(scenarioNames))
-	var allLat []int64
+	var allOK []sample
 	var allReq, allErr int64
 	for _, w := range workers {
 		for _, s := range w.samples {
@@ -384,8 +430,8 @@ func run(args []string, out io.Writer) error {
 				allErr++
 				continue
 			}
-			perLat[s.scenario] = append(perLat[s.scenario], s.ns)
-			allLat = append(allLat, s.ns)
+			perOK[s.scenario] = append(perOK[s.scenario], s)
+			allOK = append(allOK, s)
 		}
 	}
 
@@ -394,13 +440,13 @@ func run(args []string, out io.Writer) error {
 		Concurrency: cfg.c,
 		DurationSec: elapsed.Seconds(),
 		Mix:         cfg.mix,
-		Total:       summarize("total", allReq, allErr, allLat, elapsed),
+		Total:       summarize("total", allReq, allErr, allOK, elapsed, cfg.slowest),
 	}
 	for i, name := range scenarioNames {
 		if cfg.mix[name] == 0 {
 			continue
 		}
-		rep.Scenarios = append(rep.Scenarios, summarize(name, perReq[i], perErr[i], perLat[i], elapsed))
+		rep.Scenarios = append(rep.Scenarios, summarize(name, perReq[i], perErr[i], perOK[i], elapsed, cfg.slowest))
 	}
 
 	writeText(out, &rep)
@@ -432,6 +478,13 @@ func writeText(out io.Writer, rep *Report) {
 	if len(rep.Scenarios) > 1 {
 		for _, r := range rep.Scenarios {
 			row(r)
+		}
+	}
+	// The slow tail, per scenario: trace IDs resolvable against the
+	// daemon's flight recorder (GET /v1/traces/{id}).
+	for _, r := range rep.Scenarios {
+		for _, s := range r.Slowest {
+			fmt.Fprintf(out, "slowest %-8s %9.1fµs  trace=%s\n", r.Name, s.US, s.TraceID)
 		}
 	}
 }

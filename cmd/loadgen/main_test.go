@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestParseMix(t *testing.T) {
@@ -55,6 +57,7 @@ func TestPercentile(t *testing.T) {
 type stubServer struct {
 	routes, batches, worldRoutes, compiles, worldCreates atomic.Int64
 	failRoutes                                           bool
+	lastTraceparent                                      atomic.Value // string
 }
 
 func (st *stubServer) handler() http.Handler {
@@ -66,8 +69,11 @@ func (st *stubServer) handler() http.Handler {
 	mux.HandleFunc("GET /v1/network", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = w.Write([]byte(`{"nodes":16,"links":24}`))
 	})
-	mux.HandleFunc("POST /v1/route", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("POST /v1/route", func(w http.ResponseWriter, r *http.Request) {
 		st.routes.Add(1)
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			st.lastTraceparent.Store(tp)
+		}
 		if st.failRoutes {
 			http.Error(w, "boom", http.StatusInternalServerError)
 			return
@@ -151,6 +157,35 @@ func TestRunMixedLoad(t *testing.T) {
 	}
 	if sum != rep.Total.Requests {
 		t.Errorf("scenario requests sum %d != total %d", sum, rep.Total.Requests)
+	}
+	// Every request carried a well-formed sampled traceparent.
+	tp, _ := st.lastTraceparent.Load().(string)
+	if tid, _, flags, err := trace.ParseTraceparent(tp); err != nil || tid.IsZero() || flags&trace.FlagSampled == 0 {
+		t.Errorf("traceparent %q: err=%v", tp, err)
+	}
+	// The slow tail: worst-first trace IDs per scenario, topped by max.
+	for _, s := range rep.Scenarios {
+		if s.Requests == 0 {
+			continue
+		}
+		if len(s.Slowest) == 0 || len(s.Slowest) > 3 {
+			t.Errorf("%s: slowest tail %+v, want 1..3 entries", s.Name, s.Slowest)
+			continue
+		}
+		if s.Slowest[0].US != s.MaxUS {
+			t.Errorf("%s: slowest[0] %.1fµs != max %.1fµs", s.Name, s.Slowest[0].US, s.MaxUS)
+		}
+		for i := 1; i < len(s.Slowest); i++ {
+			if s.Slowest[i].US > s.Slowest[i-1].US {
+				t.Errorf("%s: slowest not worst-first: %+v", s.Name, s.Slowest)
+			}
+		}
+		if _, err := trace.ParseTraceID(s.Slowest[0].TraceID); err != nil {
+			t.Errorf("%s: bad slowest trace ID %q: %v", s.Name, s.Slowest[0].TraceID, err)
+		}
+	}
+	if !strings.Contains(out.String(), "slowest route") && !strings.Contains(out.String(), "slowest") {
+		t.Errorf("text report missing slow tail:\n%s", out.String())
 	}
 	if rep.Total.RPS <= 0 {
 		t.Errorf("rps = %g", rep.Total.RPS)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/route"
+	"repro/internal/trace"
 	"repro/internal/ues"
 )
 
@@ -139,6 +140,7 @@ func (r *Router) World() *World { return r.w }
 type runState struct {
 	res        *Result
 	sinceEpoch int
+	sp         *trace.Span // current round's span; nil when unsampled
 }
 
 // Route sends a message from s to t over the evolving topology and
@@ -148,6 +150,18 @@ type runState struct {
 // retried rather than failed, and a failed round's verdict is only
 // accepted after the closure check passes on the instantaneous topology.
 func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
+	return r.route(s, t, nil)
+}
+
+// RouteTraced is Route recording one child span per round under sp, with
+// per-hop walk events and timed events for epoch advances, snapshot
+// resumptions, and aborted rounds. Tracing keeps the walk on the compiled
+// flat stepper; a nil (unsampled) span routes identically to Route.
+func (r *Router) RouteTraced(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
+	return r.route(s, t, sp)
+}
+
+func (r *Router) route(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
 	if !r.w.HasNode(s) {
 		return nil, fmt.Errorf("dynamic: source: %w: %d", graph.ErrNodeNotFound, s)
 	}
@@ -175,7 +189,15 @@ func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
 		}
 		res.Rounds++
 		res.Bound = bound
+		rt.sp = sp.Child("dynamic.round")
+		if rt.sp.Recording() {
+			rt.sp.SetAttr(trace.Int("round", int64(round)), trace.Int("bound", int64(bound)))
+		}
 		st, delivered, err := r.runRound(s, t, bound, rt)
+		if rt.sp.Recording() {
+			rt.sp.SetAttr(trace.Bool("delivered", delivered), trace.String("status", st.String()))
+			rt.sp.End()
+		}
 		if err != nil {
 			return res, err
 		}
@@ -278,6 +300,10 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 	if err != nil {
 		return netsim.StatusNone, false, err
 	}
+	sink := r.hopSink(rt, s, t)
+	if sink != nil {
+		st.Instrument(sink)
+	}
 	var (
 		segBase  int64 // hops accumulated in completed segments
 		prevHops int64
@@ -300,6 +326,10 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 		if segBase+h > hopCap {
 			finishHops()
 			r.mergeHeaderBits(rt, s, t, maxIdx)
+			if rt.sp.Recording() {
+				rt.sp.Event("dynamic.round_abort", trace.String("reason", "hop_cap"),
+					trace.Int("hops", segBase+h))
+			}
 			return netsim.StatusNone, false, nil
 		}
 		if perEpoch > 0 && rt.sinceEpoch >= perEpoch {
@@ -316,6 +346,10 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 				return netsim.StatusNone, false, err
 			}
 			rt.res.Epochs++
+			if rt.sp.Recording() {
+				rt.sp.Event("dynamic.epoch",
+					trace.Int("epoch", int64(rt.res.Epochs)), trace.Int("hops", segBase+h))
+			}
 			if r.w.Version() != ver {
 				red2, flat2, err := r.w.Compiled()
 				if err != nil {
@@ -332,7 +366,17 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 				segBase += st.Hops()
 				prevHops = 0
 				st, red, flat = st2, red2, flat2
+				if sink != nil {
+					st.Instrument(sink)
+				}
 				rt.res.Resumptions++
+				if rt.sp.Recording() {
+					rt.sp.Event("dynamic.resume",
+						trace.Int("version", int64(r.w.Version())),
+						trace.Int("at", int64(cur)),
+						trace.Int("index", st.Index()),
+						trace.Bool("backward", st.Backward()))
+				}
 			}
 		}
 	}
@@ -342,6 +386,9 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 		if errors.Is(err, flatgraph.ErrUnwound) {
 			// Churn redirected the confirmation until it unwound its whole
 			// index budget without finding s: no verdict, retry the round.
+			if rt.sp.Recording() {
+				rt.sp.Event("dynamic.round_abort", trace.String("reason", "confirmation_unwound"))
+			}
 			return netsim.StatusNone, false, nil
 		}
 		return netsim.StatusNone, false, fmt.Errorf("dynamic: flat walk: %w", err)
@@ -350,6 +397,25 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 		return netsim.StatusSuccess, true, nil
 	}
 	return netsim.StatusFailure, true, nil
+}
+
+// hopSink adapts the round span's hop ring to the flat stepper's sink,
+// stamping each hop with the header size the reference serialization
+// would put on the wire at that index. Returns nil when the round is
+// unsampled, which keeps the stepper on its uninstrumented path.
+func (r *Router) hopSink(rt *runState, s, t graph.NodeID) flatgraph.HopSink {
+	if !rt.sp.Recording() {
+		return nil
+	}
+	sp := rt.sp
+	return func(node graph.NodeID, index int64, backward bool) {
+		sp.Hop(trace.HopEvent{
+			Node:       int64(node),
+			Index:      index,
+			HeaderBits: int32(netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Index: index}.Bits()),
+			Backward:   backward,
+		})
+	}
 }
 
 // mergeHeaderBits folds a round's peak header size into the result. The

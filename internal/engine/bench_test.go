@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/gen"
+	"repro/internal/trace"
 )
 
 // BenchmarkInstrumentedSharedWorldRoute is the observability perf guard:
@@ -50,5 +51,62 @@ func BenchmarkInstrumentedRoute(b *testing.B) {
 		if _, err := e.Route(0, 18); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkArmedUnsampledSharedWorldRoute prices the same warm
+// shared-world query through RouteDynamicTraced with a nil (unsampled)
+// span — the cost every request pays when tracing is compiled in and
+// armed but the sampler said no. The acceptance bar is staying within a
+// few ns of BenchmarkInstrumentedSharedWorldRoute.
+func BenchmarkArmedUnsampledSharedWorldRoute(b *testing.B) {
+	e, err := Compile(gen.Torus(5, 5), Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := e.NewWorld(&dynamic.EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+	for i := 0; i < 10; i++ {
+		if err := w.Advance(dynamic.Probe{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RouteDynamicTraced(w, 0, 18, dynamic.Config{HopsPerEpoch: -1}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracedSharedWorldRoute prices the fully sampled traced query —
+// hop ring writes on every hop plus span bookkeeping — as documentation
+// of what a sampled request costs relative to the unsampled baseline.
+func BenchmarkTracedSharedWorldRoute(b *testing.B) {
+	e, err := Compile(gen.Torus(5, 5), Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := e.NewWorld(&dynamic.EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+	for i := 0; i < 10; i++ {
+		if err := w.Advance(dynamic.Probe{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	tc := trace.New(trace.Config{SampleRate: 1, SlowThreshold: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tc.StartRequest("bench", "")
+		if _, err := e.RouteDynamicTraced(w, 0, 18, dynamic.Config{HopsPerEpoch: -1}, tr.Root()); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
 	}
 }

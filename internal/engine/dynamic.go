@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 // NewWorld returns a dynamic world seeded with this engine's network and
@@ -22,14 +23,49 @@ func (e *Engine) NewWorld(sched dynamic.Schedule) *dynamic.World {
 // engine so dynamic and static queries speak the same protocol; cfg
 // supplies only the dynamics knobs.
 func (e *Engine) RouteDynamic(w *dynamic.World, s, t graph.NodeID, cfg dynamic.Config) (*dynamic.Result, error) {
+	return e.routeDynamic(w, s, t, cfg, nil)
+}
+
+// RouteDynamicTraced is RouteDynamic recording the evolving walk under
+// sp: one span per round with the hop tail, plus timed events for epoch
+// advances, snapshot resumptions, and aborted rounds. A nil (unsampled)
+// span serves the query exactly like RouteDynamic.
+func (e *Engine) RouteDynamicTraced(w *dynamic.World, s, t graph.NodeID, cfg dynamic.Config, sp *trace.Span) (*dynamic.Result, error) {
+	return e.routeDynamic(w, s, t, cfg, sp)
+}
+
+func (e *Engine) routeDynamic(w *dynamic.World, s, t graph.NodeID, cfg dynamic.Config, sp *trace.Span) (*dynamic.Result, error) {
 	cfg.Seed = e.cfg.Seed
 	cfg.LengthFactor = e.cfg.LengthFactor
 	cfg.KnownN = e.cfg.KnownBound
 	if cfg.MaxBound == 0 {
 		cfg.MaxBound = e.cfg.MaxBound
 	}
+	var qsp *trace.Span
+	if sp.Recording() {
+		qsp = sp.Child("engine.route_dynamic")
+		defer qsp.End()
+		qsp.SetAttr(trace.Int("src", int64(s)), trace.Int("dst", int64(t)))
+	}
 	start := sampleStart(e.m.dynamicRoutes.Add(1))
-	res, err := dynamic.NewRouter(w, cfg).Route(s, t)
+	res, err := dynamic.NewRouter(w, cfg).RouteTraced(s, t, qsp)
 	e.m.recordDynamic(res, err, start)
+	if qsp.Recording() {
+		if err != nil {
+			qsp.SetAttr(trace.String("error", err.Error()))
+		}
+		if res != nil {
+			qsp.SetAttr(
+				trace.String("status", res.Status.String()),
+				trace.Int("hops", res.Hops),
+				trace.Int("rounds", int64(res.Rounds)),
+				trace.Int("aborted_rounds", int64(res.AbortedRounds)),
+				trace.Int("epochs", int64(res.Epochs)),
+				trace.Int("recompiles", int64(res.Recompiles)),
+				trace.Int("resumptions", int64(res.Resumptions)),
+				trace.Int("max_header_bits", int64(res.MaxHeaderBits)),
+			)
+		}
+	}
 	return res, err
 }

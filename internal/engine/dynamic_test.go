@@ -6,6 +6,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 )
 
 // TestRouteDynamicStatic pins the serving contract on a no-op world: the
@@ -87,5 +88,64 @@ func TestRouteDynamicWorldIndependence(t *testing.T) {
 	}
 	if w2.Version() != 0 {
 		t.Fatal("static world caught churn from its sibling")
+	}
+}
+
+// TestRouteDynamicTracedParity routes the same churned query over two
+// identically seeded worlds, traced and untraced, and demands identical
+// Results — tracing must not change verdicts, hops, epochs, or header
+// accounting. It also checks the trace carries the round spans with hop
+// events and the epoch/resume timeline of the evolving walk.
+func TestRouteDynamicTracedParity(t *testing.T) {
+	mkWorld := func(eng *Engine) *dynamic.World {
+		return eng.NewWorld(&dynamic.EdgeChurn{Seed: 11, PDrop: 0.15, AddRate: 1})
+	}
+	eng, err := Compile(gen.Torus(5, 5), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dynamic.Config{HopsPerEpoch: 16}
+	want, err := eng.RouteDynamic(mkWorld(eng), 0, 18, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tc := trace.New(trace.Config{SampleRate: 1})
+	tr := tc.StartRequest("dynamic", "")
+	got, err := eng.RouteDynamicTraced(mkWorld(eng), 0, 18, cfg, tr.Root())
+	tr.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("traced %+v disagrees with untraced %+v", got, want)
+	}
+
+	ex := tc.Recorder().Find(tr.ID()).Export()
+	var hops int64
+	rounds, epochs, resumes := 0, 0, 0
+	for _, sp := range ex.Spans {
+		hops += sp.HopTotal
+		if sp.Name == "dynamic.round" {
+			rounds++
+		}
+		for _, ev := range sp.Events {
+			switch ev.Name {
+			case "dynamic.epoch":
+				epochs++
+			case "dynamic.resume":
+				resumes++
+			}
+		}
+	}
+	if rounds != want.Rounds {
+		t.Fatalf("%d round spans, Result has %d rounds", rounds, want.Rounds)
+	}
+	if hops != want.Hops {
+		t.Fatalf("spans recorded %d hops, Result.Hops = %d", hops, want.Hops)
+	}
+	if epochs != want.Epochs || resumes != want.Resumptions {
+		t.Fatalf("trace timeline %d epochs/%d resumes, Result %d/%d",
+			epochs, resumes, want.Epochs, want.Resumptions)
 	}
 }

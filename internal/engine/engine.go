@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hybrid"
 	"repro/internal/route"
+	"repro/internal/trace"
 	"repro/internal/ues"
 )
 
@@ -196,6 +197,42 @@ func (e *Engine) Route(s, t graph.NodeID) (*route.Result, error) {
 	res, err := e.router.Route(s, t)
 	e.m.recordRoute(res, err, start)
 	return res, err
+}
+
+// RouteTraced is Route recording the walk under sp: a child span for the
+// query, one span per round with the walk's hop tail, and the verdict
+// attributes. A nil (unsampled) span serves the query exactly like Route
+// at a pointer-test's extra cost.
+func (e *Engine) RouteTraced(s, t graph.NodeID, sp *trace.Span) (*route.Result, error) {
+	if !sp.Recording() {
+		return e.Route(s, t)
+	}
+	qsp := sp.Child("engine.route")
+	defer qsp.End()
+	qsp.SetAttr(trace.Int("src", int64(s)), trace.Int("dst", int64(t)))
+	start := sampleStart(e.m.routes.Add(1))
+	res, err := e.router.RouteTraced(s, t, qsp)
+	e.m.recordRoute(res, err, start)
+	annotateRoute(qsp, res, err)
+	return res, err
+}
+
+// annotateRoute records a route result's headline statistics on the query
+// span.
+func annotateRoute(sp *trace.Span, res *route.Result, err error) {
+	if err != nil {
+		sp.SetAttr(trace.String("error", err.Error()))
+	}
+	if res == nil {
+		return
+	}
+	sp.SetAttr(
+		trace.String("status", res.Status.String()),
+		trace.Int("hops", res.Hops),
+		trace.Int("rounds", int64(len(res.Rounds))),
+		trace.Int("bound", int64(res.Bound)),
+		trace.Int("max_header_bits", int64(res.MaxHeaderBits)),
+	)
 }
 
 // RouteWithPath routes s→t and reconstructs the forward path on success.

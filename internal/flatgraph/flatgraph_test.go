@@ -249,3 +249,51 @@ func TestStepperMatchesWalk(t *testing.T) {
 		}
 	}
 }
+
+// TestInstrumentedStepperMatchesWalk pins the instrumented stepper to the
+// one-shot walk's full RouteOutcome — verdict, hops, delivered index, max
+// index, and the memory-metering peak — on both a reachable and an
+// unreachable destination, and checks the hop sink saw every hop.
+func TestInstrumentedStepperMatchesWalk(t *testing.T) {
+	g := gen.Grid(4, 4)
+	g.ShuffleLabels(2)
+	red, f := compileReduced(t, g)
+	entryID, _ := red.Entry(0)
+	entry, _ := f.Index(entryID)
+	seq := flatgraph.Seq{Seed: 3, Base: 3, Length: ues.Length(4*f.NumNodes(), 0)}
+	for _, dst := range []graph.NodeID{15, 9999} {
+		want, err := f.RouteWalk(entry, 0, dst, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := f.RouteStepper(entry, 0, dst, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hops int64
+		var lastNode graph.NodeID
+		var sawBackward bool
+		st.Instrument(func(node graph.NodeID, index int64, backward bool) {
+			hops++
+			lastNode = node
+			sawBackward = sawBackward || backward
+		})
+		for !st.Step() {
+		}
+		if st.Err() != nil {
+			t.Fatal(st.Err())
+		}
+		if got := st.Outcome(); got != want {
+			t.Fatalf("dst %d: instrumented outcome %+v, walk %+v", dst, got, want)
+		}
+		if hops != want.Hops {
+			t.Fatalf("dst %d: sink saw %d hops, walk took %d", dst, hops, want.Hops)
+		}
+		if lastNode != 0 {
+			t.Fatalf("dst %d: last hop landed on %d, want delivery at source 0", dst, lastNode)
+		}
+		if !sawBackward {
+			t.Fatalf("dst %d: sink never saw the backward phase", dst)
+		}
+	}
+}

@@ -25,6 +25,37 @@ type RouteStepper struct {
 	done     bool
 	hops     int64
 	err      error
+
+	// ins holds the instrumented mode's state (see Instrument): per-hop
+	// sink plus the reference memory metering, so a traced round still
+	// reports RouteWalk's exact RouteOutcome without leaving the flat
+	// path. One pointer, so the untraced stepper stays in its allocation
+	// size class.
+	ins *stepInstr
+}
+
+// stepInstr is the instrumented stepper's extra state, allocated only
+// when Instrument is called.
+type stepInstr struct {
+	sink      HopSink
+	peak      int
+	maxIndex  int64
+	delivered int64
+}
+
+// HopSink receives one notification per hop performed by an instrumented
+// stepper: the original-graph node the message stands at after the hop,
+// the header index as it leaves that activation, and the walk direction.
+// Called inline from Step — keep it allocation-free.
+type HopSink func(node graph.NodeID, index int64, backward bool)
+
+// Instrument attaches a hop sink (which may be nil) and enables the
+// reference memory metering, so a fully stepped round reports the same
+// RouteOutcome as RouteWalk. Call before the first Step. The
+// uninstrumented Step keeps a single predictable dispatch branch; every
+// per-hop instrumentation cost lives on the instrumented path.
+func (st *RouteStepper) Instrument(sink HopSink) {
+	st.ins = &stepInstr{sink: sink}
 }
 
 // RouteStepper starts a route round at the given dense start node,
@@ -61,6 +92,9 @@ func (f *Graph) ResumeRouteStepper(node, inPort int32, src, dst graph.NodeID, se
 // Step performs one activation (and its hop, if any). It returns true once
 // the round has terminated: delivered with a verdict, or failed with Err.
 func (st *RouteStepper) Step() bool {
+	if st.ins != nil {
+		return st.stepInstrumented()
+	}
 	if st.done {
 		return true
 	}
@@ -103,6 +137,106 @@ func (st *RouteStepper) Step() bool {
 	}
 	st.hop(exit)
 	return false
+}
+
+// stepInstrumented is Step plus the RouteWalk metering replica and the
+// per-hop sink call. The activation charges mirror walk.go exactly: every
+// activation carries memw + inPort + 4 + wordBits(index); stepping
+// activations add the direction register t+1; terminal activations
+// (destination found, sequence exhausted, backward delivery) charge the
+// base only.
+func (st *RouteStepper) stepInstrumented() bool {
+	if st.done {
+		return true
+	}
+	act := int(st.f.memw[st.node]) + int(st.inPort) + 4 + wordBits(st.index)
+	if st.backward {
+		if st.f.orig[st.node] == st.src {
+			if act > st.ins.peak {
+				st.ins.peak = act
+			}
+			st.ins.delivered = st.index
+			st.done = true
+			return true
+		}
+		if st.index < 1 {
+			st.err = ErrUnwound
+			st.done = true
+			return true
+		}
+		t := st.seq.At(st.index)
+		if s := act + int(t) + 1; s > st.ins.peak {
+			st.ins.peak = s
+		}
+		st.index--
+		exit := st.inPort - t
+		if exit < 0 {
+			exit += 3
+		}
+		st.hop(exit)
+		st.emit()
+		return false
+	}
+	if st.f.orig[st.node] == st.dst {
+		if act > st.ins.peak {
+			st.ins.peak = act
+		}
+		if st.index > st.ins.maxIndex {
+			st.ins.maxIndex = st.index
+		}
+		st.backward, st.success = true, true
+		st.index--
+		st.hop(st.inPort)
+		st.emit()
+		return false
+	}
+	if st.index > int64(st.seq.Length) {
+		if act > st.ins.peak {
+			st.ins.peak = act
+		}
+		if st.index > st.ins.maxIndex {
+			st.ins.maxIndex = st.index
+		}
+		st.backward = true
+		st.index--
+		st.hop(st.inPort)
+		st.emit()
+		return false
+	}
+	t := st.seq.At(st.index)
+	if s := act + int(t) + 1; s > st.ins.peak {
+		st.ins.peak = s
+	}
+	st.index++
+	exit := st.inPort + t
+	if exit >= 3 {
+		exit -= 3
+	}
+	st.hop(exit)
+	st.emit()
+	return false
+}
+
+func (st *RouteStepper) emit() {
+	if st.ins.sink != nil {
+		st.ins.sink(st.f.orig[st.node], st.index, st.backward)
+	}
+}
+
+// Outcome reports the RouteWalk-equivalent statistics of a fully stepped
+// instrumented round: valid once Done with a nil Err on a stepper that
+// was instrumented before its first Step and started at a round origin.
+func (st *RouteStepper) Outcome() RouteOutcome {
+	if st.ins == nil {
+		return RouteOutcome{Success: st.success, Hops: st.hops}
+	}
+	return RouteOutcome{
+		Success:        st.success,
+		Hops:           st.hops,
+		DeliveredIndex: st.ins.delivered,
+		MaxIndex:       st.ins.maxIndex,
+		PeakMemoryBits: st.ins.peak,
+	}
 }
 
 func (st *RouteStepper) hop(exit int32) {

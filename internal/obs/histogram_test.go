@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the edge semantics of the bucket
+// scan (`v > bounds[i]` advances): a value exactly on a bound lands in
+// that bound's bucket (le is inclusive, the Prometheus contract), values
+// below the first bound — including negatives — land in the first
+// bucket, and values above the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram("adhoc_edge", "edge behavior", nil, []int64{0, 10, 100})
+	for _, v := range []int64{-7, -1, 0, 1, 10, 11, 100, 101, 1 << 40} {
+		h.Observe(v)
+	}
+	r := NewRegistry()
+	r.MustRegister(h)
+	out := render(t, r)
+	for _, want := range []string{
+		`adhoc_edge_bucket{le="0"} 3`,    // -7, -1, and 0 exactly on the bound
+		`adhoc_edge_bucket{le="10"} 5`,   // 1, and 10 exactly on the bound
+		`adhoc_edge_bucket{le="100"} 7`,  // 11, and 100 exactly on the bound
+		`adhoc_edge_bucket{le="+Inf"} 9`, // 101 and 1<<40 overflow
+		"adhoc_edge_count 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boundary exposition missing %q in:\n%s", want, out)
+		}
+	}
+	wantSum := int64(-7 - 1 + 0 + 1 + 10 + 11 + 100 + 101 + (1 << 40))
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("Sum = %d, want %d (negatives must subtract)", got, wantSum)
+	}
+	if got := h.Count(); got != 9 {
+		t.Errorf("Count = %d, want 9", got)
+	}
+}
+
+// checkCumulative parses one histogram exposition and verifies the
+// snapshot invariants that must hold even mid-race: cumulative bucket
+// counts are nondecreasing in bound order and _count equals the +Inf
+// bucket.
+func checkCumulative(t *testing.T, name, out string) {
+	t.Helper()
+	var prev, inf int64 = -1, -1
+	var count int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(line, name+"_count "); ok {
+			count, _ = strconv.ParseInt(v, 10, 64)
+			continue
+		}
+		if !strings.HasPrefix(line, name+"_bucket{") {
+			continue
+		}
+		_, val, ok := strings.Cut(line, "} ")
+		if !ok {
+			t.Errorf("unparseable bucket line %q", line)
+			return
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Errorf("bucket line %q: %v", line, err)
+			return
+		}
+		if n < prev {
+			t.Errorf("cumulative buckets decreased (%d after %d):\n%s", n, prev, out)
+			return
+		}
+		prev = n
+		inf = n
+	}
+	if count != inf {
+		t.Errorf("_count %d != +Inf bucket %d:\n%s", count, inf, out)
+	}
+}
+
+// TestHistogramObserveVsCollect races the lock-free Observe path against
+// a scraping collector: renders taken mid-write must still be internally
+// consistent (nondecreasing cumulative buckets, _count == +Inf), and
+// once the writers stop the totals must be exact. Run under -race this
+// also proves the paths are data-race-free.
+func TestHistogramObserveVsCollect(t *testing.T) {
+	h := NewHistogram("adhoc_race", "collect race", nil, []int64{1, 10, 100, 1000})
+	const workers, per = 4, 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64((w*per + i) % 2000))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b bytes.Buffer
+			h.Write(&b)
+			checkCumulative(t, "adhoc_race", b.String())
+			if q := h.Quantile(0.9); q < 0 {
+				t.Errorf("mid-race quantile went negative: %g", q)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-collectDone
+
+	if got := h.Count(); got != workers*per {
+		t.Errorf("final count = %d, want %d", got, workers*per)
+	}
+	var b bytes.Buffer
+	h.Write(&b)
+	checkCumulative(t, "adhoc_race", b.String())
+	if !strings.Contains(b.String(), "adhoc_race_count "+strconv.Itoa(workers*per)) {
+		t.Errorf("final exposition count wrong:\n%s", b.String())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Config bounds a Registry. The zero value gets serving-appropriate
@@ -193,6 +194,18 @@ func (r *Registry) Get(id string) (*Entry, bool) {
 // rest block and share the result. Obtains of different specs compile in
 // parallel.
 func (r *Registry) Obtain(spec Spec) (ent *Entry, cached bool, err error) {
+	return r.obtain(spec, nil)
+}
+
+// ObtainTraced is Obtain recording the cache outcome under sp: a
+// "registry.hit" or "registry.join" (singleflight dedup) event, or a
+// "registry.compile" child span around an actual compile. A nil
+// (unsampled) span behaves exactly like Obtain.
+func (r *Registry) ObtainTraced(spec Spec, sp *trace.Span) (ent *Entry, cached bool, err error) {
+	return r.obtain(spec, sp)
+}
+
+func (r *Registry) obtain(spec Spec, sp *trace.Span) (ent *Entry, cached bool, err error) {
 	if err := spec.validate(r.cfg.maxNodes(), r.cfg.maxEdges()); err != nil {
 		return nil, false, err
 	}
@@ -210,6 +223,9 @@ func (r *Registry) Obtain(spec Spec) (ent *Entry, cached bool, err error) {
 		r.hits++
 		r.order.MoveToFront(ent.elem)
 		r.mu.Unlock()
+		if sp.Recording() {
+			sp.Event("registry.hit", trace.String("network", id))
+		}
 		return ent, true, nil
 	}
 	r.misses++
@@ -217,6 +233,9 @@ func (r *Registry) Obtain(spec Spec) (ent *Entry, cached bool, err error) {
 		// Someone is already compiling this spec: join their flight.
 		r.dedups++
 		r.mu.Unlock()
+		if sp.Recording() {
+			sp.Event("registry.join", trace.String("network", id))
+		}
 		<-f.done
 		if f.err == nil && f.ent.key != key {
 			return nil, false, fmt.Errorf("%w: id %s collides with in-flight compile", ErrBadSpec, id)
@@ -229,7 +248,20 @@ func (r *Registry) Obtain(spec Spec) (ent *Entry, cached bool, err error) {
 	r.mu.Unlock()
 
 	// Compile outside the lock: distinct specs must not serialize.
+	csp := sp.Child("registry.compile")
+	if csp.Recording() {
+		csp.SetAttr(trace.String("network", id), trace.String("spec", spec.Desc()))
+	}
 	f.ent, f.err = r.compile(id, key, spec)
+	if csp.Recording() {
+		if f.err != nil {
+			csp.SetAttr(trace.String("error", f.err.Error()))
+		} else {
+			csp.SetAttr(trace.Int("nodes", int64(f.ent.Eng.Graph().NumNodes())),
+				trace.Int("edges", int64(f.ent.Eng.Graph().NumEdges())))
+		}
+		csp.End()
+	}
 
 	r.mu.Lock()
 	delete(r.flights, id)

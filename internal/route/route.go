@@ -26,6 +26,7 @@ import (
 	"repro/internal/flatgraph"
 	"repro/internal/graph"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/ues"
 )
 
@@ -224,6 +225,19 @@ func DefaultMemoryBudget(n int) int {
 // the graph — a name outside the component yields StatusFailure, which is
 // the point of guaranteed termination.
 func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
+	return r.route(s, t, nil)
+}
+
+// RouteTraced is Route recording per-round spans and per-hop walk events
+// under sp. Traced rounds stay on the compiled flat path — the
+// instrumented stepper reproduces RouteWalk's exact outcome while feeding
+// the span's hop ring — so tracing never changes which execution path a
+// query takes. A nil (unsampled) span routes identically to Route.
+func (r *Router) RouteTraced(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
+	return r.route(s, t, sp)
+}
+
+func (r *Router) route(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
 	if !r.orig.HasNode(s) {
 		return nil, fmt.Errorf("route: source: %w: %d", graph.ErrNodeNotFound, s)
 	}
@@ -242,7 +256,7 @@ func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
 	runRound := func(bound int) (st netsim.Status, delivered bool, err error) {
 		seq := r.sequence(bound)
 		if fs, ok := r.flatSeq(seq); ok {
-			return r.flatRound(start, s, t, fs, bound, res)
+			return r.flatRound(start, s, t, fs, bound, res, sp)
 		}
 		h := netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Status: netsim.StatusNone, Index: 1}
 		eng := netsim.NewEngine(r.work,
@@ -288,6 +302,12 @@ func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
 				res.ForwardSteps = (stat.Hops + out.Header.Index) / 2
 			}
 		}
+		if sp.Recording() {
+			sp.Event("route.round.netsim",
+				trace.Int("bound", int64(bound)),
+				trace.Int("hops", stat.Hops),
+				trace.String("outcome", stat.Outcome.String()))
+		}
 		res.Rounds = append(res.Rounds, stat)
 		res.Bound = bound
 		return out.Header.Status, true, nil
@@ -331,6 +351,10 @@ func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
 			if err != nil {
 				return res, err
 			}
+			if sp.Recording() {
+				sp.Event("route.cover_check",
+					trace.Int("bound", int64(bound)), trace.Bool("covered", covered))
+			}
 			res.Rounds[len(res.Rounds)-1].Covered = covered
 			if covered {
 				res.Status = netsim.StatusFailure
@@ -347,12 +371,18 @@ func (r *Router) Route(s, t graph.NodeID) (*Result, error) {
 // outcome into res exactly as the reference round does: same RoundStat,
 // same hop totals, same header-size and memory-metering statistics, same
 // forward-steps reconstruction.
-func (r *Router) flatRound(start, s, t graph.NodeID, fs flatgraph.Seq, bound int, res *Result) (netsim.Status, bool, error) {
+func (r *Router) flatRound(start, s, t graph.NodeID, fs flatgraph.Seq, bound int, res *Result, sp *trace.Span) (netsim.Status, bool, error) {
 	si, ok := r.flat.Index(start)
 	if !ok {
 		return netsim.StatusNone, false, fmt.Errorf("route: %w: %d", graph.ErrNodeNotFound, start)
 	}
-	out, err := r.flat.RouteWalk(si, s, t, fs)
+	var out flatgraph.RouteOutcome
+	var err error
+	if sp.Recording() {
+		out, err = r.flatRoundTraced(si, s, t, fs, bound, sp)
+	} else {
+		out, err = r.flat.RouteWalk(si, s, t, fs)
+	}
 	stat := RoundStat{Bound: bound, SeqLen: fs.Length, Hops: out.Hops}
 	res.Hops += out.Hops
 	// The largest header any activation observes carries the walk's peak
@@ -380,6 +410,33 @@ func (r *Router) flatRound(start, s, t graph.NodeID, fs flatgraph.Seq, bound int
 	res.Rounds = append(res.Rounds, stat)
 	res.Bound = bound
 	return st, true, nil
+}
+
+// flatRoundTraced runs one flat round hop-at-a-time on the instrumented
+// stepper, recording a child span whose hop ring keeps the tail of the
+// walk. The stepper's metering replica makes its Outcome identical to
+// RouteWalk's, so tracing is invisible in the Result.
+func (r *Router) flatRoundTraced(si int32, s, t graph.NodeID, fs flatgraph.Seq, bound int, sp *trace.Span) (flatgraph.RouteOutcome, error) {
+	rsp := sp.Child("route.round")
+	defer rsp.End()
+	rsp.SetAttr(trace.Int("bound", int64(bound)), trace.Int("seq_len", int64(fs.Length)))
+	st, err := r.flat.RouteStepper(si, s, t, fs)
+	if err != nil {
+		return flatgraph.RouteOutcome{}, err
+	}
+	st.Instrument(func(node graph.NodeID, index int64, backward bool) {
+		rsp.Hop(trace.HopEvent{
+			Node:       int64(node),
+			Index:      index,
+			HeaderBits: int32(netsim.Header{Src: s, Dst: t, Dir: netsim.Forward, Index: index}.Bits()),
+			Backward:   backward,
+		})
+	})
+	for !st.Step() {
+	}
+	out := st.Outcome()
+	rsp.SetAttr(trace.Bool("success", out.Success), trace.Int("hops", out.Hops))
+	return out, st.Err()
 }
 
 // entry maps an original node to its walk entry point.

@@ -1,0 +1,45 @@
+// Package trace is the dependency-free request-tracing core: Dapper-style
+// spans with 128-bit trace identities, W3C traceparent propagation, and an
+// always-on flight recorder that retains the last N slow or failed request
+// traces for post-hoc inspection.
+//
+// The design is shaped by the workload it observes. A §3 routing query is
+// one message walking a compiled graph: each hop is a natural span event
+// carrying the O(log n) header of Theorem 1, and a slow request is almost
+// always a long walk (a large doubling bound, an unreachable pair burning
+// the full sequence budget, or churn repeatedly breaking the confirmation
+// leg). The latency histograms of package obs say *that* such a tail
+// exists; a retained trace says *which* walk caused it and what the walk
+// was doing hop by hop.
+//
+// # Model
+//
+// A Tracer starts one Trace per request. The Trace owns a tree of Spans;
+// every Span carries key/value attributes, a bounded list of timed Events
+// (round starts, epoch advances, snapshot resumptions), and a fixed-size
+// ring of HopEvents that keeps the *tail* of the walk — the last
+// DefaultHopRing hops before the verdict, which for a slow walk is exactly
+// the evidence worth keeping (where the message was when the budget ran
+// out), at O(1) memory however long the walk ran.
+//
+// # Sampling and retention
+//
+// Head sampling decides at request start whether a trace records at all:
+// an explicit upstream decision (the traceparent sampled flag) always
+// wins, otherwise a probabilistic coin at Config.SampleRate is tossed.
+// Unsampled traces cost a few nanoseconds — every recording method is
+// nil-receiver safe and the hot paths carry a single pointer test.
+//
+// Retention decides at request end whether a sampled trace enters the
+// flight recorder: always on error (Trace.SetError or ForceRetain),
+// always when the request latency reached Config.SlowThreshold (the
+// tail-latency trigger), and unconditionally when SlowThreshold is zero.
+// The recorder is a lock-free ring of atomic pointers — the last
+// Config.Capacity retained traces, readable at any time while requests
+// keep landing.
+//
+// Concurrency: one Trace/Span tree belongs to one request goroutine while
+// recording (hop rings are single-writer by design); finished traces are
+// immutable and safely shared by recorder readers. The Tracer and
+// Recorder themselves are fully concurrent-safe.
+package trace

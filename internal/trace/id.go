@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the 128-bit request identity shared by every span of one
+// trace and propagated across process boundaries via traceparent.
+type TraceID [16]byte
+
+// SpanID is the 64-bit identity of one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value (the W3C
+// spec reserves it as "no trace").
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the 32-char lowercase hex form used by traceparent.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the 16-char lowercase hex form used by traceparent.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses the 32-char hex form.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("trace: trace id %q: want 32 hex chars", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("trace: trace id %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return id, errors.New("trace: all-zero trace id is invalid")
+	}
+	return id, nil
+}
+
+// FlagSampled is the traceparent trace-flags bit meaning the caller has
+// decided this request should be recorded.
+const FlagSampled = 0x01
+
+// Traceparent renders the W3C trace-context header value
+// (version 00): 00-<trace-id>-<parent-id>-<flags>.
+func Traceparent(tid TraceID, sid SpanID, flags byte) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, tid[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sid[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, []byte{flags})
+	return string(b)
+}
+
+// ParseTraceparent parses a W3C traceparent header value, accepting any
+// version whose first four fields have the version-00 layout (per the
+// spec's forward-compatibility rule; version ff is explicitly invalid).
+// Malformed values are errors — the caller treats them as "no parent"
+// and starts a fresh trace rather than failing the request.
+func ParseTraceparent(s string) (tid TraceID, sid SpanID, flags byte, err error) {
+	if len(s) < 55 {
+		return tid, sid, 0, fmt.Errorf("trace: traceparent %q too short", s)
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return tid, sid, 0, fmt.Errorf("trace: traceparent %q: bad field separator", s)
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tid, sid, 0, fmt.Errorf("trace: traceparent %q: bad field separator", s)
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(s[0:2])); err != nil {
+		return tid, sid, 0, fmt.Errorf("trace: traceparent version: %w", err)
+	}
+	if ver[0] == 0xff {
+		return tid, sid, 0, errors.New("trace: traceparent version ff is invalid")
+	}
+	if ver[0] == 0 && len(s) != 55 {
+		return tid, sid, 0, fmt.Errorf("trace: version-00 traceparent %q: want 55 chars", s)
+	}
+	if tid, err = ParseTraceID(s[3:35]); err != nil {
+		return tid, sid, 0, err
+	}
+	if _, err := hex.Decode(sid[:], []byte(s[36:52])); err != nil {
+		return tid, sid, 0, fmt.Errorf("trace: parent id: %w", err)
+	}
+	if sid.IsZero() {
+		return tid, sid, 0, errors.New("trace: all-zero parent id is invalid")
+	}
+	var fl [1]byte
+	if _, err := hex.Decode(fl[:], []byte(s[53:55])); err != nil {
+		return tid, sid, 0, fmt.Errorf("trace: trace flags: %w", err)
+	}
+	return tid, sid, fl[0], nil
+}
+
+// idState is the process-wide ID source: a splitmix64 stream over an
+// atomic counter, seeded once from the wall clock. One atomic add per
+// 64 bits of ID — no locks, no syscalls, and unique within the process
+// by construction (the counter never repeats).
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a bijection
+// on uint64, so distinct counter values give distinct outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func nextWord() uint64 {
+	for {
+		if w := splitmix64(idState.Add(1)); w != 0 {
+			return w
+		}
+	}
+}
+
+// NewTraceID draws a fresh non-zero 128-bit trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[0:8], nextWord())
+	binary.BigEndian.PutUint64(id[8:16], nextWord())
+	return id
+}
+
+// NewSpanID draws a fresh non-zero 64-bit span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], nextWord())
+	return id
+}

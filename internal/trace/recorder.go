@@ -1,0 +1,68 @@
+package trace
+
+import "sync/atomic"
+
+// Recorder is the flight recorder: a fixed ring of the last N retained
+// traces. Writers claim a slot with one atomic add and publish with one
+// atomic pointer store; readers snapshot pointers without blocking
+// writers. Finished traces are immutable, so a published pointer is
+// always safe to read.
+type Recorder struct {
+	slots  []atomic.Pointer[Trace]
+	cursor atomic.Uint64
+	kept   atomic.Int64
+}
+
+// NewRecorder builds a recorder retaining the last capacity traces
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Keep publishes a finished trace, evicting the oldest when full.
+func (r *Recorder) Keep(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	i := (r.cursor.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(tr)
+	r.kept.Add(1)
+}
+
+// Kept reports how many traces were ever retained (including evicted).
+func (r *Recorder) Kept() int64 { return r.kept.Load() }
+
+// Capacity reports the ring size.
+func (r *Recorder) Capacity() int { return len(r.slots) }
+
+// Recent returns up to max retained traces, newest first (all of them
+// when max <= 0).
+func (r *Recorder) Recent(max int) []*Trace {
+	n := len(r.slots)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]*Trace, 0, max)
+	cur := r.cursor.Load()
+	for k := uint64(1); k <= uint64(n) && len(out) < max; k++ {
+		// Walk backwards from the most recently claimed slot.
+		i := (cur + uint64(n) - k) % uint64(n)
+		if tr := r.slots[i].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Find returns the retained trace with the given ID, or nil.
+func (r *Recorder) Find(id TraceID) *Trace {
+	for i := range r.slots {
+		if tr := r.slots[i].Load(); tr != nil && tr.id == id {
+			return tr
+		}
+	}
+	return nil
+}
