@@ -71,8 +71,28 @@
 // tracing guide, and cmd/loadgen for driving the daemon with realistic
 // load.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// Bounded work: POST /v1/route, /v1/networks/{id}/route, and
+// /v1/worlds/{id}/route accept budget_hops (max message hops), deadline_ms
+// (wall-time bound), and resume (an opaque signed token from an earlier
+// "budget_exhausted" reply). A walk stopped by either limit returns its
+// position as a resume token instead of burning the full doubling budget;
+// provably-unreachable pairs on multi-component networks are answered in
+// O(1) with a reachability certificate. Resume tokens are HMAC-signed with
+// a per-process key and bound to the network or world they were minted
+// for; they do not survive a daemon restart.
+//
+// Fault injection (-chaos-*): a deterministic, seeded chaos harness can
+// fail snapshot recompiles, delay walk hops, stall epoch advances, and
+// fault or delay whole requests — for load-testing the budget/retry/drain
+// machinery. All chaos flags are refused unless -chaos-enable is also set,
+// so a production launch cannot arm fault injection by accident.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: healthz flips to 503
+// ("draining") so load balancers drain it, in-flight requests finish
+// within -drain-timeout, and in-flight budgeted walks are interrupted at
+// their next round boundary so each returns a resume token; with
+// -drain-log those tokens are also appended to a file for a replacement
+// instance to replay.
 package main
 
 import (
@@ -89,6 +109,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/geom"
@@ -121,8 +142,21 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		known    = fs.Int("known", 0, "known component bound (0 = doubling loop)")
 		workers  = fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		drainFor = fs.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+		drainAlt = fs.Duration("drain-timeout", 5*time.Second, "alias for -drain")
+		drainLog = fs.String("drain-log", "", "append resume tokens of walks interrupted by shutdown to this file (one JSON line each)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (on the ops listener when -metrics-addr is set)")
 		metrics  = fs.String("metrics-addr", "", "serve GET /metrics (and /debug/pprof/ with -pprof) on this dedicated listener instead of the main port")
+
+		chaosEnable      = fs.Bool("chaos-enable", false, "master switch for fault injection; every other -chaos-* flag is refused without it")
+		chaosSeed        = fs.Uint64("chaos-seed", 1, "chaos fault-stream seed (deterministic, replayable)")
+		chaosCompileFail = fs.Float64("chaos-compile-fail-rate", 0, "probability a world snapshot recompile fails")
+		chaosHopDelay    = fs.Duration("chaos-hop-delay", 0, "latency injected into dynamic walk hops")
+		chaosHopRate     = fs.Float64("chaos-hop-delay-rate", 0, "probability a hop pays -chaos-hop-delay (0 = every hop)")
+		chaosEpochStall  = fs.Duration("chaos-epoch-stall", 0, "latency injected into world epoch advances")
+		chaosEpochRate   = fs.Float64("chaos-epoch-stall-rate", 0, "probability an advance pays -chaos-epoch-stall (0 = every advance)")
+		chaosReqFail     = fs.Float64("chaos-request-fail-rate", 0, "probability a request 500s before any routing work")
+		chaosReqDelay    = fs.Duration("chaos-request-delay", 0, "latency injected ahead of handler work")
+		chaosReqRate     = fs.Float64("chaos-request-delay-rate", 0, "probability a request pays -chaos-request-delay (0 = every request)")
 
 		logFormat   = fs.String("log-format", "text", `request log format: "text" (quiet) or "json" (one structured line per request)`)
 		traceSample = fs.Float64("trace-sample", defaultTraceSample, "head-sampling probability for request traces in [0,1]; an upstream traceparent sampled flag always wins")
@@ -142,6 +176,36 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *logFormat != "text" && *logFormat != "json" {
 		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
+	// -drain-timeout is the documented name; -drain the historical one.
+	// Whichever was set explicitly wins (the newer name on a tie).
+	drainDur := *drainFor
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "drain-timeout" {
+			drainDur = *drainAlt
+		}
+	})
+	// Chaos is armed only behind the master switch: a production launch
+	// cannot inject faults by a single mistyped flag.
+	chaosCfg := chaos.Config{
+		Seed:             *chaosSeed,
+		CompileFailRate:  *chaosCompileFail,
+		HopDelay:         *chaosHopDelay,
+		HopDelayRate:     *chaosHopRate,
+		EpochStall:       *chaosEpochStall,
+		EpochStallRate:   *chaosEpochRate,
+		RequestFailRate:  *chaosReqFail,
+		RequestDelay:     *chaosReqDelay,
+		RequestDelayRate: *chaosReqRate,
+	}
+	chaosArmed := chaosCfg.CompileFailRate > 0 || chaosCfg.HopDelay > 0 || chaosCfg.EpochStall > 0 ||
+		chaosCfg.RequestFailRate > 0 || chaosCfg.RequestDelay > 0
+	var inj *chaos.Injector
+	switch {
+	case chaosArmed && !*chaosEnable:
+		return errors.New("-chaos-* flags require -chaos-enable")
+	case *chaosEnable:
+		inj = chaos.New(chaosCfg)
+	}
 	g, pos, desc, err := buildGraph(*load, *genKind, *rows, *cols, *n, *radius, *genSeed)
 	if err != nil {
 		return err
@@ -160,6 +224,15 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *logFormat == "json" {
 		logOut = out
 	}
+	var drainOut io.Writer
+	if *drainLog != "" {
+		f, err := os.OpenFile(*drainLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("drain log: %w", err)
+		}
+		defer f.Close()
+		drainOut = f
+	}
 	srv := newServer(eng, pos, desc, serverConfig{
 		pprof:       *pprofOn,
 		maxBody:     *maxBody,
@@ -176,6 +249,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		traceSlow:     *traceSlow,
 		traceCapacity: *traceCap,
 		logOut:        logOut,
+		chaos:         inj,
+		drainLog:      drainOut,
 	})
 	// The ops mux backs the dedicated -metrics-addr listener: the scrape
 	// endpoint, plus the pprof surface when -pprof is set (so profiling
@@ -193,7 +268,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		}
 		ops = om
 	}
-	return serve(*addr, srv, *metrics, ops, out, ready, *drainFor)
+	return serve(*addr, srv, *metrics, ops, out, ready, drainDur)
 }
 
 // buildGraph loads the network file, or generates the requested family.
@@ -274,6 +349,13 @@ func serve(addr string, h http.Handler, metricsAddr string, ops http.Handler, ou
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "adhocd: shutting down")
+	// Flip the handler to draining before Shutdown: healthz answers 503 so
+	// load balancers stop sending, and in-flight budgeted walks are
+	// interrupted at their next round boundary to mint resume tokens
+	// instead of being cut off by the listener closing.
+	if d, ok := h.(interface{ BeginDrain() }); ok {
+		d.BeginDrain()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	for _, srv := range srvs {

@@ -1,14 +1,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/geom"
@@ -16,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/route"
+	"repro/internal/token"
 	"repro/internal/trace"
 )
 
@@ -55,6 +61,16 @@ type serverConfig struct {
 	traceSlow     time.Duration
 	traceCapacity int
 	logOut        io.Writer
+
+	// chaos, when non-nil, is the fault injector (-chaos-* flags, gated on
+	// -chaos-enable): request-level faults/delays fire in ServeHTTP, and
+	// every world this server creates inherits it for compile faults, hop
+	// delays, and epoch stalls.
+	chaos *chaos.Injector
+	// drainLog, when non-nil, receives one JSON line per resume token
+	// minted while the server was draining — the in-flight walk cursors a
+	// replacement instance can pick up.
+	drainLog io.Writer
 }
 
 func (c serverConfig) bodyLimit() int64 {
@@ -112,6 +128,26 @@ type server struct {
 	tracer *trace.Tracer // request tracing + flight recorder (GET /v1/traces)
 	reqLog *requestLog   // structured request log (-log-format=json); nil = quiet
 
+	// tok signs the opaque resume tokens budgeted walks mint. The key is
+	// per-process: tokens live exactly as long as the server (and the
+	// worlds) they point into.
+	tok   *token.Signer
+	chaos *chaos.Injector // nil = no fault injection
+
+	// Drain state: BeginDrain flips draining (healthz goes 503) and cancels
+	// drainCtx, which interrupts in-flight budgeted walks at their next
+	// round boundary so each can mint a resume token before the listener
+	// closes. Tokens minted while draining are persisted to drainLog.
+	draining   atomic.Bool
+	drainCtx   context.Context
+	drainFired context.CancelFunc
+	drainMu    sync.Mutex
+	drainLog   io.Writer
+
+	// retrySeq rotates the Retry-After jitter so simultaneously rejected
+	// clients do not reconverge on the same retry instant.
+	retrySeq atomic.Int64
+
 	mux *http.ServeMux
 }
 
@@ -136,9 +172,13 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 			SlowThreshold: cfg.traceSlow,
 			Capacity:      cfg.traceCapacity,
 		}),
-		reqLog: newRequestLog(cfg.logOut),
-		mux:    http.NewServeMux(),
+		reqLog:   newRequestLog(cfg.logOut),
+		tok:      token.NewSigner(nil),
+		chaos:    cfg.chaos,
+		drainLog: cfg.drainLog,
+		mux:      http.NewServeMux(),
 	}
+	s.drainCtx, s.drainFired = context.WithCancel(context.Background())
 	if n := cfg.inflightLimit(); n > 0 {
 		s.inflight = make(chan struct{}, n)
 	}
@@ -247,11 +287,19 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.inflight }()
 		default:
 			s.hm.rejected.Inc()
-			sr.Header().Set("Retry-After", "1")
+			sr.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(sr, http.StatusTooManyRequests,
 				errorBody{Error: "server at capacity: too many in-flight requests"})
 			return
 		}
+	}
+	// Handler-level chaos fires after admission so injected faults consume
+	// a real admission slot (the overload they simulate would too), but
+	// before any routing work. Nil injector costs one branch.
+	s.chaos.RequestDelay()
+	if err := s.chaos.RequestFault(); err != nil {
+		writeJSON(sr, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
 	}
 	if s.maxBody > 0 && r.Body != nil {
 		// Oversized bodies fail inside decodeBody with a MaxBytesError,
@@ -264,13 +312,97 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(sr, r)
 }
 
+// retryAfterSeconds derives backoff advice for a rejected request from how
+// oversubscribed the server is: the deeper the queue of requests beyond the
+// admission cap, the longer the advice, plus a small rotating jitter so the
+// rejected cohort does not retry in lockstep and re-collide. Successive
+// rejections therefore get different values (pinned by a regression test) —
+// the old fixed "1" synchronized every rejected client onto the same retry
+// instant.
+func (s *server) retryAfterSeconds() int {
+	over := int64(0)
+	if s.inflight != nil {
+		// The in-flight gauge counts every request inside ServeHTTP, admitted
+		// or not; the surplus over the admission cap is the rejected crowd
+		// currently being told to come back.
+		over = s.hm.inflight.Value() - int64(cap(s.inflight))
+	}
+	if over < 0 {
+		over = 0
+	}
+	sec := 1 + over/8 + s.retrySeq.Add(1)%3
+	if sec > 30 {
+		sec = 30
+	}
+	return int(sec)
+}
+
+// BeginDrain moves the server into draining: healthz answers 503 so load
+// balancers stop sending traffic, and the drain context is canceled, which
+// interrupts in-flight budgeted walks at their next round boundary so each
+// can mint a resume token (persisted to the drain log when configured)
+// before the listener closes. Idempotent.
+func (s *server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainFired()
+	}
+}
+
+// boundedCtx builds the walk context for a budgeted query: the request
+// context (client disconnects cancel the walk), joined with the drain
+// context (drain interrupts the walk so it can hand back a cursor), plus
+// the client's deadline when one was asked for.
+func (s *server) boundedCtx(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	if s.drainCtx.Err() != nil {
+		// AfterFunc delivers asynchronously; a walk admitted after the drain
+		// began must observe the cancellation before its first round, not
+		// race the callback goroutine.
+		cancel()
+	}
+	if deadlineMS > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+		inner := cancel
+		cancel = func() { tcancel(); inner() }
+	}
+	return ctx, func() { stop(); cancel() }
+}
+
+// logDrainCursor persists one resume token minted while draining: a JSON
+// line a replacement instance (or the restarted client) can replay. Outside
+// a drain, or without a drain log, it is a no-op.
+func (s *server) logDrainCursor(scope string, src, dst int64, tok string) {
+	if s.drainLog == nil || !s.draining.Load() {
+		return
+	}
+	line, err := json.Marshal(struct {
+		Scope  string `json:"scope"`
+		Src    int64  `json:"src"`
+		Dst    int64  `json:"dst"`
+		Resume string `json:"resume"`
+	}{scope, src, dst, tok})
+	if err != nil {
+		return
+	}
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	_, _ = s.drainLog.Write(append(line, '\n'))
+}
+
 // engineHandler is a query handler parameterized by the engine it serves —
 // the same handler code serves the boot network and every registry tenant.
-type engineHandler func(w http.ResponseWriter, r *http.Request, eng *engine.Engine)
+// scope names the engine for resume-token binding: a token minted against
+// one network (or world) cannot be replayed against another.
+type engineHandler func(w http.ResponseWriter, r *http.Request, eng *engine.Engine, scope string)
+
+// scopeBoot is the resume-token scope of the boot network's endpoints.
+const scopeBoot = "net:boot"
 
 // defaultEngine binds an engineHandler to the boot network.
 func (s *server) defaultEngine(h engineHandler) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.eng) }
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.eng, scopeBoot) }
 }
 
 // namedEngine binds an engineHandler to the registry network named in the
@@ -282,7 +414,7 @@ func (s *server) namedEngine(h engineHandler) http.HandlerFunc {
 		if !ok {
 			return
 		}
-		h(w, r, ent.Eng)
+		h(w, r, ent.Eng, "net:"+ent.ID)
 	}
 }
 
@@ -299,12 +431,16 @@ type errorBody struct {
 }
 
 // writeErr maps routing errors onto HTTP statuses: unknown nodes are 404,
-// everything else a query can provoke is 500 (the engine validated the
-// request shape by then).
+// an unusable resume cursor or an unsupported budget combination is 400
+// (the client sent it), everything else a query can provoke is 500 (the
+// engine validated the request shape by then).
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if errors.Is(err, graph.ErrNodeNotFound) {
+	switch {
+	case errors.Is(err, graph.ErrNodeNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, route.ErrBadCursor), errors.Is(err, route.ErrBudgetUnsupported):
+		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -344,6 +480,15 @@ func writeDecodeErr(w http.ResponseWriter, err error) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		// 503 tells load balancers to stop routing here; in-flight work is
+		// still finishing (or minting resume tokens) under -drain-timeout.
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			OK     bool   `json:"ok"`
+			Status string `json:"status"`
+		}{false, "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -383,35 +528,66 @@ func (s *server) handleNetwork(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.eng.Stats()
+	// The chaos block appears only when fault injection is armed, so the
+	// steady-state stats shape is unchanged.
+	var chaosStats *chaos.Stats
+	if s.chaos != nil {
+		cs := s.chaos.Stats()
+		chaosStats = &cs
+	}
 	writeJSON(w, http.StatusOK, struct {
 		engine.Snapshot
 		Queries  int64          `json:"queries"`
 		Registry registry.Stats `json:"registry"`
 		Worlds   int            `json:"worlds"`
-	}{Snapshot: snap, Queries: snap.Queries(), Registry: s.reg.Stats(), Worlds: s.worlds.Len()})
+		Chaos    *chaos.Stats   `json:"chaos,omitempty"`
+	}{Snapshot: snap, Queries: snap.Queries(), Registry: s.reg.Stats(), Worlds: s.worlds.Len(), Chaos: chaosStats})
 }
 
 // routeRequest asks for one s→t query; WithPath additionally reconstructs
-// the forward path.
+// the forward path. The bounded-work knobs: BudgetHops caps the walk's
+// message hops, DeadlineMS bounds its wall time, and Resume continues an
+// earlier exhausted walk from its (signed, opaque) token. Any of the three
+// makes the query budgeted — incompatible with with_path, whose path
+// reconstruction needs the uninterrupted walk.
 type routeRequest struct {
-	Src      int64 `json:"src"`
-	Dst      int64 `json:"dst"`
-	WithPath bool  `json:"with_path,omitempty"`
+	Src        int64  `json:"src"`
+	Dst        int64  `json:"dst"`
+	WithPath   bool   `json:"with_path,omitempty"`
+	BudgetHops int64  `json:"budget_hops,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	Resume     string `json:"resume,omitempty"`
 }
 
-// routeReply reports one routing outcome.
-type routeReply struct {
-	Src          int64   `json:"src"`
-	Dst          int64   `json:"dst"`
-	Status       string  `json:"status"`
-	Hops         int64   `json:"hops"`
-	ForwardSteps int64   `json:"forward_steps"`
-	Rounds       int     `json:"rounds"`
-	Bound        int     `json:"bound"`
-	HeaderBits   int     `json:"header_bits"`
-	Path         []int64 `json:"path,omitempty"`
-	Error        string  `json:"error,omitempty"`
+// bounded reports whether the request asked for a budgeted walk.
+func (req routeRequest) bounded() bool {
+	return req.BudgetHops > 0 || req.DeadlineMS > 0 || req.Resume != ""
 }
+
+// routeReply reports one routing outcome. Status "budget_exhausted" means
+// no verdict yet: Exhausted says which limit struck (budget or deadline)
+// and Resume is the token that continues the walk where it stopped.
+// Certificate, when present, proves the failure verdict was answered in
+// O(1) from the component index instead of by walking.
+type routeReply struct {
+	Src          int64              `json:"src"`
+	Dst          int64              `json:"dst"`
+	Status       string             `json:"status"`
+	Hops         int64              `json:"hops"`
+	ForwardSteps int64              `json:"forward_steps"`
+	Rounds       int                `json:"rounds"`
+	Bound        int                `json:"bound"`
+	HeaderBits   int                `json:"header_bits"`
+	Path         []int64            `json:"path,omitempty"`
+	Exhausted    string             `json:"exhausted,omitempty"`
+	Resume       string             `json:"resume,omitempty"`
+	Certificate  *route.Certificate `json:"certificate,omitempty"`
+	Error        string             `json:"error,omitempty"`
+}
+
+// statusBudgetExhausted is the reply status of a walk stopped by a budget
+// or deadline: not a verdict, resume with the token to get one.
+const statusBudgetExhausted = "budget_exhausted"
 
 func routeReplyOf(src, dst graph.NodeID, res *route.Result) routeReply {
 	return routeReply{
@@ -423,16 +599,22 @@ func routeReplyOf(src, dst graph.NodeID, res *route.Result) routeReply {
 		Rounds:       len(res.Rounds),
 		Bound:        res.Bound,
 		HeaderBits:   res.MaxHeaderBits,
+		Certificate:  res.Certificate,
 	}
 }
 
-func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, eng *engine.Engine) {
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, eng *engine.Engine, scope string) {
 	var req routeRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	src, dst := graph.NodeID(req.Src), graph.NodeID(req.Dst)
 	if req.WithPath {
+		if req.bounded() {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: "with_path cannot be combined with budget_hops, deadline_ms, or resume"})
+			return
+		}
 		res, path, err := eng.RouteWithPath(src, dst)
 		if err != nil {
 			writeErr(w, err)
@@ -445,12 +627,53 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request, eng *engine
 		writeJSON(w, http.StatusOK, reply)
 		return
 	}
-	res, err := eng.RouteTraced(src, dst, trace.FromContext(r.Context()))
+	if !req.bounded() {
+		res, err := eng.RouteTraced(src, dst, trace.FromContext(r.Context()))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, routeReplyOf(src, dst, res))
+		return
+	}
+	cur, ok := s.verifyResume(w, scope, req.Resume)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.boundedCtx(r, req.DeadlineMS)
+	defer cancel()
+	res, err := eng.RouteBudgetedTraced(ctx, src, dst, req.BudgetHops, cur, trace.FromContext(r.Context()))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, routeReplyOf(src, dst, res))
+	reply := routeReplyOf(src, dst, res)
+	if res.Exhausted != "" {
+		tok, err := s.tok.Sign(scope, res.Cursor)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		reply.Status = statusBudgetExhausted
+		reply.Exhausted = string(res.Exhausted)
+		reply.Resume = tok
+		s.logDrainCursor(scope, req.Src, req.Dst, tok)
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// verifyResume authenticates an optional resume token for scope, answering
+// 400 itself on any verification failure. An empty token is a nil cursor.
+func (s *server) verifyResume(w http.ResponseWriter, scope, tok string) (*route.Cursor, bool) {
+	if tok == "" {
+		return nil, true
+	}
+	cur, err := s.tok.Verify(scope, tok)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return nil, false
+	}
+	return cur, true
 }
 
 // batchRequest carries either explicit pairs or a one-to-many fan-out
@@ -468,7 +691,7 @@ type batchReply struct {
 	Failed    int          `json:"failed"`
 }
 
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, eng *engine.Engine) {
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, eng *engine.Engine, _ string) {
 	var req batchRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -631,18 +854,21 @@ type dynamicRequest struct {
 // epochs elapsed, what the churn cost in recompiles, and how often the
 // stateless header migrated across snapshots.
 type dynamicReply struct {
-	Src           int64  `json:"src"`
-	Dst           int64  `json:"dst"`
-	Status        string `json:"status"`
-	Hops          int64  `json:"hops"`
-	Rounds        int    `json:"rounds"`
-	AbortedRounds int    `json:"aborted_rounds"`
-	Bound         int    `json:"bound"`
-	Epochs        int    `json:"epochs"`
-	Recompiles    int    `json:"recompiles"`
-	Resumptions   int    `json:"resumptions"`
-	HeaderBits    int    `json:"header_bits"`
-	FinalLinks    int    `json:"final_links"`
+	Src           int64              `json:"src"`
+	Dst           int64              `json:"dst"`
+	Status        string             `json:"status"`
+	Hops          int64              `json:"hops"`
+	Rounds        int                `json:"rounds"`
+	AbortedRounds int                `json:"aborted_rounds"`
+	Bound         int                `json:"bound"`
+	Epochs        int                `json:"epochs"`
+	Recompiles    int                `json:"recompiles"`
+	Resumptions   int                `json:"resumptions"`
+	HeaderBits    int                `json:"header_bits"`
+	FinalLinks    int                `json:"final_links"`
+	Exhausted     string             `json:"exhausted,omitempty"`
+	Resume        string             `json:"resume,omitempty"`
+	Certificate   *route.Certificate `json:"certificate,omitempty"`
 }
 
 func dynamicReplyOf(src, dst int64, res *dynamic.Result, world *dynamic.World) dynamicReply {
@@ -659,6 +885,7 @@ func dynamicReplyOf(src, dst int64, res *dynamic.Result, world *dynamic.World) d
 		Resumptions:   res.Resumptions,
 		HeaderBits:    res.MaxHeaderBits,
 		FinalLinks:    world.NumEdges(),
+		Certificate:   res.Certificate,
 	}
 }
 
@@ -676,6 +903,7 @@ func (s *server) handleDynamic(w http.ResponseWriter, r *http.Request) {
 	if s.pos != nil {
 		world.SetPositions(s.pos)
 	}
+	world.SetChaos(s.chaos)
 	// Unlike the other endpoints, a dynamic query's cost scales with its
 	// knobs (each churned epoch buys a recompile), so they are clamped
 	// server-side: one request must not purchase unbounded CPU.

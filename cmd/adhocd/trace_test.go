@@ -16,14 +16,16 @@ import (
 
 // traceTestServer builds the standard test network (4x4 grid ⊔ 5-cycle,
 // so cross-component pairs fail definitively after burning the full walk
-// budget) behind the given serving config.
+// budget) behind the given serving config. Certificates are disabled:
+// these tests watch failing walks happen (round spans, hop tails, epoch
+// events), and the O(1) certificate answer would skip the walk entirely.
 func traceTestServer(t *testing.T, cfg serverConfig) *httptest.Server {
 	t.Helper()
 	g, err := gen.DisjointUnion(gen.Grid(4, 4), gen.Cycle(5), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := engine.Compile(g, engine.Config{Seed: 7, Workers: 2})
+	eng, err := engine.Compile(g, engine.Config{Seed: 7, Workers: 2, DisableCertificates: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -93,6 +93,7 @@ func (s *server) handleWorldCreate(w http.ResponseWriter, r *http.Request) {
 	if pos != nil {
 		world.SetPositions(pos)
 	}
+	world.SetChaos(s.chaos)
 	desc := req.Schedule.Kind
 	if desc == "" {
 		desc = "static"
@@ -203,12 +204,18 @@ func (s *server) handleWorldAdvance(w http.ResponseWriter, r *http.Request) {
 // worldRouteRequest is one s→t query over a shared world. hops_per_epoch
 // couples this walk's hops to the shared epoch clock; negative freezes
 // the clock for this query (the world still evolves under other traffic
-// and explicit advances).
+// and explicit advances). budget_hops / deadline_ms bound the walk's work,
+// and resume continues an earlier exhausted walk from its token — the
+// token is bound to this world, and a resumed walk survives the world
+// having recompiled (epoch churn) since the cursor was minted.
 type worldRouteRequest struct {
-	Src          int64 `json:"src"`
-	Dst          int64 `json:"dst"`
-	HopsPerEpoch int   `json:"hops_per_epoch,omitempty"`
-	MaxRounds    int   `json:"max_rounds,omitempty"`
+	Src          int64  `json:"src"`
+	Dst          int64  `json:"dst"`
+	HopsPerEpoch int    `json:"hops_per_epoch,omitempty"`
+	MaxRounds    int    `json:"max_rounds,omitempty"`
+	BudgetHops   int64  `json:"budget_hops,omitempty"`
+	DeadlineMS   int64  `json:"deadline_ms,omitempty"`
+	Resume       string `json:"resume,omitempty"`
 }
 
 func (s *server) handleWorldRoute(w http.ResponseWriter, r *http.Request) {
@@ -220,11 +227,41 @@ func (s *server) handleWorldRoute(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := ent.Eng.RouteDynamicTraced(ent.W, graph.NodeID(req.Src), graph.NodeID(req.Dst),
-		clampDynamics(req.HopsPerEpoch, req.MaxRounds), trace.FromContext(r.Context()))
+	src, dst := graph.NodeID(req.Src), graph.NodeID(req.Dst)
+	cfg := clampDynamics(req.HopsPerEpoch, req.MaxRounds)
+	if req.BudgetHops <= 0 && req.DeadlineMS <= 0 && req.Resume == "" {
+		res, err := ent.Eng.RouteDynamicTraced(ent.W, src, dst, cfg, trace.FromContext(r.Context()))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, dynamicReplyOf(req.Src, req.Dst, res, ent.W))
+		return
+	}
+	scope := "world:" + ent.ID
+	cur, ok := s.verifyResume(w, scope, req.Resume)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.boundedCtx(r, req.DeadlineMS)
+	defer cancel()
+	res, err := ent.Eng.RouteDynamicBudgetedTraced(ctx, ent.W, src, dst, req.BudgetHops, cur, cfg,
+		trace.FromContext(r.Context()))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, dynamicReplyOf(req.Src, req.Dst, res, ent.W))
+	reply := dynamicReplyOf(req.Src, req.Dst, res, ent.W)
+	if res.Exhausted != "" {
+		tok, err := s.tok.Sign(scope, res.Cursor)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		reply.Status = statusBudgetExhausted
+		reply.Exhausted = string(res.Exhausted)
+		reply.Resume = tok
+		s.logDrainCursor(scope, req.Src, req.Dst, tok)
+	}
+	writeJSON(w, http.StatusOK, reply)
 }

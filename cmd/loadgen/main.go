@@ -11,6 +11,18 @@
 //	world    POST /v1/worlds/{id}/route — shared dynamic world, frozen clock
 //	compile  POST /v1/networks         — registry-miss compile storm (every
 //	                                     request posts a never-seen spec)
+//	resume   POST /v1/route            — bounded-work differential: walk the
+//	                                     pair uninterrupted for a reference
+//	                                     verdict, then again chopped into
+//	                                     -resume-budget hop segments resumed
+//	                                     from the server's signed tokens; a
+//	                                     verdict mismatch counts as a wrong
+//	                                     verdict (total.wrong_verdicts must
+//	                                     stay 0 — the CI chaos smoke gate)
+//
+// Every request retries on 429/503 with jittered exponential backoff,
+// honoring the server's Retry-After advice (capped so advice cannot stall
+// the run); the report counts retries and token resumptions per scenario.
 //
 // Usage:
 //
@@ -59,18 +71,19 @@ func main() {
 }
 
 // scenarioNames is the fixed scenario order (reports list them this way).
-var scenarioNames = []string{"route", "batch", "world", "compile"}
+var scenarioNames = []string{"route", "batch", "world", "compile", "resume"}
 
 // config carries the parsed flags.
 type config struct {
-	addr      string
-	c         int
-	d         time.Duration
-	mix       map[string]int
-	batchSize int
-	seed      int64
-	jsonPath  string
-	slowest   int
+	addr         string
+	c            int
+	d            time.Duration
+	mix          map[string]int
+	batchSize    int
+	resumeBudget int
+	seed         int64
+	jsonPath     string
+	slowest      int
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -79,8 +92,9 @@ func parseFlags(args []string) (*config, error) {
 		addr      = fs.String("addr", "http://127.0.0.1:8080", "adhocd base URL")
 		c         = fs.Int("c", 8, "concurrent closed-loop workers")
 		d         = fs.Duration("d", 10*time.Second, "test duration")
-		mix       = fs.String("mix", "route=1", "scenario mix as name=weight[,name=weight...]; scenarios: route, batch, world, compile")
+		mix       = fs.String("mix", "route=1", "scenario mix as name=weight[,name=weight...]; scenarios: route, batch, world, compile, resume")
 		batchSize = fs.Int("batch-size", 16, "pairs per batch request")
+		resumeBdg = fs.Int("resume-budget", 64, "hop budget per segment of the resume scenario (deliberately small so walks split)")
 		seed      = fs.Int64("seed", 1, "workload randomness seed")
 		jsonOut   = fs.String("json", "", "write the JSON report to this path (\"-\" = stdout)")
 		slowest   = fs.Int("slowest", 3, "report the trace IDs of the k slowest requests per scenario (0 disables)")
@@ -101,15 +115,19 @@ func parseFlags(args []string) (*config, error) {
 	if *slowest < 0 {
 		return nil, fmt.Errorf("need -slowest >= 0, got %d", *slowest)
 	}
+	if *resumeBdg < 1 {
+		return nil, fmt.Errorf("need -resume-budget >= 1, got %d", *resumeBdg)
+	}
 	return &config{
-		addr:      strings.TrimSuffix(*addr, "/"),
-		c:         *c,
-		d:         *d,
-		mix:       m,
-		batchSize: *batchSize,
-		seed:      *seed,
-		jsonPath:  *jsonOut,
-		slowest:   *slowest,
+		addr:         strings.TrimSuffix(*addr, "/"),
+		c:            *c,
+		d:            *d,
+		mix:          m,
+		batchSize:    *batchSize,
+		resumeBudget: *resumeBdg,
+		seed:         *seed,
+		jsonPath:     *jsonOut,
+		slowest:      *slowest,
 	}, nil
 }
 
@@ -151,9 +169,16 @@ func parseMix(s string) (map[string]int, error) {
 // sample is one completed request. Every request carries a generated
 // traceparent, so trace holds the ID the server knows this request by —
 // the join key into adhocd's GET /v1/traces/{id} for the slow tail.
+// retries counts 429/503 backoff re-sends absorbed by this logical
+// request, resumes counts budget_exhausted→token→re-route segments, and
+// wrong flags a resume-scenario verdict that disagreed with the
+// uninterrupted reference walk.
 type sample struct {
 	scenario int8
 	ok       bool
+	wrong    bool
+	retries  int32
+	resumes  int32
 	ns       int64
 	trace    trace.TraceID
 }
@@ -222,30 +247,108 @@ func (g *generator) setupWorld() error {
 	return nil
 }
 
-// post issues one POST with the given traceparent and reports success
-// (2xx). The body is drained so the connection is reused.
-func (g *generator) post(path, body, traceparent string) bool {
+// setupRetry runs a one-shot setup step a few times before giving up, so
+// a daemon that is still coming up — or one running with fault injection
+// armed — cannot kill the whole run with a single unlucky 500.
+func setupRetry(step func() error) error {
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		if err = step(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// postFull issues one POST with the given traceparent and returns the HTTP
+// status (0 on a transport error) plus the Retry-After header. When out is
+// non-nil a 2xx body is decoded into it; otherwise the body is drained so
+// the connection is reused.
+func (g *generator) postFull(path, body, traceparent string, out any) (int, string) {
 	req, err := http.NewRequest(http.MethodPost, g.cfg.addr+path, strings.NewReader(body))
 	if err != nil {
-		return false
+		return 0, ""
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("traceparent", traceparent)
 	resp, err := g.client.Do(req)
 	if err != nil {
-		return false
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, ""
+		}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode >= 200 && resp.StatusCode < 300
+	return resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+// Backoff policy for 429 (admission rejection) and 503 (draining server):
+// exponential from retryBase with full jitter, preferring the server's
+// Retry-After advice when present — capped at retryCap so bad advice
+// cannot stall the closed loop, and bounded to retryMax attempts.
+const (
+	retryBase = 50 * time.Millisecond
+	retryCap  = 2 * time.Second
+	retryMax  = 5
+)
+
+// postRetry is postFull with the backoff policy: it re-sends on 429/503
+// until another status, the attempt cap, or the run deadline, and returns
+// the final status plus how many retries were absorbed.
+func (g *generator) postRetry(path, body, traceparent string, rng *rand.Rand, deadline time.Time, out any) (int, int32) {
+	backoff := retryBase
+	for attempt := int32(0); ; attempt++ {
+		status, advice := g.postFull(path, body, traceparent, out)
+		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			return status, attempt
+		}
+		if attempt >= retryMax || !time.Now().Before(deadline) {
+			return status, attempt
+		}
+		wait := backoff
+		if secs, err := strconv.Atoi(advice); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+		// Full jitter over [wait/2, wait]: the rejected cohort must not
+		// reconverge on one retry instant.
+		wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)+1))
+		if wait > retryCap {
+			wait = retryCap
+		}
+		time.Sleep(wait)
+		backoff *= 2
+	}
+}
+
+// outcome is what one logical scenario request cost: the verdict, the
+// backoff retries and token resumptions absorbed along the way, and (for
+// the resume differential) whether the split verdict disagreed with the
+// uninterrupted one.
+type outcome struct {
+	ok      bool
+	wrong   bool
+	retries int32
+	resumes int32
+}
+
+// ok2xx folds a postRetry status into an outcome.
+func ok2xx(status int, retries int32) outcome {
+	return outcome{ok: status >= 200 && status < 300, retries: retries}
 }
 
 // do runs one request of the given scenario under the given traceparent.
-func (g *generator) do(s int8, rng *rand.Rand, traceparent string) bool {
+func (g *generator) do(s int8, rng *rand.Rand, traceparent string, deadline time.Time) outcome {
 	switch scenarioNames[s] {
 	case "route":
-		return g.post("/v1/route",
-			fmt.Sprintf(`{"src":%d,"dst":%d}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)), traceparent)
+		return ok2xx(g.postRetry("/v1/route",
+			fmt.Sprintf(`{"src":%d,"dst":%d}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)),
+			traceparent, rng, deadline, nil))
 	case "batch":
 		var b strings.Builder
 		b.WriteString(`{"pairs":[`)
@@ -256,18 +359,62 @@ func (g *generator) do(s int8, rng *rand.Rand, traceparent string) bool {
 			fmt.Fprintf(&b, "[%d,%d]", rng.Int63n(g.nodes), rng.Int63n(g.nodes))
 		}
 		b.WriteString(`]}`)
-		return g.post("/v1/batch", b.String(), traceparent)
+		return ok2xx(g.postRetry("/v1/batch", b.String(), traceparent, rng, deadline, nil))
 	case "world":
-		return g.post("/v1/worlds/"+g.worldID+"/route",
+		return ok2xx(g.postRetry("/v1/worlds/"+g.worldID+"/route",
 			fmt.Sprintf(`{"src":%d,"dst":%d,"hops_per_epoch":-1}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)),
-			traceparent)
+			traceparent, rng, deadline, nil))
 	case "compile":
 		// Every spec is new (seq-distinct protocol seed): a guaranteed
 		// registry miss, compiling an 8x8 grid and churning the LRU.
-		return g.post("/v1/networks",
-			fmt.Sprintf(`{"kind":"grid","rows":8,"cols":8,"seed":%d}`, g.compileSeq.Add(1)), traceparent)
+		return ok2xx(g.postRetry("/v1/networks",
+			fmt.Sprintf(`{"kind":"grid","rows":8,"cols":8,"seed":%d}`, g.compileSeq.Add(1)),
+			traceparent, rng, deadline, nil))
+	case "resume":
+		return g.doResume(rng, traceparent, deadline)
 	}
-	return false
+	return outcome{}
+}
+
+// doResume is the bounded-work differential: one uninterrupted walk for
+// the reference verdict, then the same pair chopped into -resume-budget
+// hop segments, each resumed from the server's signed token. The verdicts
+// must agree — a disagreement is the wrong_verdicts CI gate firing.
+func (g *generator) doResume(rng *rand.Rand, traceparent string, deadline time.Time) outcome {
+	src, dst := rng.Int63n(g.nodes), rng.Int63n(g.nodes)
+	var ref struct {
+		Status string `json:"status"`
+	}
+	status, retries := g.postRetry("/v1/route",
+		fmt.Sprintf(`{"src":%d,"dst":%d}`, src, dst), traceparent, rng, deadline, &ref)
+	res := outcome{retries: retries}
+	if status < 200 || status >= 300 {
+		return res
+	}
+	resume := ""
+	for {
+		var rep struct {
+			Status string `json:"status"`
+			Resume string `json:"resume"`
+		}
+		body := fmt.Sprintf(`{"src":%d,"dst":%d,"budget_hops":%d,"resume":%q}`,
+			src, dst, g.cfg.resumeBudget, resume)
+		status, retries = g.postRetry("/v1/route", body, traceparent, rng, deadline, &rep)
+		res.retries += retries
+		if status < 200 || status >= 300 {
+			return res
+		}
+		if rep.Status != "budget_exhausted" {
+			res.ok = true
+			res.wrong = rep.Status != ref.Status
+			return res
+		}
+		if rep.Resume == "" {
+			return res // exhausted without a token: a server bug, count as error
+		}
+		resume = rep.Resume
+		res.resumes++
+	}
 }
 
 func (w *worker) loop(deadline time.Time) {
@@ -278,17 +425,28 @@ func (w *worker) loop(deadline time.Time) {
 		tid := trace.NewTraceID()
 		tp := trace.Traceparent(tid, trace.NewSpanID(), trace.FlagSampled)
 		t0 := time.Now()
-		ok := w.gen.do(s, w.rng, tp)
-		w.samples = append(w.samples, sample{scenario: s, ok: ok, ns: int64(time.Since(t0)), trace: tid})
+		o := w.gen.do(s, w.rng, tp, deadline)
+		w.samples = append(w.samples, sample{
+			scenario: s, ok: o.ok, wrong: o.wrong,
+			retries: o.retries, resumes: o.resumes,
+			ns: int64(time.Since(t0)), trace: tid,
+		})
 	}
 }
 
 // ScenarioReport summarizes one scenario's (or the whole run's) samples.
 type ScenarioReport struct {
-	Name     string  `json:"name"`
-	Requests int64   `json:"requests"`
-	Errors   int64   `json:"errors"`
-	RPS      float64 `json:"rps"`
+	Name     string `json:"name"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// Retries counts 429/503 backoff re-sends; Resumes counts
+	// budget_exhausted→token segments (resume scenario); WrongVerdicts
+	// counts resume-differential disagreements and is always present —
+	// the CI chaos smoke job gates on total.wrong_verdicts == 0.
+	Retries       int64   `json:"retries"`
+	Resumes       int64   `json:"resumes"`
+	WrongVerdicts int64   `json:"wrong_verdicts"`
+	RPS           float64 `json:"rps"`
 	MeanUS   float64 `json:"mean_us"`
 	P50US    float64 `json:"p50_us"`
 	P90US    float64 `json:"p90_us"`
@@ -334,8 +492,10 @@ func percentile(sorted []int64, q float64) int64 {
 }
 
 // summarize builds one report row from the scenario's successful samples,
-// including the k-slowest tail with trace IDs.
-func summarize(name string, requests, errors int64, oks []sample, elapsed time.Duration, k int) ScenarioReport {
+// including the k-slowest tail with trace IDs. tallies carries the
+// resilience counters aggregated over all of the scenario's samples
+// (errored ones retried too).
+func summarize(name string, requests, errors int64, tallies ScenarioReport, oks []sample, elapsed time.Duration, k int) ScenarioReport {
 	sort.Slice(oks, func(i, j int) bool { return oks[i].ns < oks[j].ns })
 	lats := make([]int64, len(oks))
 	for i, s := range oks {
@@ -343,14 +503,17 @@ func summarize(name string, requests, errors int64, oks []sample, elapsed time.D
 	}
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
 	r := ScenarioReport{
-		Name:     name,
-		Requests: requests,
-		Errors:   errors,
-		RPS:      float64(requests) / elapsed.Seconds(),
-		P50US:    us(percentile(lats, 0.50)),
-		P90US:    us(percentile(lats, 0.90)),
-		P95US:    us(percentile(lats, 0.95)),
-		P99US:    us(percentile(lats, 0.99)),
+		Name:          name,
+		Requests:      requests,
+		Errors:        errors,
+		Retries:       tallies.Retries,
+		Resumes:       tallies.Resumes,
+		WrongVerdicts: tallies.WrongVerdicts,
+		RPS:           float64(requests) / elapsed.Seconds(),
+		P50US:         us(percentile(lats, 0.50)),
+		P90US:         us(percentile(lats, 0.90)),
+		P95US:         us(percentile(lats, 0.95)),
+		P99US:         us(percentile(lats, 0.99)),
 	}
 	if len(oks) > 0 {
 		var sum int64
@@ -378,11 +541,11 @@ func run(args []string, out io.Writer) error {
 			MaxIdleConnsPerHost: cfg.c * 2,
 		}},
 	}
-	if err := gen.probe(); err != nil {
+	if err := setupRetry(gen.probe); err != nil {
 		return err
 	}
 	if cfg.mix["world"] > 0 {
-		if err := gen.setupWorld(); err != nil {
+		if err := setupRetry(gen.setupWorld); err != nil {
 			return err
 		}
 	}
@@ -419,12 +582,22 @@ func run(args []string, out io.Writer) error {
 	perOK := make([][]sample, len(scenarioNames))
 	perReq := make([]int64, len(scenarioNames))
 	perErr := make([]int64, len(scenarioNames))
+	perTal := make([]ScenarioReport, len(scenarioNames))
 	var allOK []sample
 	var allReq, allErr int64
+	var allTal ScenarioReport
 	for _, w := range workers {
 		for _, s := range w.samples {
 			perReq[s.scenario]++
 			allReq++
+			perTal[s.scenario].Retries += int64(s.retries)
+			perTal[s.scenario].Resumes += int64(s.resumes)
+			allTal.Retries += int64(s.retries)
+			allTal.Resumes += int64(s.resumes)
+			if s.wrong {
+				perTal[s.scenario].WrongVerdicts++
+				allTal.WrongVerdicts++
+			}
 			if !s.ok {
 				perErr[s.scenario]++
 				allErr++
@@ -440,13 +613,13 @@ func run(args []string, out io.Writer) error {
 		Concurrency: cfg.c,
 		DurationSec: elapsed.Seconds(),
 		Mix:         cfg.mix,
-		Total:       summarize("total", allReq, allErr, allOK, elapsed, cfg.slowest),
+		Total:       summarize("total", allReq, allErr, allTal, allOK, elapsed, cfg.slowest),
 	}
 	for i, name := range scenarioNames {
 		if cfg.mix[name] == 0 {
 			continue
 		}
-		rep.Scenarios = append(rep.Scenarios, summarize(name, perReq[i], perErr[i], perOK[i], elapsed, cfg.slowest))
+		rep.Scenarios = append(rep.Scenarios, summarize(name, perReq[i], perErr[i], perTal[i], perOK[i], elapsed, cfg.slowest))
 	}
 
 	writeText(out, &rep)
@@ -479,6 +652,10 @@ func writeText(out io.Writer, rep *Report) {
 		for _, r := range rep.Scenarios {
 			row(r)
 		}
+	}
+	if t := rep.Total; t.Retries > 0 || t.Resumes > 0 || t.WrongVerdicts > 0 {
+		fmt.Fprintf(out, "resilience: retries=%d resumes=%d wrong_verdicts=%d\n",
+			t.Retries, t.Resumes, t.WrongVerdicts)
 	}
 	// The slow tail, per scenario: trace IDs resolvable against the
 	// daemon's flight recorder (GET /v1/traces/{id}).

@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -241,5 +243,140 @@ func TestRunUnreachable(t *testing.T) {
 	err := run([]string{"-addr", "http://127.0.0.1:1", "-d", "100ms"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "is adhocd running") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// flakyServer 429s (with Retry-After advice) a fixed number of times
+// before each success, and serves the resume scenario: the first budgeted
+// request per pair exhausts with a token, the second completes. verdictLie
+// makes the resumed verdict disagree with the reference one, which must
+// surface as wrong_verdicts.
+type flakyServer struct {
+	rejectFirst int32
+	advice      string // Retry-After header on rejections; empty omits it
+	verdictLie  bool
+	rejected    atomic.Int32
+}
+
+func (st *flakyServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/network", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"nodes":16,"links":24}`))
+	})
+	mux.HandleFunc("POST /v1/route", func(w http.ResponseWriter, r *http.Request) {
+		if n := st.rejected.Add(1); n <= st.rejectFirst {
+			if st.advice != "" {
+				w.Header().Set("Retry-After", st.advice)
+			}
+			http.Error(w, "capacity", http.StatusTooManyRequests)
+			return
+		}
+		var req struct {
+			BudgetHops int64  `json:"budget_hops"`
+			Resume     string `json:"resume"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case req.BudgetHops > 0 && req.Resume == "":
+			_, _ = w.Write([]byte(`{"status":"budget_exhausted","resume":"tok-1"}`))
+		case req.Resume != "":
+			status := "success"
+			if st.verdictLie {
+				status = "failure"
+			}
+			_, _ = w.Write([]byte(`{"status":"` + status + `"}`))
+		default:
+			_, _ = w.Write([]byte(`{"status":"success"}`))
+		}
+	})
+	return mux
+}
+
+// TestRunRetriesAndResumes: 429s are retried with backoff (honoring
+// Retry-After) and counted; the resume scenario resumes from the server's
+// token and counts segments; verdict agreement leaves wrong_verdicts 0.
+func TestRunRetriesAndResumes(t *testing.T) {
+	st := &flakyServer{rejectFirst: 2} // no advice: exponential backoff path
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-c", "1", "-d", "200ms",
+		"-mix", "resume=1", "-resume-budget", "8", "-json", "-",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	i := strings.IndexByte(out.String(), '{')
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()[i:]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Errors != 0 {
+		t.Fatalf("errors: %+v", rep.Total)
+	}
+	if rep.Total.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2 (two 429s before first success)", rep.Total.Retries)
+	}
+	if rep.Total.Resumes == 0 {
+		t.Fatalf("resumes = 0, want > 0: %+v", rep.Total)
+	}
+	if rep.Total.WrongVerdicts != 0 {
+		t.Fatalf("wrong_verdicts = %d, want 0", rep.Total.WrongVerdicts)
+	}
+	// The CI gate key must be present in the JSON even at zero.
+	if !strings.Contains(out.String(), `"wrong_verdicts"`) {
+		t.Fatalf("report JSON missing wrong_verdicts key:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "resilience:") {
+		t.Fatalf("text report missing resilience line:\n%s", out.String())
+	}
+}
+
+// TestRunWrongVerdictDetected: a resumed verdict that disagrees with the
+// uninterrupted reference is counted — the signal the chaos smoke job
+// gates on.
+func TestRunWrongVerdictDetected(t *testing.T) {
+	st := &flakyServer{verdictLie: true}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-c", "1", "-d", "100ms",
+		"-mix", "resume=1", "-json", "-",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := strings.IndexByte(out.String(), '{')
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()[i:]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.WrongVerdicts == 0 {
+		t.Fatalf("lying server produced wrong_verdicts = 0: %+v", rep.Total)
+	}
+}
+
+// TestPostRetryHonorsRetryAfter: when the server advises Retry-After, the
+// backoff waits at least half the advised interval (full jitter halves at
+// worst) instead of the much shorter exponential default.
+func TestPostRetryHonorsRetryAfter(t *testing.T) {
+	st := &flakyServer{rejectFirst: 1, advice: "1"}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	g := &generator{cfg: &config{addr: ts.URL}, client: ts.Client()}
+	rng := rand.New(rand.NewSource(1))
+	t0 := time.Now()
+	status, retries := g.postRetry("/v1/route", `{"src":0,"dst":1}`, "", rng, time.Now().Add(5*time.Second), nil)
+	if status != http.StatusOK || retries != 1 {
+		t.Fatalf("status %d retries %d, want 200 after 1 retry", status, retries)
+	}
+	if waited := time.Since(t0); waited < 500*time.Millisecond {
+		t.Fatalf("waited %v before retry; Retry-After: 1 advises at least 500ms", waited)
 	}
 }

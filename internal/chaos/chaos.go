@@ -1,0 +1,191 @@
+// Package chaos injects deterministic, seeded faults into the serving
+// stack: snapshot recompile failures, per-hop walk latency, epoch-advance
+// stalls, and handler-level request faults and delays. It exists to prove
+// the robustness claims (budgets, deadlines, drain, retry) under load, not
+// to model a physical failure process — which faults fire is a pure
+// function of the seed and the call sequence, so a chaos run is replayable.
+//
+// A nil *Injector is inert: every method is nil-receiver-safe and costs one
+// branch, so call sites hook the injector unconditionally and production
+// paths pay nothing when chaos is off.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// ErrInjected marks every chaos-injected failure, so callers (and tests)
+// can tell a synthetic fault from a real one with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Config selects which faults fire and how often. All rates are
+// probabilities in [0, 1]; zero disables that fault class. Delays without a
+// rate fire on every event of their class.
+type Config struct {
+	// Seed drives the fault stream; identical seeds and call sequences
+	// produce identical fault decisions.
+	Seed uint64
+	// CompileFailRate is the probability that a snapshot recompile fails
+	// with ErrInjected (exercises the route-layer error path under churn).
+	CompileFailRate float64
+	// HopDelay is the latency injected into walk hops; HopDelayRate is the
+	// probability a given hop pays it (0 with a nonzero HopDelay = every
+	// hop).
+	HopDelay     time.Duration
+	HopDelayRate float64
+	// EpochStall is the latency injected into epoch advances; EpochStallRate
+	// is the probability a given advance stalls (0 with a nonzero
+	// EpochStall = every advance).
+	EpochStall     time.Duration
+	EpochStallRate float64
+	// RequestFailRate is the probability a handler-level fault fires,
+	// turning one HTTP request into a 500 before any routing work.
+	RequestFailRate float64
+	// RequestDelay is the latency injected ahead of handler work;
+	// RequestDelayRate is the probability a given request pays it.
+	RequestDelay     time.Duration
+	RequestDelayRate float64
+}
+
+// Stats counts the faults an injector has fired, by class.
+type Stats struct {
+	CompileFaults int64 `json:"compile_faults"`
+	HopDelays     int64 `json:"hop_delays"`
+	EpochStalls   int64 `json:"epoch_stalls"`
+	RequestFaults int64 `json:"request_faults"`
+	RequestDelays int64 `json:"request_delays"`
+}
+
+// Injector is a concurrency-safe fault source. The fault stream is
+// deterministic in (Config.Seed, global call order); under concurrency the
+// interleaving picks which caller absorbs each fault, but the number and
+// pattern of faults over N calls is fixed.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	src   *prng.Source
+	stats Stats
+}
+
+// New builds an injector for cfg. A zero Config yields an injector that
+// never fires (equivalent to a nil one).
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, src: prng.New(cfg.Seed)}
+}
+
+// roll consumes one word of the fault stream and reports whether an event
+// with probability rate fires.
+func (i *Injector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		i.src.Uint64() // keep the stream position rate-independent
+		return true
+	}
+	return i.src.Float64() < rate
+}
+
+// CompileFault returns ErrInjected (wrapped) when a compile-failure fault
+// fires, nil otherwise. Safe on a nil receiver.
+func (i *Injector) CompileFault() error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	fire := i.roll(i.cfg.CompileFailRate)
+	if fire {
+		i.stats.CompileFaults++
+	}
+	i.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	return fmt.Errorf("%w: recompile", ErrInjected)
+}
+
+// HopDelay blocks for the configured per-hop latency when that fault
+// fires. Safe on a nil receiver.
+func (i *Injector) HopDelay() {
+	if i == nil || i.cfg.HopDelay <= 0 {
+		return
+	}
+	i.mu.Lock()
+	fire := i.cfg.HopDelayRate <= 0 || i.roll(i.cfg.HopDelayRate)
+	if fire {
+		i.stats.HopDelays++
+	}
+	i.mu.Unlock()
+	if fire {
+		time.Sleep(i.cfg.HopDelay)
+	}
+}
+
+// EpochStall blocks for the configured epoch-advance latency when that
+// fault fires. Safe on a nil receiver.
+func (i *Injector) EpochStall() {
+	if i == nil || i.cfg.EpochStall <= 0 {
+		return
+	}
+	i.mu.Lock()
+	fire := i.cfg.EpochStallRate <= 0 || i.roll(i.cfg.EpochStallRate)
+	if fire {
+		i.stats.EpochStalls++
+	}
+	i.mu.Unlock()
+	if fire {
+		time.Sleep(i.cfg.EpochStall)
+	}
+}
+
+// RequestFault returns ErrInjected (wrapped) when a handler-level fault
+// fires, nil otherwise. Safe on a nil receiver.
+func (i *Injector) RequestFault() error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	fire := i.roll(i.cfg.RequestFailRate)
+	if fire {
+		i.stats.RequestFaults++
+	}
+	i.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	return fmt.Errorf("%w: request", ErrInjected)
+}
+
+// RequestDelay blocks for the configured handler latency when that fault
+// fires. Safe on a nil receiver.
+func (i *Injector) RequestDelay() {
+	if i == nil || i.cfg.RequestDelay <= 0 {
+		return
+	}
+	i.mu.Lock()
+	fire := i.cfg.RequestDelayRate <= 0 || i.roll(i.cfg.RequestDelayRate)
+	if fire {
+		i.stats.RequestDelays++
+	}
+	i.mu.Unlock()
+	if fire {
+		time.Sleep(i.cfg.RequestDelay)
+	}
+}
+
+// Stats returns a snapshot of the fault counters. Safe on a nil receiver
+// (all zero).
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}

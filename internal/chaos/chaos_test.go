@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorInert: every method of a nil injector is a no-op, so call
+// sites can hook chaos unconditionally.
+func TestNilInjectorInert(t *testing.T) {
+	var i *Injector
+	if err := i.CompileFault(); err != nil {
+		t.Fatalf("nil CompileFault = %v", err)
+	}
+	if err := i.RequestFault(); err != nil {
+		t.Fatalf("nil RequestFault = %v", err)
+	}
+	i.HopDelay()
+	i.EpochStall()
+	i.RequestDelay()
+	if s := i.Stats(); s != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", s)
+	}
+}
+
+// TestZeroConfigNeverFires: a zero Config is equivalent to no chaos.
+func TestZeroConfigNeverFires(t *testing.T) {
+	i := New(Config{Seed: 42})
+	for k := 0; k < 1000; k++ {
+		if err := i.CompileFault(); err != nil {
+			t.Fatalf("zero-config compile fault fired: %v", err)
+		}
+		if err := i.RequestFault(); err != nil {
+			t.Fatalf("zero-config request fault fired: %v", err)
+		}
+		i.HopDelay()
+		i.EpochStall()
+	}
+	if s := i.Stats(); s != (Stats{}) {
+		t.Fatalf("zero-config stats = %+v", s)
+	}
+}
+
+// TestDeterministicFaultStream: identical seeds and call sequences produce
+// identical fault decisions — the property that makes a chaos run
+// replayable.
+func TestDeterministicFaultStream(t *testing.T) {
+	run := func() []bool {
+		i := New(Config{Seed: 7, CompileFailRate: 0.3, RequestFailRate: 0.2})
+		var fired []bool
+		for k := 0; k < 200; k++ {
+			fired = append(fired, i.CompileFault() != nil, i.RequestFault() != nil)
+		}
+		return fired
+	}
+	a, b := run(), run()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("fault streams diverged at call %d", k)
+		}
+	}
+}
+
+// TestRatesAndStats: rates roughly hold and every fired fault is counted
+// and tagged ErrInjected.
+func TestRatesAndStats(t *testing.T) {
+	i := New(Config{Seed: 3, CompileFailRate: 0.5, RequestFailRate: 1})
+	const n = 2000
+	fails := 0
+	for k := 0; k < n; k++ {
+		if err := i.CompileFault(); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("compile fault not tagged: %v", err)
+			}
+			fails++
+		}
+		if err := i.RequestFault(); err == nil {
+			t.Fatal("rate-1 request fault did not fire")
+		}
+	}
+	if fails < n/3 || fails > 2*n/3 {
+		t.Fatalf("rate-0.5 fired %d/%d times", fails, n)
+	}
+	s := i.Stats()
+	if s.CompileFaults != int64(fails) || s.RequestFaults != n {
+		t.Fatalf("stats %+v do not match observed (%d, %d)", s, fails, n)
+	}
+}
+
+// TestDelaysFireAndCount: duration faults block and are counted; a rate
+// gates them.
+func TestDelaysFireAndCount(t *testing.T) {
+	i := New(Config{Seed: 5, HopDelay: time.Microsecond, EpochStall: time.Microsecond,
+		RequestDelay: time.Microsecond})
+	for k := 0; k < 10; k++ {
+		i.HopDelay()
+		i.EpochStall()
+		i.RequestDelay()
+	}
+	s := i.Stats()
+	if s.HopDelays != 10 || s.EpochStalls != 10 || s.RequestDelays != 10 {
+		t.Fatalf("ungated delays = %+v, want 10 each", s)
+	}
+	gated := New(Config{Seed: 5, HopDelay: time.Microsecond, HopDelayRate: 0.5})
+	for k := 0; k < 2000; k++ {
+		gated.HopDelay()
+	}
+	if d := gated.Stats().HopDelays; d < 600 || d > 1400 {
+		t.Fatalf("rate-0.5 hop delay fired %d/2000 times", d)
+	}
+}

@@ -1,9 +1,11 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/degred"
 	"repro/internal/flatgraph"
 	"repro/internal/graph"
@@ -47,7 +49,13 @@ type Config struct {
 	// the stateless per-node handler instead of the compiled flat stepper.
 	// The two are hop-for-hop identical (pinned by the differential
 	// tests); the reference path exists for those tests and debugging.
+	// Budgeted routing (RouteBudgeted) requires the flat path.
 	DisableFlat bool
+	// DisableCertificates skips the O(1) component-index check at route
+	// start, forcing even provably-unreachable pairs to burn the walk.
+	// Verdicts are identical either way; the flag exists for differential
+	// tests and for measuring the full doubling burn.
+	DisableCertificates bool
 }
 
 // Defaults for the dynamics knobs.
@@ -109,6 +117,15 @@ type Result struct {
 	// MaxHeaderBits is the largest serialized header observed — the
 	// O(log n) overhead claim measured under dynamics.
 	MaxHeaderBits int
+	// Certificate is non-nil when a failure verdict was answered in O(1)
+	// from the component index of the snapshot current at route start,
+	// instead of by walking the doubling budget.
+	Certificate *route.Certificate
+	// Exhausted is non-empty when the walk stopped on a budget or deadline
+	// instead of a verdict; Cursor then holds the resume position.
+	Exhausted route.ExhaustReason
+	// Cursor continues an exhausted walk in a later RouteBudgeted call.
+	Cursor *route.Cursor
 }
 
 // Router routes messages over an evolving World, advancing the walk
@@ -141,6 +158,19 @@ type runState struct {
 	res        *Result
 	sinceEpoch int
 	sp         *trace.Span // current round's span; nil when unsampled
+
+	// Bounded-work state. ctx carries the deadline (nil = never expires,
+	// checked at round starts and epoch boundaries, never per hop); budget
+	// is the hops remaining when armed. resume holds the caller's cursor
+	// until the first round consumes it. When a round stops early it sets
+	// exhausted and mints cursor instead of returning a verdict.
+	ctx       context.Context
+	armed     bool
+	budget    int64
+	resume    *route.Cursor
+	exhausted route.ExhaustReason
+	cursor    *route.Cursor
+	chaos     *chaos.Injector
 }
 
 // Route sends a message from s to t over the evolving topology and
@@ -161,7 +191,34 @@ func (r *Router) RouteTraced(s, t graph.NodeID, sp *trace.Span) (*Result, error)
 	return r.route(s, t, sp)
 }
 
+// RouteBudgeted is Route with bounded work: the walk stops after maxHops
+// message hops (0 = unlimited) or when ctx expires — deadlines are checked
+// at round starts and epoch boundaries, never per hop — returning a Result
+// with Exhausted set and a Cursor that continues the walk in a later call
+// exactly where it stopped. Pass cur = nil for a fresh walk. A cursor
+// minted on a snapshot the world has since recompiled re-enters at the
+// canonical gadget of the original node it was at, the same rule a
+// mid-walk epoch recompile applies. Budgeted routing requires the compiled
+// flat path; DisableFlat configurations get route.ErrBudgetUnsupported.
+func (r *Router) RouteBudgeted(ctx context.Context, s, t graph.NodeID, maxHops int64, cur *route.Cursor) (*Result, error) {
+	return r.routeBudgeted(ctx, s, t, maxHops, cur, nil)
+}
+
+// RouteBudgetedTraced is RouteBudgeted recording spans under sp.
+func (r *Router) RouteBudgetedTraced(ctx context.Context, s, t graph.NodeID, maxHops int64,
+	cur *route.Cursor, sp *trace.Span) (*Result, error) {
+	return r.routeBudgeted(ctx, s, t, maxHops, cur, sp)
+}
+
 func (r *Router) route(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
+	return r.routeBudgeted(nil, s, t, 0, nil, sp)
+}
+
+func (r *Router) routeBudgeted(ctx context.Context, s, t graph.NodeID, maxHops int64,
+	cur *route.Cursor, sp *trace.Span) (*Result, error) {
+	if (ctx != nil || maxHops > 0 || cur != nil) && r.cfg.DisableFlat {
+		return nil, fmt.Errorf("%w (DisableFlat)", route.ErrBudgetUnsupported)
+	}
 	if !r.w.HasNode(s) {
 		return nil, fmt.Errorf("dynamic: source: %w: %d", graph.ErrNodeNotFound, s)
 	}
@@ -170,24 +227,75 @@ func (r *Router) route(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
 		res.Status = netsim.StatusSuccess
 		return res, nil
 	}
-	rt := &runState{res: res}
+	if cur != nil {
+		if cur.Src != s || cur.Dst != t {
+			return nil, fmt.Errorf("%w: cursor is for %d->%d", route.ErrBadCursor, cur.Src, cur.Dst)
+		}
+		if cur.Bound < 1 || cur.Index < 0 {
+			return nil, fmt.Errorf("%w: bound %d, index %d", route.ErrBadCursor, cur.Bound, cur.Index)
+		}
+		res.Hops = cur.Hops
+		res.Rounds = cur.Rounds
+		res.AbortedRounds = cur.AbortedRounds
+		res.Epochs = cur.Epochs
+		res.Resumptions = cur.Resumptions
+		res.MaxHeaderBits = cur.MaxHeaderBits
+	}
+	rt := &runState{res: res, ctx: ctx, armed: maxHops > 0, budget: maxHops,
+		resume: cur, chaos: r.w.Chaos()}
+	if cur != nil {
+		rt.sinceEpoch = cur.SinceEpoch
+	}
 	// Warm the compile cache before counting: Recompiles measures what the
 	// topology churn cost this route, not the unavoidable initial compile.
-	if _, _, err := r.w.Compiled(); err != nil {
+	red, flat, err := r.w.Compiled()
+	if err != nil {
 		return res, err
 	}
 	recompBase := r.w.Recompiles()
 	defer func() { res.Recompiles = int(r.w.Recompiles() - recompBase) }()
 
-	bound := 0
-	maxRounds := r.cfg.maxRounds()
-	for round := 1; round <= maxRounds; round++ {
-		var err error
-		bound, err = r.nextBound(bound)
-		if err != nil {
-			return res, err
+	// The O(1) reachability answer, from the component index of the
+	// snapshot current right now. A resumed walk skips it: its budget was
+	// already committed to walking, and the walk's own verdict is sound.
+	if cur == nil && !r.cfg.DisableCertificates {
+		if cert := r.certificate(red, flat, s, t); cert != nil {
+			res.Status = netsim.StatusFailure
+			res.Certificate = cert
+			if sp.Recording() {
+				sp.Event("dynamic.certificate",
+					trace.Int("src_component", int64(cert.SrcComponent)),
+					trace.Int("dst_component", int64(cert.DstComponent)),
+					trace.Int("components", int64(cert.Components)),
+					trace.Int("version", int64(cert.Version)))
+			}
+			return res, nil
 		}
-		res.Rounds++
+	}
+
+	bound := 0
+	round := 1
+	maxRounds := r.cfg.maxRounds()
+	if cur != nil {
+		bound = cur.Bound
+		if round = cur.Rounds; round < 1 {
+			round = 1
+		}
+		if maxRounds < round {
+			// The interrupted round always gets to finish, even when the
+			// resuming router's round budget is tighter than the minter's.
+			maxRounds = round
+		}
+	}
+	for ; round <= maxRounds; round++ {
+		if rt.resume == nil {
+			var err error
+			bound, err = r.nextBound(bound)
+			if err != nil {
+				return res, err
+			}
+			res.Rounds++
+		}
 		res.Bound = bound
 		rt.sp = sp.Child("dynamic.round")
 		if rt.sp.Recording() {
@@ -200,6 +308,11 @@ func (r *Router) route(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
 		}
 		if err != nil {
 			return res, err
+		}
+		if rt.exhausted != "" {
+			res.Exhausted = rt.exhausted
+			res.Cursor = rt.cursor
+			return res, nil
 		}
 		if !delivered {
 			res.AbortedRounds++
@@ -296,22 +409,101 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 	if err != nil {
 		return netsim.StatusNone, false, err
 	}
-	st, err := flatStepperAt(red, flat, s, s, t, seq, 1, false, false)
-	if err != nil {
-		return netsim.StatusNone, false, err
+	var (
+		st      *flatgraph.RouteStepper
+		segBase int64 // hops accumulated in completed segments
+		maxIdx  = int64(1)
+	)
+	if cur := rt.resume; cur != nil {
+		rt.resume = nil
+		segBase = cur.RoundHops
+		if cur.MaxIndex > maxIdx {
+			maxIdx = cur.MaxIndex
+		}
+		if cur.Version == r.w.Version() {
+			// Same topology the cursor was minted on: the dense position is
+			// still valid, re-enter exactly.
+			st, err = flat.ResumeRouteStepper(cur.Node, cur.InPort, s, t, seq,
+				cur.Index, cur.Backward, cur.Success)
+		} else {
+			// The world moved on: re-enter at the canonical gadget of the
+			// original node, the same rule a mid-walk recompile applies.
+			st, err = flatStepperAt(red, flat, cur.At, s, t, seq,
+				cur.Index, cur.Backward, cur.Success)
+			if err == nil {
+				rt.res.Resumptions++
+			}
+		}
+		if err != nil {
+			return netsim.StatusNone, false, fmt.Errorf("%w: %v", route.ErrBadCursor, err)
+		}
+		if rt.sp.Recording() {
+			rt.sp.Event("dynamic.cursor_resume",
+				trace.Int("index", cur.Index), trace.Bool("backward", cur.Backward),
+				trace.Int("round_hops", cur.RoundHops))
+		}
+	} else {
+		st, err = flatStepperAt(red, flat, s, s, t, seq, 1, false, false)
+		if err != nil {
+			return netsim.StatusNone, false, err
+		}
 	}
 	sink := r.hopSink(rt, s, t)
 	if sink != nil {
 		st.Instrument(sink)
 	}
 	var (
-		segBase  int64 // hops accumulated in completed segments
 		prevHops int64
-		maxIdx   = int64(1)
 		hopCap   = roundHopCap(L)
 		perEpoch = r.cfg.hopsPerEpoch()
+		armed    = rt.armed
+		budget   = rt.budget
+		chz      = rt.chaos
 	)
-	finishHops := func() { rt.res.Hops += segBase + st.Hops() }
+	finishHops := func() {
+		rt.res.Hops += segBase + st.Hops()
+		rt.budget = budget
+	}
+	// exhaust stops the round without a verdict: fold the partial round's
+	// hops into the result, and mint the cursor that re-enters this exact
+	// position. Hops/RoundHops stay split so the continued round's total
+	// folds in without double counting.
+	exhaust := func(reason route.ExhaustReason) {
+		if idx := st.Index(); idx > maxIdx {
+			maxIdx = idx
+		}
+		node, inPort := st.Position()
+		completed := rt.res.Hops
+		roundHops := segBase + st.Hops()
+		finishHops()
+		r.mergeHeaderBits(rt, s, t, maxIdx)
+		rt.exhausted = reason
+		rt.cursor = &route.Cursor{
+			Src: s, Dst: t, Bound: bound,
+			Node: node, InPort: inPort, At: flat.OriginalOf(node),
+			Index: st.Index(), Backward: st.Backward(), Success: st.Success(),
+			Version:       r.w.Version(),
+			Hops:          completed,
+			RoundHops:     roundHops,
+			MaxIndex:      maxIdx,
+			Rounds:        rt.res.Rounds,
+			AbortedRounds: rt.res.AbortedRounds,
+			Epochs:        rt.res.Epochs,
+			Resumptions:   rt.res.Resumptions,
+			SinceEpoch:    rt.sinceEpoch,
+			MaxHeaderBits: rt.res.MaxHeaderBits,
+		}
+		if rt.sp.Recording() {
+			rt.sp.Event("dynamic.exhausted", trace.String("reason", string(reason)),
+				trace.Int("round_hops", roundHops), trace.Int("index", rt.cursor.Index))
+		}
+	}
+	// Deadlines are checked at round starts and epoch boundaries, never per
+	// hop: a frozen-clock walk costs one Err read per round.
+	if rt.ctx != nil && rt.ctx.Err() != nil {
+		exhaust(route.ExhaustDeadline)
+		return netsim.StatusNone, false, nil
+	}
 	for !st.Done() {
 		if idx := st.Index(); idx > maxIdx {
 			maxIdx = idx
@@ -323,6 +515,9 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 		}
 		prevHops = h
 		rt.sinceEpoch++
+		if chz != nil {
+			chz.HopDelay()
+		}
 		if segBase+h > hopCap {
 			finishHops()
 			r.mergeHeaderBits(rt, s, t, maxIdx)
@@ -377,6 +572,22 @@ func (r *Router) runRoundFlat(s, t graph.NodeID, bound int, rt *runState) (netsi
 						trace.Int("index", st.Index()),
 						trace.Bool("backward", st.Backward()))
 				}
+			}
+			if rt.ctx != nil && rt.ctx.Err() != nil {
+				exhaust(route.ExhaustDeadline)
+				return netsim.StatusNone, false, nil
+			}
+		}
+		if armed {
+			// The budget pays for message hops, nothing else. Decrementing
+			// after the epoch work keeps the epoch clock identical between a
+			// split and an uninterrupted walk; skipping the check when the
+			// hop delivered keeps a budget that expires exactly at delivery
+			// from stealing the verdict.
+			budget--
+			if budget <= 0 && !st.Done() {
+				exhaust(route.ExhaustBudget)
+				return netsim.StatusNone, false, nil
 			}
 		}
 	}
@@ -611,6 +822,51 @@ func projector(red *degred.Reduced) func(graph.NodeID) graph.NodeID {
 			return o
 		}
 		return v
+	}
+}
+
+// certificate answers the reachability question in O(1) from the snapshot's
+// memoized component index (flatgraph.Components, rebuilt lazily per
+// compiled snapshot, so the index survives epoch recompiles at the price of
+// one union-find per topology version). A non-nil certificate proves s and
+// t lie in different components of the snapshot current at decision time —
+// the same decision-time semantics as definitiveFailure, precomputed.
+//
+// Like the static router, certificates only fire on multi-component
+// snapshots: on a single-component snapshot every existing target is
+// reachable, and a name with no gadget is only provably absent once the
+// walk covers the component. The Count()==1 early-out is what keeps the
+// shared-world hot path at two loads.
+func (r *Router) certificate(red *degred.Reduced, flat *flatgraph.Graph, s, t graph.NodeID) *route.Certificate {
+	comps := flat.Components()
+	if comps.Count() == 1 {
+		return nil
+	}
+	se, ok := red.Entry(s)
+	if !ok {
+		return nil
+	}
+	si, ok := flat.Index(se)
+	if !ok {
+		return nil
+	}
+	sc := comps.Of(si)
+	tc := int32(-1)
+	if te, ok := red.Entry(t); ok {
+		if ti, ok := flat.Index(te); ok {
+			tc = comps.Of(ti)
+		}
+	}
+	if tc == sc {
+		return nil
+	}
+	snap := r.w.Snapshot()
+	return &route.Certificate{
+		SrcComponent: sc,
+		DstComponent: tc,
+		Components:   comps.Count(),
+		Epoch:        snap.Epoch,
+		Version:      snap.Version,
 	}
 }
 

@@ -3,8 +3,10 @@ package dynamic
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/degred"
 	"repro/internal/flatgraph"
 	"repro/internal/geom"
@@ -59,6 +61,10 @@ type World struct {
 	recompiles      int64
 	cacheHits       int64
 	recompileTime   time.Duration
+
+	// chaos is the optional fault injector (nil = off). It sits outside mu
+	// so the per-hop read on the walk hot path is one atomic load.
+	chaos atomic.Pointer[chaos.Injector]
 }
 
 // NewWorld builds a world over a private clone of g, evolving under sched
@@ -178,6 +184,14 @@ func (w *World) Snapshot() Snapshot {
 	}
 }
 
+// SetChaos installs (nil removes) a fault injector. Installed, it can fail
+// recompiles and stall epoch advances on this world; the routers layer
+// per-hop delays on top. Safe to call while routes are in flight.
+func (w *World) SetChaos(inj *chaos.Injector) { w.chaos.Store(inj) }
+
+// Chaos returns the installed fault injector, or nil.
+func (w *World) Chaos() *chaos.Injector { return w.chaos.Load() }
+
 // Advance moves the clock to the next epoch and lets the schedule mutate
 // the topology. p describes the in-flight walk for reactive schedules
 // (pass Probe{} when none is running). Concurrent Advances are serialized:
@@ -185,6 +199,7 @@ func (w *World) Snapshot() Snapshot {
 func (w *World) Advance(p Probe) error {
 	w.advMu.Lock()
 	defer w.advMu.Unlock()
+	w.chaos.Load().EpochStall()
 	w.mu.Lock()
 	w.epoch++
 	epoch := w.epoch
@@ -212,6 +227,9 @@ func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
 	if w.compiledOK && w.compiledVersion == w.version {
 		w.cacheHits++
 		return w.red, w.flat, nil
+	}
+	if err := w.chaos.Load().CompileFault(); err != nil {
+		return nil, nil, fmt.Errorf("dynamic: recompile at version %d: %w", w.version, err)
 	}
 	start := time.Now()
 	red, err := degred.Reduce(w.g)

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/gen"
+	"repro/internal/netsim"
 	"repro/internal/trace"
 )
 
@@ -50,6 +53,89 @@ func BenchmarkInstrumentedRoute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Route(0, 18); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBudgetedSharedWorldRoute is the bounded-work perf guard: the
+// identical warm shared-world query as BenchmarkInstrumentedSharedWorldRoute,
+// but through RouteDynamicBudgeted with a deadline context and a hop budget
+// armed — i.e. every robustness feature of this PR live but never striking.
+// The acceptance bar (BENCH_PR7.json) is staying within 1% of
+// BENCH_PR6.json's 896.8 ns.
+func BenchmarkBudgetedSharedWorldRoute(b *testing.B) {
+	e, err := Compile(gen.Torus(5, 5), Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := e.NewWorld(&dynamic.EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+	for i := 0; i < 10; i++ {
+		if err := w.Advance(dynamic.Probe{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RouteDynamicBudgeted(ctx, w, 0, 18, 1<<40, nil, dynamic.Config{HopsPerEpoch: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnreachableCertificate prices the O(1) reachability-certificate
+// answer for a provably-unreachable pair on a two-component network. Its
+// companion BenchmarkUnreachableFullBurn prices the same verdict through
+// the full doubling-loop walk (certificates disabled); the acceptance bar
+// is the certificate answering ≥100× faster.
+func BenchmarkUnreachableCertificate(b *testing.B) {
+	g, err := gen.DisjointUnion(gen.Grid(16, 16), gen.Cycle(5), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := Compile(g, Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Route(0, 1002)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != netsim.StatusFailure || res.Certificate == nil {
+			b.Fatalf("status %v, certificate %v", res.Status, res.Certificate)
+		}
+	}
+}
+
+// BenchmarkUnreachableFullBurn is the certificate benchmark's control: the
+// same unreachable verdict earned the §3 way, burning the doubling loop to
+// the closure check.
+func BenchmarkUnreachableFullBurn(b *testing.B) {
+	g, err := gen.DisjointUnion(gen.Grid(16, 16), gen.Cycle(5), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := Compile(g, Config{Seed: 7, DisableCertificates: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Route(0, 1002)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != netsim.StatusFailure || res.Certificate != nil {
+			b.Fatalf("status %v, certificate %v", res.Status, res.Certificate)
 		}
 	}
 }

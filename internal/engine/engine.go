@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -41,6 +42,12 @@ type Config struct {
 	// MessageFaithfulCounting makes Count execute §4's Retrieve
 	// primitives as real message walks with full hop accounting.
 	MessageFaithfulCounting bool
+	// DisableCertificates turns off the O(1) reachability-certificate
+	// answer for provably-unreachable pairs, forcing every failure verdict
+	// through the full doubling-loop walk (the paper's unoptimized §3
+	// behavior; also what trace tests that want to watch a failing walk
+	// need).
+	DisableCertificates bool
 	// Workers bounds the batch worker pool (0 = GOMAXPROCS).
 	Workers int
 }
@@ -128,13 +135,14 @@ func CompileWithReduced(g *graph.Graph, red *degred.Reduced, cfg Config) (*Engin
 // routed through the engine's cache.
 func (e *Engine) routeConfig() route.Config {
 	return route.Config{
-		Seed:              e.cfg.Seed,
-		LengthFactor:      e.cfg.LengthFactor,
-		KnownN:            e.cfg.KnownBound,
-		MaxBound:          e.cfg.MaxBound,
-		NoDegreeReduction: e.cfg.NoDegreeReduction,
-		MemoryBudgetBits:  e.cfg.MemoryBudgetBits,
-		SequenceFactory:   e.sequence,
+		Seed:                e.cfg.Seed,
+		LengthFactor:        e.cfg.LengthFactor,
+		KnownN:              e.cfg.KnownBound,
+		MaxBound:            e.cfg.MaxBound,
+		NoDegreeReduction:   e.cfg.NoDegreeReduction,
+		MemoryBudgetBits:    e.cfg.MemoryBudgetBits,
+		DisableCertificates: e.cfg.DisableCertificates,
+		SequenceFactory:     e.sequence,
 	}
 }
 
@@ -217,6 +225,41 @@ func (e *Engine) RouteTraced(s, t graph.NodeID, sp *trace.Span) (*route.Result, 
 	return res, err
 }
 
+// RouteBudgeted is Route with bounded work: the walk performs at most
+// maxHops message hops (0 = unlimited) and honors ctx's deadline or
+// cancellation at round boundaries. When either limit strikes first the
+// result carries Exhausted and a resume Cursor; pass that cursor back to
+// continue the walk exactly where it stopped. Provably-unreachable pairs
+// on multi-component networks are answered in O(1) with a reachability
+// Certificate instead of a walk (unless Config.DisableCertificates).
+func (e *Engine) RouteBudgeted(ctx context.Context, s, t graph.NodeID, maxHops int64, cur *route.Cursor) (*route.Result, error) {
+	return e.routeBudgeted(ctx, s, t, maxHops, cur, nil)
+}
+
+// RouteBudgetedTraced is RouteBudgeted recording the walk, budget, and
+// resume events under sp. A nil (unsampled) span serves the query exactly
+// like RouteBudgeted.
+func (e *Engine) RouteBudgetedTraced(ctx context.Context, s, t graph.NodeID, maxHops int64, cur *route.Cursor, sp *trace.Span) (*route.Result, error) {
+	return e.routeBudgeted(ctx, s, t, maxHops, cur, sp)
+}
+
+func (e *Engine) routeBudgeted(ctx context.Context, s, t graph.NodeID, maxHops int64, cur *route.Cursor, sp *trace.Span) (*route.Result, error) {
+	var qsp *trace.Span
+	if sp.Recording() {
+		qsp = sp.Child("engine.route")
+		defer qsp.End()
+		qsp.SetAttr(trace.Int("src", int64(s)), trace.Int("dst", int64(t)))
+	}
+	start := sampleStart(e.m.routes.Add(1))
+	if cur != nil {
+		e.m.resumedWalks.Add(1)
+	}
+	res, err := e.router.RouteBudgetedTraced(ctx, s, t, maxHops, cur, qsp)
+	e.m.recordRoute(res, err, start)
+	annotateRoute(qsp, res, err)
+	return res, err
+}
+
 // annotateRoute records a route result's headline statistics on the query
 // span.
 func annotateRoute(sp *trace.Span, res *route.Result, err error) {
@@ -233,6 +276,12 @@ func annotateRoute(sp *trace.Span, res *route.Result, err error) {
 		trace.Int("bound", int64(res.Bound)),
 		trace.Int("max_header_bits", int64(res.MaxHeaderBits)),
 	)
+	if res.Certificate != nil {
+		sp.SetAttr(trace.Bool("certificate", true))
+	}
+	if res.Exhausted != "" {
+		sp.SetAttr(trace.String("exhausted", string(res.Exhausted)))
+	}
 }
 
 // RouteWithPath routes s→t and reconstructs the forward path on success.

@@ -39,6 +39,14 @@ type metrics struct {
 	dynamicRecompiles  atomic.Int64
 	dynamicResumptions atomic.Int64
 
+	// Bounded-work accounting: failure verdicts answered in O(1) by a
+	// reachability certificate (no walk), queries that stopped on a hop
+	// budget or deadline with a resume cursor, and queries that re-entered
+	// a prior walk from one.
+	certificates    atomic.Int64
+	budgetExhausted atomic.Int64
+	resumedWalks    atomic.Int64
+
 	hops   atomic.Int64
 	rounds atomic.Int64
 
@@ -108,6 +116,9 @@ func (e *Engine) RegisterMetrics(o *obs.Registry) error {
 		obs.NewCounterFunc("adhoc_engine_dynamic_epochs_total", "World epochs advanced by dynamic queries.", nil, ctr(&e.m.dynamicEpochs)),
 		obs.NewCounterFunc("adhoc_engine_dynamic_recompiles_total", "Snapshot recompiles forced by topology churn.", nil, ctr(&e.m.dynamicRecompiles)),
 		obs.NewCounterFunc("adhoc_engine_dynamic_resumptions_total", "Mid-walk header migrations across recompiled snapshots.", nil, ctr(&e.m.dynamicResumptions)),
+		obs.NewCounterFunc("adhoc_engine_certificates_total", "Failure verdicts answered in O(1) by a reachability certificate (no walk).", nil, ctr(&e.m.certificates)),
+		obs.NewCounterFunc("adhoc_engine_budget_exhausted_total", "Queries stopped by a hop budget or deadline, returning a resume cursor.", nil, ctr(&e.m.budgetExhausted)),
+		obs.NewCounterFunc("adhoc_engine_resumed_walks_total", "Queries that re-entered a prior walk from a resume cursor.", nil, ctr(&e.m.resumedWalks)),
 		obs.NewCounterFunc("adhoc_engine_hops_total", "Total message hops across all queries.", nil, ctr(&e.m.hops)),
 		obs.NewCounterFunc("adhoc_engine_rounds_total", "Total doubling rounds across all queries.", nil, ctr(&e.m.rounds)),
 		obs.NewCounterFunc("adhoc_engine_seq_cache_hits_total", "T_bound sequence-family cache hits.", nil, ctr(&e.m.seqHits)),
@@ -144,6 +155,13 @@ type Snapshot struct {
 	DynamicEpochs      int64 `json:"dynamic_epochs"`
 	DynamicRecompiles  int64 `json:"dynamic_recompiles"`
 	DynamicResumptions int64 `json:"dynamic_resumptions"`
+	// Certificates counts failure verdicts answered in O(1) by a
+	// reachability certificate; BudgetExhausted counts queries stopped by a
+	// hop budget or deadline (each returned a resume cursor); ResumedWalks
+	// counts queries that continued a prior walk from one.
+	Certificates    int64 `json:"certificates"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	ResumedWalks    int64 `json:"resumed_walks"`
 	// Hops is the total message hops across all queries.
 	Hops int64 `json:"hops"`
 	// Rounds is the total doubling rounds across all queries.
@@ -179,6 +197,9 @@ func (e *Engine) Stats() Snapshot {
 		DynamicEpochs:      e.m.dynamicEpochs.Load(),
 		DynamicRecompiles:  e.m.dynamicRecompiles.Load(),
 		DynamicResumptions: e.m.dynamicResumptions.Load(),
+		Certificates:       e.m.certificates.Load(),
+		BudgetExhausted:    e.m.budgetExhausted.Load(),
+		ResumedWalks:       e.m.resumedWalks.Load(),
 	}
 }
 
@@ -227,6 +248,12 @@ func (m *metrics) recordRoute(res *route.Result, err error, start time.Time) {
 	}
 	m.hops.Add(res.Hops)
 	m.rounds.Add(int64(len(res.Rounds)))
+	if res.Certificate != nil {
+		m.certificates.Add(1)
+	}
+	if res.Exhausted != "" {
+		m.budgetExhausted.Add(1)
+	}
 	m.hopsPerRoute.Observe(res.Hops)
 	m.headerBits.Observe(int64(res.MaxHeaderBits))
 	m.maxHeader(res.MaxHeaderBits)
@@ -268,6 +295,12 @@ func (m *metrics) recordDynamic(res *dynamic.Result, err error, start time.Time)
 	m.dynamicEpochs.Add(int64(res.Epochs))
 	m.dynamicRecompiles.Add(int64(res.Recompiles))
 	m.dynamicResumptions.Add(int64(res.Resumptions))
+	if res.Certificate != nil {
+		m.certificates.Add(1)
+	}
+	if res.Exhausted != "" {
+		m.budgetExhausted.Add(1)
+	}
 	m.hopsPerRoute.Observe(res.Hops)
 	m.headerBits.Observe(int64(res.MaxHeaderBits))
 	m.maxHeader(res.MaxHeaderBits)

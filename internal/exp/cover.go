@@ -113,7 +113,9 @@ func E5FailureDetect(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := route.New(g, route.Config{Seed: o.Seed})
+		// The experiment measures the walked §4 failure detection, so the
+		// O(1) component certificate is disabled here.
+		r, err := route.New(g, route.Config{Seed: o.Seed, DisableCertificates: true})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,85 @@
+package flatgraph
+
+// Connected components of the CSR snapshot, computed once and memoized on
+// the Graph (which is immutable after Compile, so the index never goes
+// stale). The walk of §4 can only ever reach nodes in the component of its
+// start, so two nodes in different components are provably mutually
+// unreachable: comparing their component ids answers in O(1) what the
+// doubling loop would otherwise establish by burning its entire budget.
+
+// Components is an immutable node→component index over one compiled
+// snapshot. Component ids are canonical — numbered 0..Count()-1 by first
+// appearance in dense-index order — so two compiles of the same graph
+// assign identical ids and a certificate minted from one snapshot can be
+// compared against a recompile of the same topology version.
+type Components struct {
+	comp  []int32
+	sizes []int32
+}
+
+// Components returns the connected-component index of f, computing it on
+// first use. Safe for concurrent callers.
+func (f *Graph) Components() *Components {
+	f.compOnce.Do(func() { f.comps = computeComponents(f) })
+	return f.comps
+}
+
+// computeComponents runs union-find (path halving + union by size) over
+// the half-edge table, then relabels roots in dense-index order so ids are
+// deterministic.
+func computeComponents(f *Graph) *Components {
+	n := len(f.ids)
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for o := f.rowStart[i]; o < f.rowStart[i+1]; o++ {
+			a, b := find(int32(i)), find(f.halves[o].To)
+			if a == b {
+				continue
+			}
+			if size[a] < size[b] {
+				a, b = b, a
+			}
+			parent[b] = a
+			size[a] += size[b]
+		}
+	}
+	c := &Components{comp: make([]int32, n)}
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		if label[r] < 0 {
+			label[r] = int32(len(c.sizes))
+			c.sizes = append(c.sizes, size[r])
+		}
+		c.comp[i] = label[r]
+	}
+	return c
+}
+
+// Of returns the component id of dense node i.
+func (c *Components) Of(i int32) int32 { return c.comp[i] }
+
+// Same reports whether dense nodes i and j lie in the same component —
+// equivalently, whether a walk started at one can ever visit the other.
+func (c *Components) Same(i, j int32) bool { return c.comp[i] == c.comp[j] }
+
+// Count returns the number of components.
+func (c *Components) Count() int { return len(c.sizes) }
+
+// Size returns the number of snapshot nodes in component id.
+func (c *Components) Size(id int32) int { return int(c.sizes[id]) }

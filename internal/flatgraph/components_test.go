@@ -1,0 +1,163 @@
+package flatgraph_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// union builds the disjoint union of a and b with b's labels offset, failing
+// the test on generator errors.
+func union(t *testing.T, a, b *graph.Graph, offset graph.NodeID) *graph.Graph {
+	t.Helper()
+	u, err := gen.DisjointUnion(a, b, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// bfsComponents is the oracle: breadth-first search over the original
+// graph, labeling components by first touch in node order.
+func bfsComponents(g *graph.Graph) map[graph.NodeID]int {
+	comp := make(map[graph.NodeID]int, g.NumNodes())
+	next := 0
+	for _, start := range g.Nodes() {
+		if _, seen := comp[start]; seen {
+			continue
+		}
+		comp[start] = next
+		queue := []graph.NodeID{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for p := 0; p < g.Degree(v); p++ {
+				h, err := g.Neighbor(v, p)
+				if err != nil {
+					panic(err)
+				}
+				if _, seen := comp[h.To]; !seen {
+					comp[h.To] = next
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// checkComponentsAgainstBFS asserts the union-find index partitions the
+// snapshot exactly as the BFS oracle partitions the original graph: two
+// snapshot nodes share a flat component iff their originals share a BFS
+// component.
+func checkComponentsAgainstBFS(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	red, f := compileReduced(t, g)
+	comps := f.Components()
+	oracle := bfsComponents(g)
+	// Every gadget node must land in the component of the original node it
+	// simulates, and original-level reachability must be preserved: map each
+	// flat component to the oracle component it covers and demand bijection.
+	flatToOracle := make(map[int32]int)
+	oracleToFlat := make(map[int]int32)
+	for _, id := range red.Graph().Nodes() {
+		i, ok := f.Index(id)
+		if !ok {
+			t.Fatalf("node %d missing from snapshot", id)
+		}
+		fc := comps.Of(i)
+		oc, ok := oracle[f.OriginalOf(i)]
+		if !ok {
+			t.Fatalf("original %d of snapshot node %d unknown to oracle", f.OriginalOf(i), id)
+		}
+		if prev, seen := flatToOracle[fc]; seen && prev != oc {
+			t.Fatalf("flat component %d spans oracle components %d and %d", fc, prev, oc)
+		}
+		if prev, seen := oracleToFlat[oc]; seen && prev != fc {
+			t.Fatalf("oracle component %d split into flat components %d and %d", oc, prev, fc)
+		}
+		flatToOracle[fc] = oc
+		oracleToFlat[oc] = fc
+	}
+	want := 0
+	for _, c := range oracle {
+		if c >= want {
+			want = c + 1
+		}
+	}
+	if comps.Count() != want {
+		t.Fatalf("component count: flat %d, oracle %d", comps.Count(), want)
+	}
+	total := 0
+	for id := int32(0); id < int32(comps.Count()); id++ {
+		if comps.Size(id) <= 0 {
+			t.Fatalf("component %d has size %d", id, comps.Size(id))
+		}
+		total += comps.Size(id)
+	}
+	if total != f.NumNodes() {
+		t.Fatalf("component sizes sum to %d, want %d nodes", total, f.NumNodes())
+	}
+}
+
+func TestComponentsMatchBFSOracle(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"grid":        gen.Grid(6, 5),
+		"cycle":       gen.Cycle(9),
+		"torus":       gen.Torus(4, 4),
+		"two-parts":   union(t, gen.Grid(4, 4), gen.Cycle(5), 100),
+		"three-parts": union(t, union(t, gen.Grid(3, 3), gen.Cycle(4), 50), gen.Grid(2, 3), 200),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) { checkComponentsAgainstBFS(t, g) })
+	}
+}
+
+func TestComponentsMemoizedAndDeterministic(t *testing.T) {
+	g := union(t, gen.Grid(4, 4), gen.Cycle(5), 100)
+	_, f := compileReduced(t, g)
+	c1 := f.Components()
+	if c2 := f.Components(); c2 != c1 {
+		t.Fatal("Components not memoized: second call returned a different index")
+	}
+	// A fresh compile of the same graph must assign identical canonical ids.
+	_, f2 := compileReduced(t, g)
+	c3 := f2.Components()
+	if c1.Count() != c3.Count() {
+		t.Fatalf("counts differ across compiles: %d vs %d", c1.Count(), c3.Count())
+	}
+	for i := int32(0); i < int32(f.NumNodes()); i++ {
+		if c1.Of(i) != c3.Of(i) {
+			t.Fatalf("component of dense node %d differs across compiles: %d vs %d", i, c1.Of(i), c3.Of(i))
+		}
+	}
+}
+
+func TestComponentsSame(t *testing.T) {
+	g := union(t, gen.Grid(4, 4), gen.Cycle(5), 100)
+	red, f := compileReduced(t, g)
+	comps := f.Components()
+	entry := func(orig graph.NodeID) int32 {
+		t.Helper()
+		e, ok := red.Entry(orig)
+		if !ok {
+			t.Fatalf("no gadget entry for original node %d", orig)
+		}
+		i, ok := f.Index(e)
+		if !ok {
+			t.Fatalf("entry %d of original node %d missing from snapshot", e, orig)
+		}
+		return i
+	}
+	a := entry(0)   // grid corner
+	b := entry(15)  // grid far corner
+	c := entry(100) // cycle node
+	if !comps.Same(a, b) {
+		t.Fatal("grid corners reported unreachable")
+	}
+	if comps.Same(a, c) {
+		t.Fatal("grid and cycle reported connected")
+	}
+}

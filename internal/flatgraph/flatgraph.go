@@ -3,6 +3,7 @@ package flatgraph
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/ues"
@@ -41,6 +42,11 @@ type Graph struct {
 	// regular3 records that every node has degree exactly 3, which the walk
 	// loops rely on for stride addressing and branchless mod-3 steps.
 	regular3 bool
+	// compOnce/comps memoize the connected-component index (see
+	// components.go); computed lazily on first Components call, like the
+	// Flat memoization one layer up.
+	compOnce sync.Once
+	comps    *Components
 }
 
 // ErrNilGraph is returned by Compile when given a nil graph.

@@ -88,8 +88,10 @@ func TestGrowthFactorFewerRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2 := newRouter(t, u, Config{Seed: 13, GrowthFactor: 2})
-	r4 := newRouter(t, u, Config{Seed: 13, GrowthFactor: 4})
+	// The cross-component pair must burn real rounds for the schedule
+	// comparison, so the certificate fast path is disabled.
+	r2 := newRouter(t, u, Config{Seed: 13, GrowthFactor: 2, DisableCertificates: true})
+	r4 := newRouter(t, u, Config{Seed: 13, GrowthFactor: 4, DisableCertificates: true})
 	res2, err := r2.Route(0, 1001)
 	if err != nil {
 		t.Fatal(err)

@@ -142,6 +142,9 @@ func TestFlatStepperMatchesReferenceTrace(t *testing.T) {
 			var ref []activation
 			slow, err := New(g, Config{
 				Seed: seed, LengthFactor: 1, KnownN: bound,
+				// The unreachable-dst case must actually walk for the trace
+				// comparison, not be answered by the component certificate.
+				DisableCertificates: true,
 				Trace: func(hop int64, at graph.NodeID, inPort int, h netsim.Header) {
 					ref = append(ref, activation{at, inPort, h.Index})
 				},

@@ -35,7 +35,9 @@ func TestEngineWalkMatchesPureWalk(t *testing.T) {
 	// Engine walk, traced. Route to an unreachable target so the forward
 	// phase runs unimpeded; capture the first `steps` forward activations.
 	var engineNodes []graph.NodeID
-	cfg := Config{Seed: 21, KnownN: gp.NumNodes(), Trace: func(hop int64, at graph.NodeID, inPort int, h netsim.Header) {
+	// Certificates would answer the unreachable target without walking;
+	// this test needs the forward phase to run.
+	cfg := Config{Seed: 21, KnownN: gp.NumNodes(), DisableCertificates: true, Trace: func(hop int64, at graph.NodeID, inPort int, h netsim.Header) {
 		if h.Dir == netsim.Forward && len(engineNodes) <= steps {
 			engineNodes = append(engineNodes, at)
 		}

@@ -109,6 +109,12 @@ type Config struct {
 	// proven hop-for-hop identical to the reference by the differential
 	// tests; this switch exists for those tests and for debugging.
 	DisableFlat bool
+	// DisableCertificates turns off the O(1) reachability certificate that
+	// otherwise answers provably-unreachable pairs from the compile-time
+	// component index without walking. The verdict is identical either way
+	// (pinned by differential tests); disabling exists for those tests and
+	// for measuring the full-budget burn the certificate replaces.
+	DisableCertificates bool
 }
 
 // growth returns the sanitized growth factor.
@@ -172,6 +178,14 @@ type Result struct {
 	MaxHeaderBits int
 	// PeakMemoryBits is the peak per-activation working memory.
 	PeakMemoryBits int
+	// Certificate, when non-nil, proves this failure verdict was answered
+	// in O(1) from the component index — no hops were walked for it.
+	Certificate *Certificate
+	// Exhausted is set (with Status left at StatusNone) when a bounded walk
+	// stopped before reaching a verdict; Cursor then holds the resumable
+	// position.
+	Exhausted ExhaustReason
+	Cursor    *Cursor
 }
 
 // New builds a Router for g, deriving the Figure 1 degree reduction
@@ -249,6 +263,17 @@ func (r *Router) route(s, t graph.NodeID, sp *trace.Span) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	if cert := r.unreachableCert(start, t); cert != nil {
+		res.Status = netsim.StatusFailure
+		res.Certificate = cert
+		if sp.Recording() {
+			sp.Event("route.certificate",
+				trace.Int("src_component", int64(cert.SrcComponent)),
+				trace.Int("dst_component", int64(cert.DstComponent)),
+				trace.Int("components", int64(cert.Components)))
+		}
+		return res, nil
+	}
 	// runRound executes one round at the given bound. delivered reports
 	// whether the source learned an outcome; with ConfirmRestart a round
 	// can end inconclusively (the confirmation leg exhausted its
@@ -437,6 +462,48 @@ func (r *Router) flatRoundTraced(si int32, s, t graph.NodeID, fs flatgraph.Seq, 
 	out := st.Outcome()
 	rsp.SetAttr(trace.Bool("success", out.Success), trace.Int("hops", out.Hops))
 	return out, st.Err()
+}
+
+// unreachableCert answers the reachability question from the memoized
+// component index: a non-nil certificate proves start's component can never
+// contain a gadget of t, so the walk's verdict is StatusFailure before the
+// first hop. Soundness rests on the theta gadget being internally
+// connected — every gadget node of t shares the component of t's entry.
+// Returns nil (walk normally) when t is reachable, the ablation is active,
+// or certificates are disabled.
+//
+// Certificates only fire on multi-component graphs. On a single-component
+// graph every existing target is reachable, and a name with no gadget is
+// only provably absent once the walk covers the component — the early-out
+// keeps the reachable hot path at two loads and keeps the static and
+// dynamic routers answer-for-answer identical.
+func (r *Router) unreachableCert(start graph.NodeID, t graph.NodeID) *Certificate {
+	if r.cfg.DisableCertificates || r.flat == nil {
+		return nil
+	}
+	comps := r.flat.Components()
+	if comps.Count() == 1 {
+		return nil
+	}
+	si, ok := r.flat.Index(start)
+	if !ok {
+		return nil
+	}
+	sc := comps.Of(si)
+	te, ok := r.red.Entry(t)
+	if !ok {
+		// t is not a node of the graph at all: unreachable by definition.
+		return &Certificate{SrcComponent: sc, DstComponent: -1, Components: comps.Count()}
+	}
+	ti, ok := r.flat.Index(te)
+	if !ok {
+		return &Certificate{SrcComponent: sc, DstComponent: -1, Components: comps.Count()}
+	}
+	tc := comps.Of(ti)
+	if tc == sc {
+		return nil
+	}
+	return &Certificate{SrcComponent: sc, DstComponent: tc, Components: comps.Count()}
 }
 
 // entry maps an original node to its walk entry point.

@@ -93,7 +93,9 @@ func TestTracedRouteMatchesUntraced(t *testing.T) {
 func TestTracedRouteHopTail(t *testing.T) {
 	g := randomMultigraph(3, 10, 4)
 	nodes := g.SortedNodes()
-	ex := diffTraced(t, g, Config{Seed: 3, LengthFactor: 1}, nodes[0], graph.NodeID(999983))
+	// Certificates are disabled so the unreachable pair walks its budget
+	// and leaves per-hop evidence behind.
+	ex := diffTraced(t, g, Config{Seed: 3, LengthFactor: 1, DisableCertificates: true}, nodes[0], graph.NodeID(999983))
 	last := ex.Spans[len(ex.Spans)-1]
 	if last.Name != "route.round" || last.HopTotal == 0 {
 		t.Fatalf("terminal span %+v has no hops", last)

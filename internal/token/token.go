@@ -1,0 +1,113 @@
+// Package token mints and verifies the opaque resume tokens the HTTP
+// layer hands to clients whose walks stopped on a budget or deadline. A
+// token is the route.Cursor serialized and bound to a scope (which engine
+// or world it may resume against), authenticated with HMAC-SHA256 so a
+// client cannot forge or tamper with a walk position — the server trusts a
+// verified cursor enough to re-enter a walk from it without re-validating
+// the whole walk history.
+//
+// Wire format: base64url(JSON envelope) "." base64url(HMAC-SHA256 of the
+// first part). Tokens are opaque to clients by contract, not by
+// encryption: the cursor contents are visible, only unforgeable.
+package token
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/route"
+)
+
+// ErrInvalid marks every verification failure — malformed encoding, bad
+// signature, or a scope mismatch. Callers need only errors.Is it; the
+// wrapped detail says which check failed (safe to log, not to act on).
+var ErrInvalid = errors.New("token: invalid resume token")
+
+// envelope is the signed payload: the cursor plus the scope it was minted
+// for. The scope rides inside the MAC'd bytes, so a token for one
+// network's world cannot be replayed against another's.
+type envelope struct {
+	Scope  string        `json:"scope"`
+	Cursor *route.Cursor `json:"cursor"`
+}
+
+// Signer mints and verifies tokens under one secret key. Safe for
+// concurrent use (the key is immutable after construction).
+type Signer struct {
+	key []byte
+}
+
+// NewSigner builds a signer from key. An empty key is replaced by a fresh
+// random one, which is the right default for a single process: tokens
+// then survive exactly as long as the server that minted them, and a
+// restart invalidates every outstanding cursor along with the worlds they
+// pointed into.
+func NewSigner(key []byte) *Signer {
+	if len(key) == 0 {
+		key = make([]byte, 32)
+		if _, err := rand.Read(key); err != nil {
+			panic(fmt.Sprintf("token: reading random key: %v", err))
+		}
+	}
+	return &Signer{key: append([]byte(nil), key...)}
+}
+
+func (s *Signer) mac(payload []byte) []byte {
+	h := hmac.New(sha256.New, s.key)
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// Sign serializes cur bound to scope and returns the opaque token.
+func (s *Signer) Sign(scope string, cur *route.Cursor) (string, error) {
+	if cur == nil {
+		return "", errors.New("token: nil cursor")
+	}
+	payload, err := json.Marshal(envelope{Scope: scope, Cursor: cur})
+	if err != nil {
+		return "", fmt.Errorf("token: %w", err)
+	}
+	enc := base64.RawURLEncoding
+	return enc.EncodeToString(payload) + "." + enc.EncodeToString(s.mac(payload)), nil
+}
+
+// Verify authenticates tok and returns its cursor. The token must have
+// been minted by this signer for exactly this scope; anything else —
+// truncation, tampering, a foreign key, a token for another scope —
+// returns an error wrapping ErrInvalid. Verify never panics on hostile
+// input (pinned by a fuzz test).
+func (s *Signer) Verify(scope, tok string) (*route.Cursor, error) {
+	body, sig, ok := strings.Cut(tok, ".")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing signature", ErrInvalid)
+	}
+	enc := base64.RawURLEncoding
+	payload, err := enc.DecodeString(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload encoding", ErrInvalid)
+	}
+	got, err := enc.DecodeString(sig)
+	if err != nil {
+		return nil, fmt.Errorf("%w: signature encoding", ErrInvalid)
+	}
+	if !hmac.Equal(got, s.mac(payload)) {
+		return nil, fmt.Errorf("%w: signature mismatch", ErrInvalid)
+	}
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("%w: payload", ErrInvalid)
+	}
+	if env.Scope != scope {
+		return nil, fmt.Errorf("%w: token is for scope %q", ErrInvalid, env.Scope)
+	}
+	if env.Cursor == nil {
+		return nil, fmt.Errorf("%w: no cursor", ErrInvalid)
+	}
+	return env.Cursor, nil
+}
