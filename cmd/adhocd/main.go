@@ -163,6 +163,14 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		traceSlow   = fs.Duration("trace-slow", defaultTraceSlow, "flight-recorder retention threshold: keep sampled traces at least this slow (0 keeps all; errors are always kept)")
 		traceCap    = fs.Int("trace-capacity", defaultTraceCapacity, "retained traces in the flight-recorder ring")
 
+		sloSpec     = fs.String("slo", defaultSLOSpec, `objective spec evaluated as 5m/1h burn rates (GET /v1/slo), e.g. "route_p99<250ms,hop_p99<4log,wrong_verdicts==0"; "off" disables`)
+		sloInterval = fs.Duration("slo-interval", 10*time.Second, "burn-rate evaluation tick interval")
+
+		profCapacity    = fs.Int("prof-capacity", 16, "profile flight-recorder ring size (snapshots)")
+		profCPUWindow   = fs.Duration("prof-cpu-window", 5*time.Second, "CPU capture window per profile trip")
+		profMinInterval = fs.Duration("prof-min-interval", 30*time.Second, "minimum spacing between profile trips (rate limit)")
+		profGuard       = fs.Duration("prof-guard", defaultProfGuard, "request latency that trips a profile capture directly (0 disables the guard)")
+
 		maxBody     = fs.Int64("max-body", defaultMaxBody, "request body cap in bytes (-1 = unlimited)")
 		maxBatch    = fs.Int("max-batch", defaultMaxBatch, "batch members per request (-1 = unlimited)")
 		maxInflight = fs.Int("max-inflight", defaultMaxInflight, "concurrently admitted requests (-1 = unlimited)")
@@ -220,6 +228,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintf(out, "adhocd: compiled %s (%d nodes, %d links, %d reduced nodes)\n",
 		desc, g.NumNodes(), g.NumEdges(), eng.Reduced().Graph().NumNodes())
+	// Reject a typoed -slo before the server boots (newServer treats a
+	// binding failure as a wiring bug and panics).
+	if spec := resolveSLOSpec(*sloSpec); spec != "" {
+		if _, err := buildObjectives(eng, spec); err != nil {
+			return err
+		}
+	}
 	var logOut io.Writer
 	if *logFormat == "json" {
 		logOut = out
@@ -251,6 +266,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		logOut:        logOut,
 		chaos:         inj,
 		drainLog:      drainOut,
+
+		sloSpec:         *sloSpec,
+		sloInterval:     *sloInterval,
+		profCapacity:    *profCapacity,
+		profCPUWindow:   *profCPUWindow,
+		profMinInterval: *profMinInterval,
+		profGuard:       *profGuard,
 	})
 	// The ops mux backs the dedicated -metrics-addr listener: the scrape
 	// endpoint, plus the pprof surface when -pprof is set (so profiling
@@ -330,6 +352,12 @@ func serve(addr string, h http.Handler, metricsAddr string, ops http.Handler, ou
 	fmt.Fprintf(out, "adhocd: listening on %s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+	// Start the background burn-rate ticker; it stops with the listeners.
+	sloStop := make(chan struct{})
+	defer close(sloStop)
+	if d, ok := h.(interface{ RunSLO(<-chan struct{}) }); ok {
+		go d.RunSLO(sloStop)
 	}
 
 	errCh := make(chan error, len(srvs))

@@ -72,13 +72,19 @@ func newHTTPMetrics(o *obs.Registry, patterns []string) (*httpMetrics, error) {
 
 // record books one finished request. pattern is the matched mux pattern
 // ("" when nothing matched — 404s and admission rejections — which land
-// in the "other" endpoint).
-func (hm *httpMetrics) record(pattern string, status int, start time.Time) {
+// in the "other" endpoint). traceID, when non-empty, rides into the
+// latency bucket as an OpenMetrics exemplar (the request was sampled, so
+// the one small allocation is already amortized by trace bookkeeping).
+func (hm *httpMetrics) record(pattern string, status int, start time.Time, traceID string) {
 	ep, ok := hm.endpoints[pattern]
 	if !ok {
 		ep = hm.other
 	}
-	ep.seconds.ObserveSince(start)
+	if traceID != "" {
+		ep.seconds.ObserveSinceExemplar(start, traceID)
+	} else {
+		ep.seconds.ObserveSince(start)
+	}
 	if c := status / 100; c >= 1 && c <= 5 {
 		ep.classes[c].Inc()
 	}
@@ -127,11 +133,16 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter 
 
 // registerMetrics exports every subsystem into the server's obs registry:
 // the boot engine (route/dynamic/batch latency, hop and header-bit
-// distributions, query counters), the network registry (hit/miss/
-// singleflight/eviction traffic and compile latency), the world table
-// (per-world epoch/links/recompiles), and the HTTP layer itself.
+// distributions, query counters), the per-network vector families, the
+// network registry (hit/miss/singleflight/eviction traffic and compile
+// latency), the world table (per-world epoch/links/recompiles), the Go
+// runtime, the trace and profile flight recorders, the SLO evaluator, and
+// the HTTP layer itself.
 func (s *server) registerMetrics(patterns []string) error {
 	if err := s.eng.RegisterMetrics(s.obs); err != nil {
+		return err
+	}
+	if err := s.vecs.Register(s.obs); err != nil {
 		return err
 	}
 	if err := s.reg.RegisterMetrics(s.obs); err != nil {
@@ -140,10 +151,57 @@ func (s *server) registerMetrics(patterns []string) error {
 	if err := s.worlds.RegisterMetrics(s.obs); err != nil {
 		return err
 	}
+	if err := obs.RegisterRuntimeMetrics(s.obs); err != nil {
+		return err
+	}
+	if err := s.registerTraceMetrics(); err != nil {
+		return err
+	}
+	if err := s.prof.RegisterMetrics(s.obs); err != nil {
+		return err
+	}
+	if s.slo != nil {
+		if err := s.slo.RegisterMetrics(s.obs); err != nil {
+			return err
+		}
+	}
 	hm, err := newHTTPMetrics(s.obs, patterns)
 	if err != nil {
 		return err
 	}
 	s.hm = hm
 	return nil
+}
+
+// registerTraceMetrics exports the tracing layer's internals: sampler
+// traffic, the flight-recorder ring's retention and evictions, and the
+// effective sampled ratio.
+func (s *server) registerTraceMetrics() error {
+	rec := s.tracer.Recorder()
+	return s.obs.Register(
+		obs.NewCounterFunc("adhoc_trace_started_total",
+			"Requests that entered the tracing decision (sampled or not).", nil,
+			func() float64 { started, _ := s.tracer.Stats(); return float64(started) }),
+		obs.NewCounterFunc("adhoc_trace_sampled_total",
+			"Requests the head sampler (or an upstream sampled flag) traced.", nil,
+			func() float64 { _, sampled := s.tracer.Stats(); return float64(sampled) }),
+		obs.NewCounterFunc("adhoc_trace_retained_total",
+			"Traces the flight recorder kept (slow or failed).", nil,
+			func() float64 { return float64(rec.Kept()) }),
+		obs.NewCounterFunc("adhoc_trace_evictions_total",
+			"Retained traces overwritten by newer ones in the flight-recorder ring.", nil,
+			func() float64 { return float64(rec.Evicted()) }),
+		obs.NewGaugeFunc("adhoc_trace_ring_capacity",
+			"Flight-recorder ring capacity (retained traces).", nil,
+			func() float64 { return float64(rec.Capacity()) }),
+		obs.NewGaugeFunc("adhoc_trace_sampled_ratio",
+			"Fraction of requests traced since boot (sampled / started).", nil,
+			func() float64 {
+				started, sampled := s.tracer.Stats()
+				if started == 0 {
+					return 0
+				}
+				return float64(sampled) / float64(started)
+			}),
+	)
 }

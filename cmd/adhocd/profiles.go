@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/profrec"
+)
+
+// Profile flight-recorder serving defaults (flag-tunable). The guard is
+// the request-latency threshold that trips a capture directly — a single
+// pathological request is an incident worth profiling even when the SLO
+// windows have not accumulated enough budget spend to burn yet.
+const defaultProfGuard = 1 * time.Second
+
+// profileListReply is the GET /v1/profiles response: snapshot metadata
+// newest first, plus the recorder's own counters.
+type profileListReply struct {
+	Profiles []profrec.Info `json:"profiles"`
+	Stats    profrec.Stats  `json:"stats"`
+}
+
+// handleProfileList serves the retained profile snapshots' metadata.
+// The raw pprof bytes of each are fetched by ID.
+func (s *server) handleProfileList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, profileListReply{
+		Profiles: s.prof.List(),
+		Stats:    s.prof.Stats(),
+	})
+}
+
+// handleProfileGet serves one snapshot's raw pprof protobuf — ready for
+// `go tool pprof` (heap snapshots diff pairwise with -diff_base; CPU
+// captures are deltas by construction).
+func (s *server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id < 1 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad profile id %q", raw)})
+		return
+	}
+	info, data, ok := s.prof.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: fmt.Sprintf("profile %d not retained (evicted or never captured)", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+info.Filename()+`"`)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}

@@ -19,8 +19,10 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/profrec"
 	"repro/internal/registry"
 	"repro/internal/route"
+	"repro/internal/slo"
 	"repro/internal/token"
 	"repro/internal/trace"
 )
@@ -61,6 +63,22 @@ type serverConfig struct {
 	traceSlow     time.Duration
 	traceCapacity int
 	logOut        io.Writer
+
+	// SLO knobs (see slo.go). sloSpec declares the objectives ("" = the
+	// defaultSLOSpec; sloDisabled turns the evaluator and GET /v1/slo off);
+	// sloInterval paces the background burn-rate ticker (0 = 10s).
+	sloSpec     string
+	sloInterval time.Duration
+
+	// Profile flight-recorder knobs (see profiles.go). Zero values take the
+	// profrec package defaults (16 snapshots, 5s CPU window, 30s trip rate
+	// limit). profGuard is the request-latency threshold that trips a
+	// capture directly from ServeHTTP; 0 disables the guard (the flag
+	// default is defaultProfGuard).
+	profCapacity    int
+	profCPUWindow   time.Duration
+	profMinInterval time.Duration
+	profGuard       time.Duration
 
 	// chaos, when non-nil, is the fault injector (-chaos-* flags, gated on
 	// -chaos-enable): request-level faults/delays fire in ServeHTTP, and
@@ -128,6 +146,21 @@ type server struct {
 	tracer *trace.Tracer // request tracing + flight recorder (GET /v1/traces)
 	reqLog *requestLog   // structured request log (-log-format=json); nil = quiet
 
+	// vecs is the process-wide per-network metric family set: the boot
+	// engine and every registry tenant attach their cached label children
+	// to it (capped; overflow collapses into "other").
+	vecs *engine.Vecs
+	// slo evaluates the declared objectives as multi-window burn rates
+	// (GET /v1/slo); nil when -slo=off. sloNow is its clock (a test hook);
+	// sloInterval paces the background ticker RunSLO starts.
+	slo         *slo.Evaluator
+	sloNow      func() time.Time
+	sloInterval time.Duration
+	// prof is the profile flight recorder (GET /v1/profiles): tripped by a
+	// burning SLO or by profGuard-slow requests.
+	prof      *profrec.Recorder
+	profGuard time.Duration
+
 	// tok signs the opaque resume tokens budgeted walks mint. The key is
 	// per-process: tokens live exactly as long as the server (and the
 	// worlds) they point into.
@@ -172,11 +205,44 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 			SlowThreshold: cfg.traceSlow,
 			Capacity:      cfg.traceCapacity,
 		}),
-		reqLog:   newRequestLog(cfg.logOut),
-		tok:      token.NewSigner(nil),
-		chaos:    cfg.chaos,
-		drainLog: cfg.drainLog,
-		mux:      http.NewServeMux(),
+		reqLog:      newRequestLog(cfg.logOut),
+		tok:         token.NewSigner(nil),
+		chaos:       cfg.chaos,
+		drainLog:    cfg.drainLog,
+		sloNow:      time.Now,
+		sloInterval: cfg.sloInterval,
+		profGuard:   cfg.profGuard,
+		prof: profrec.New(profrec.Config{
+			Capacity:    cfg.profCapacity,
+			CPUWindow:   cfg.profCPUWindow,
+			MinInterval: cfg.profMinInterval,
+		}),
+		mux: http.NewServeMux(),
+	}
+	// One per-network vector set for the process: the boot engine attaches
+	// under "boot", and the registry attaches each tenant inside compile()
+	// before the engine is published. Capacity follows the registry bound
+	// plus the boot network, with slack for LRU churn (evicted networks'
+	// series persist until the cap, then collapse into "other").
+	nets := cfg.registry.Capacity
+	if nets <= 0 {
+		nets = registry.DefaultCapacity
+	}
+	s.vecs = engine.NewVecs(2 * (nets + 1))
+	s.eng.AttachVecs(s.vecs, "boot")
+	s.reg.SetVecs(s.vecs)
+	// Bind the SLO objectives to the boot engine's metrics. run() already
+	// validated the flag value against the same builder, so a failure here
+	// is a wiring bug, not user input.
+	if spec := resolveSLOSpec(cfg.sloSpec); spec != "" {
+		objs, err := buildObjectives(s.eng, spec)
+		if err != nil {
+			panic(fmt.Sprintf("adhocd: %v", err))
+		}
+		s.slo = slo.NewEvaluator(objs...)
+		// A burning objective trips the profile flight recorder: the CPU
+		// and heap evidence is captured during the incident, not after.
+		s.slo.OnBurn = func(name string) { s.prof.Trip("slo:" + name) }
 	}
 	s.drainCtx, s.drainFired = context.WithCancel(context.Background())
 	if n := cfg.inflightLimit(); n > 0 {
@@ -216,6 +282,13 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 	// Flight recorder: retained slow/failed traces, newest first.
 	handle("GET /v1/traces", s.handleTraceList)
 	handle("GET /v1/traces/{id}", s.handleTraceGet)
+
+	// SLO burn state and the profile flight recorder's captures.
+	if s.slo != nil {
+		handle("GET /v1/slo", s.handleSLO)
+	}
+	handle("GET /v1/profiles", s.handleProfileList)
+	handle("GET /v1/profiles/{id}", s.handleProfileGet)
 
 	// The scrape endpoint stays on the main mux unless an ops-dedicated
 	// listener was requested (-metrics-addr), in which case serve() mounts
@@ -268,7 +341,20 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// r.Pattern is filled in by the mux match (empty for 404s and
 	// admission rejections, which land in the "other" endpoint bucket).
 	defer func() {
-		s.hm.record(r.Pattern, sr.status(), start)
+		// Sampled requests carry their trace ID into the latency histogram
+		// as an OpenMetrics exemplar — the join key from a slow bucket to
+		// the retained trace in /v1/traces/{id}.
+		traceID := ""
+		if tr.Sampled() {
+			traceID = tr.ID().String()
+		}
+		s.hm.record(r.Pattern, sr.status(), start, traceID)
+		// The latency guard: one pathological request is an incident worth
+		// profiling even before an SLO window accumulates enough spend to
+		// burn. Trip is rate-limited inside the recorder.
+		if s.profGuard > 0 && time.Since(start) >= s.profGuard {
+			s.prof.Trip("latency-guard:" + r.Pattern)
+		}
 		s.finishTrace(tr, r, sr.status())
 		s.reqLog.write(r, sr.status(), time.Since(start), tr)
 	}()

@@ -227,6 +227,7 @@ func (s *server) handleWorldRoute(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	ent.Routes.Add(1)
 	src, dst := graph.NodeID(req.Src), graph.NodeID(req.Dst)
 	cfg := clampDynamics(req.HopsPerEpoch, req.MaxRounds)
 	if req.BudgetHops <= 0 && req.DeadlineMS <= 0 && req.Resume == "" {

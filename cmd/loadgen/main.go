@@ -38,6 +38,13 @@
 // requests per scenario (-slowest), resolvable against the daemon's
 // flight recorder via GET /v1/traces/{id}.
 //
+// With -slo, loadgen additionally fetches the server's declared
+// objectives (GET /v1/slo) after the run and exits nonzero on any
+// violation: a server-side objective left burning, a measured latency
+// quantile over its declared threshold, or wrong verdicts against the
+// zero-tolerance wrong_verdicts objective (which only a client replaying
+// walks against a reference can evaluate — the resume scenario).
+//
 // Percentiles are exact (every sample is kept and sorted at the end), not
 // bucket-estimated: a 10-second run at full tilt stores a few million
 // int64s, which is cheap, and exactness matters when the thing under test
@@ -84,6 +91,7 @@ type config struct {
 	seed         int64
 	jsonPath     string
 	slowest      int
+	slo          bool
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -98,6 +106,7 @@ func parseFlags(args []string) (*config, error) {
 		seed      = fs.Int64("seed", 1, "workload randomness seed")
 		jsonOut   = fs.String("json", "", "write the JSON report to this path (\"-\" = stdout)")
 		slowest   = fs.Int("slowest", 3, "report the trace IDs of the k slowest requests per scenario (0 disables)")
+		sloCheck  = fs.Bool("slo", false, "after the run, fetch the server's GET /v1/slo objectives and fail (exit nonzero) on any violation: a server-side burning objective, a measured latency quantile over its declared threshold, or wrong verdicts against a zero-tolerance objective")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -128,6 +137,7 @@ func parseFlags(args []string) (*config, error) {
 		seed:         *seed,
 		jsonPath:     *jsonOut,
 		slowest:      *slowest,
+		slo:          *sloCheck,
 	}, nil
 }
 
@@ -473,6 +483,9 @@ type Report struct {
 	Mix         map[string]int   `json:"mix"`
 	Total       ScenarioReport   `json:"total"`
 	Scenarios   []ScenarioReport `json:"scenarios"`
+	// SLOViolations lists every objective the run violated (-slo mode):
+	// non-empty makes loadgen exit nonzero — the CI gate.
+	SLOViolations []string `json:"slo_violations,omitempty"`
 }
 
 // percentile returns the exact q-quantile (0 < q <= 1) of sorted ns
@@ -622,6 +635,12 @@ func run(args []string, out io.Writer) error {
 		rep.Scenarios = append(rep.Scenarios, summarize(name, perReq[i], perErr[i], perTal[i], perOK[i], elapsed, cfg.slowest))
 	}
 
+	if cfg.slo {
+		if err := gen.evalSLO(&rep); err != nil {
+			return err
+		}
+	}
+
 	writeText(out, &rep)
 	if cfg.jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
@@ -630,10 +649,15 @@ func run(args []string, out io.Writer) error {
 		}
 		data = append(data, '\n')
 		if cfg.jsonPath == "-" {
-			_, err = out.Write(data)
+			if _, err = out.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(cfg.jsonPath, data, 0o644); err != nil {
 			return err
 		}
-		return os.WriteFile(cfg.jsonPath, data, 0o644)
+	}
+	if n := len(rep.SLOViolations); n > 0 {
+		return fmt.Errorf("%d SLO violation(s)", n)
 	}
 	return nil
 }
@@ -656,6 +680,9 @@ func writeText(out io.Writer, rep *Report) {
 	if t := rep.Total; t.Retries > 0 || t.Resumes > 0 || t.WrongVerdicts > 0 {
 		fmt.Fprintf(out, "resilience: retries=%d resumes=%d wrong_verdicts=%d\n",
 			t.Retries, t.Resumes, t.WrongVerdicts)
+	}
+	for _, v := range rep.SLOViolations {
+		fmt.Fprintf(out, "SLO VIOLATION: %s\n", v)
 	}
 	// The slow tail, per scenario: trace IDs resolvable against the
 	// daemon's flight recorder (GET /v1/traces/{id}).

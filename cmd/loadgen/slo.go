@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/slo"
+)
+
+// sloServerReport mirrors adhocd's GET /v1/slo response shape.
+type sloServerReport struct {
+	Objectives []slo.ObjectiveReport `json:"objectives"`
+}
+
+// objectiveScenario maps an objective's metric identity onto the loadgen
+// scenario whose measured latencies evaluate it: static routes for
+// route_pNN, the shared-world dynamic routes for dynamic_pNN.
+var objectiveScenario = map[string]string{
+	"route":   "route",
+	"dynamic": "world",
+}
+
+// evalSLO fetches the server's declared objectives and checks this run
+// against them, filling rep.SLOViolations:
+//
+//   - any server-evaluated objective currently burning is a violation
+//     (the run itself pushed the server over its budget);
+//   - a latency objective is additionally checked against the measured
+//     client-side quantile of its scenario — the end-to-end number the
+//     server cannot see — when the mix exercised that scenario;
+//   - a client-evaluated zero-tolerance objective (wrong_verdicts) is
+//     checked against the run's differential counters, which only a
+//     client replaying walks against a reference can produce.
+func (g *generator) evalSLO(rep *Report) error {
+	resp, err := g.client.Get(g.cfg.addr + "/v1/slo")
+	if err != nil {
+		return fmt.Errorf("slo: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("slo: GET /v1/slo: %d (is -slo off on the server?)", resp.StatusCode)
+	}
+	var srv sloServerReport
+	if err := json.NewDecoder(resp.Body).Decode(&srv); err != nil {
+		return fmt.Errorf("slo: decode: %w", err)
+	}
+
+	for _, o := range srv.Objectives {
+		if o.Burning {
+			rep.SLOViolations = append(rep.SLOViolations,
+				fmt.Sprintf("%s: burning server-side (objective %q)", o.Name, o.Objective))
+		}
+		switch {
+		case o.ClientEvaluated && o.Budget == 0 && o.Name == "wrong_verdicts":
+			if rep.Total.WrongVerdicts > 0 {
+				rep.SLOViolations = append(rep.SLOViolations,
+					fmt.Sprintf("wrong_verdicts: %d measured against %q", rep.Total.WrongVerdicts, o.Objective))
+			}
+		case o.Unit == "s" && o.Quantile > 0:
+			base := o.Name
+			if i := strings.LastIndex(base, "_p"); i >= 0 {
+				base = base[:i]
+			}
+			sc := rep.scenario(objectiveScenario[base])
+			if sc == nil || sc.Requests == 0 {
+				continue // the mix did not exercise this objective
+			}
+			measured, ok := measuredQuantileUS(sc, o.Quantile)
+			if !ok {
+				continue // quantile not in the report's fixed set
+			}
+			if limit := o.Threshold * 1e6; measured > limit {
+				rep.SLOViolations = append(rep.SLOViolations,
+					fmt.Sprintf("%s: measured %s p%g = %.1fµs over %.0fµs (objective %q)",
+						o.Name, sc.Name, o.Quantile*100, measured, limit, o.Objective))
+			}
+		}
+	}
+	return nil
+}
+
+// scenario returns the named scenario's report row, nil when the mix
+// did not include it.
+func (r *Report) scenario(name string) *ScenarioReport {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Name == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// measuredQuantileUS maps a declared quantile onto the report's exact
+// percentile fields.
+func measuredQuantileUS(sc *ScenarioReport, q float64) (float64, bool) {
+	switch q {
+	case 0.5:
+		return sc.P50US, true
+	case 0.9:
+		return sc.P90US, true
+	case 0.95:
+		return sc.P95US, true
+	case 0.99:
+		return sc.P99US, true
+	}
+	return 0, false
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/slo"
+)
+
+func readJSON(t *testing.T, path string, out any) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+}
+
+// sloStub wraps the plain stubServer with a GET /v1/slo endpoint serving
+// a canned objective list, so -slo evaluation can be tested without a
+// real adhocd.
+func sloStub(st *stubServer, objs []slo.ObjectiveReport) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", st.handler())
+	mux.HandleFunc("GET /v1/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sloServerReport{Objectives: objs})
+	})
+	return mux
+}
+
+// TestRunSLOClean drives a short route-only run with -slo against a
+// server whose objectives are healthy and generous; the run must succeed
+// and report no violations.
+func TestRunSLOClean(t *testing.T) {
+	st := &stubServer{}
+	ts := httptest.NewServer(sloStub(st, []slo.ObjectiveReport{
+		{Name: "route_p99", Objective: "route_p99 < 10s", Quantile: 0.99,
+			Budget: 0.01, Threshold: 10, Unit: "s"},
+		{Name: "wrong_verdicts", Objective: "wrong_verdicts == 0",
+			ClientEvaluated: true},
+	}))
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-c", "2", "-d", "150ms",
+		"-mix", "route=1", "-slo", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	var rep Report
+	readJSON(t, jsonPath, &rep)
+	if len(rep.SLOViolations) != 0 {
+		t.Fatalf("unexpected violations: %v", rep.SLOViolations)
+	}
+}
+
+// TestRunSLOViolations covers the three violation classes: a burning
+// server-side objective, a latency objective whose threshold no real run
+// can meet, and — structurally — that each lands in the report and the
+// run exits nonzero.
+func TestRunSLOViolations(t *testing.T) {
+	st := &stubServer{}
+	ts := httptest.NewServer(sloStub(st, []slo.ObjectiveReport{
+		// Burning regardless of what the client measured.
+		{Name: "errors", Objective: "errors == 0", Burning: true},
+		// 1ns threshold: any measured client p99 exceeds it.
+		{Name: "route_p99", Objective: "route_p99 < 1ns", Quantile: 0.99,
+			Budget: 0.01, Threshold: 1e-9, Unit: "s"},
+	}))
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-c", "2", "-d", "150ms",
+		"-mix", "route=1", "-slo", "-json", jsonPath,
+	}, &out)
+	if err == nil {
+		t.Fatalf("run succeeded despite violations (output: %s)", out.String())
+	}
+	if !strings.Contains(err.Error(), "SLO violation") {
+		t.Fatalf("error %q does not mention SLO violation", err)
+	}
+	var rep Report
+	readJSON(t, jsonPath, &rep)
+	if len(rep.SLOViolations) != 2 {
+		t.Fatalf("violations = %v, want 2", rep.SLOViolations)
+	}
+	joined := strings.Join(rep.SLOViolations, "\n")
+	if !strings.Contains(joined, "burning server-side") {
+		t.Errorf("missing burning violation: %v", rep.SLOViolations)
+	}
+	if !strings.Contains(joined, "route_p99") || !strings.Contains(joined, "measured") {
+		t.Errorf("missing latency violation: %v", rep.SLOViolations)
+	}
+	if !strings.Contains(out.String(), "SLO VIOLATION") {
+		t.Errorf("text report does not surface violations: %s", out.String())
+	}
+}
+
+// TestRunSLOEndpointMissing: pointing -slo at a server without /v1/slo
+// (the daemon booted with -slo off) is a hard error, not a silent pass.
+func TestRunSLOEndpointMissing(t *testing.T) {
+	st := &stubServer{}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-c", "1", "-d", "100ms",
+		"-mix", "route=1", "-slo",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "/v1/slo") {
+		t.Fatalf("err = %v, want /v1/slo failure", err)
+	}
+}

@@ -1,0 +1,138 @@
+// Command metriclint holds a Prometheus/OpenMetrics text exposition to
+// the format contract a strict scraper enforces: metadata before
+// samples, label syntax, histogram bucket ordering and cumulativity,
+// duplicate-series detection, and — in OpenMetrics mode — the # EOF
+// terminator, counter sample naming, and exemplar syntax.
+//
+// Usage:
+//
+//	curl -s localhost:7070/metrics | metriclint
+//	metriclint -url http://localhost:7070/metrics -openmetrics
+//	metriclint exposition.txt
+//
+// With -url it fetches the exposition itself, sending the OpenMetrics
+// Accept header when -openmetrics is set and verifying the server
+// negotiated the requested content type. Exit status is nonzero when
+// the exposition (or the fetch) fails, one lint error per line on
+// stderr — so CI can scrape a live daemon without a client library.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("metriclint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		url     = fs.String("url", "", "fetch the exposition from this URL instead of stdin/file")
+		om      = fs.Bool("openmetrics", false, "lint as OpenMetrics (and negotiate it when fetching)")
+		timeout = fs.Duration("timeout", 10*time.Second, "fetch timeout with -url")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url != "" && fs.NArg() > 0 {
+		return errors.New("pass either -url or a file, not both")
+	}
+
+	text, err := read(*url, *om, *timeout, fs.Args())
+	if err != nil {
+		return err
+	}
+	errs := obs.Lint(text, *om)
+	for _, e := range errs {
+		fmt.Fprintln(errOut, e)
+	}
+	if n := len(errs); n > 0 {
+		return fmt.Errorf("%d lint error(s)", n)
+	}
+	format := "prometheus"
+	if *om {
+		format = "openmetrics"
+	}
+	fmt.Fprintf(out, "ok: %d lines, %s\n", strings.Count(text, "\n"), format)
+	return nil
+}
+
+// read resolves the exposition source: -url wins, then a file argument,
+// then stdin.
+func read(url string, om bool, timeout time.Duration, files []string) (string, error) {
+	switch {
+	case url != "":
+		return fetch(url, om, timeout)
+	case len(files) == 1:
+		data, err := os.ReadFile(files[0])
+		return string(data), err
+	case len(files) == 0:
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	default:
+		return "", fmt.Errorf("expected at most one file, got %d", len(files))
+	}
+}
+
+// fetch scrapes url the way a monitoring agent would, negotiating the
+// OpenMetrics content type when asked and failing when the server does
+// not honor the negotiation — a daemon silently falling back to the
+// classic format would otherwise pass an -openmetrics lint by luck.
+func fetch(url string, om bool, timeout time.Duration) (string, error) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return "", err
+	}
+	want := obs.ContentTypePrometheus
+	if om {
+		req.Header.Set("Accept", obs.ContentTypeOpenMetrics+",text/plain;q=0.5")
+		want = obs.ContentTypeOpenMetrics
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !sameMediaType(ct, want) {
+		return "", fmt.Errorf("GET %s: Content-Type %q, want %q", url, ct, want)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// sameMediaType compares the media type and any version parameter,
+// ignoring charset and parameter order.
+func sameMediaType(got, want string) bool {
+	norm := func(ct string) (string, string) {
+		parts := strings.Split(ct, ";")
+		media, version := strings.TrimSpace(parts[0]), ""
+		for _, p := range parts[1:] {
+			p = strings.TrimSpace(p)
+			if v, ok := strings.CutPrefix(p, "version="); ok {
+				version = v
+			}
+		}
+		return media, version
+	}
+	gm, gv := norm(got)
+	wm, wv := norm(want)
+	return gm == wm && gv == wv
+}

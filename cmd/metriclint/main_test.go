@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const cleanClassic = `# HELP demo_total A demo counter.
+# TYPE demo_total counter
+demo_total 3
+`
+
+const cleanOM = `# HELP demo A demo counter.
+# TYPE demo counter
+demo_total 3
+# EOF
+`
+
+const brokenClassic = `demo_total 3
+demo_total 4
+`
+
+func TestLintFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(good, []byte(cleanClassic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(brokenClassic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{good}, &out, &errOut); err != nil {
+		t.Fatalf("clean file: %v (%s)", err, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "ok:") {
+		t.Errorf("output %q, want ok:", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	err := run([]string{bad}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "lint error") {
+		t.Fatalf("broken file err = %v", err)
+	}
+	if errOut.Len() == 0 {
+		t.Error("no lint errors printed")
+	}
+}
+
+func TestLintURLNegotiation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "openmetrics") {
+			w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+			_, _ = w.Write([]byte(cleanOM))
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		_, _ = w.Write([]byte(cleanClassic))
+	}))
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-url", ts.URL}, &out, &errOut); err != nil {
+		t.Fatalf("classic fetch: %v (%s)", err, errOut.String())
+	}
+	out.Reset()
+	if err := run([]string{"-url", ts.URL, "-openmetrics"}, &out, &errOut); err != nil {
+		t.Fatalf("openmetrics fetch: %v (%s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "openmetrics") {
+		t.Errorf("output %q does not note the format", out.String())
+	}
+}
+
+// TestLintURLWrongContentType: a server ignoring the OpenMetrics
+// negotiation (classic content type back) must fail the scrape, not
+// lint the wrong format.
+func TestLintURLWrongContentType(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		_, _ = w.Write([]byte(cleanClassic))
+	}))
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-openmetrics"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "Content-Type") {
+		t.Fatalf("err = %v, want content-type mismatch", err)
+	}
+}
+
+func TestLintBadArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-url", "http://x", "file.txt"}, &out, &errOut); err == nil {
+		t.Error("-url plus file accepted")
+	}
+	if err := run([]string{"a.txt", "b.txt"}, &out, &errOut); err == nil {
+		t.Error("two files accepted")
+	}
+}

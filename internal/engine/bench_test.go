@@ -57,6 +57,38 @@ func BenchmarkInstrumentedRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkVecRoute is the per-network labeling perf guard: the same warm
+// shared-world query as BenchmarkInstrumentedSharedWorldRoute, but with
+// the engine attached to per-network metric vectors — so every query
+// additionally pays the cached-child counter add and, on the 1-in-8
+// sampled grid, the labeled histogram observe. The acceptance bar is
+// staying within 1% of the unlabeled run in the same benchstat session
+// (the vector lookup itself is off the hot path; only the nil-check
+// branch and the child's own atomics remain).
+func BenchmarkVecRoute(b *testing.B) {
+	e, err := Compile(gen.Torus(5, 5), Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.AttachVecs(NewVecs(8), "bench")
+	w := e.NewWorld(&dynamic.EdgeChurn{Seed: 11, PDrop: 0.08, AddRate: 1})
+	for i := 0; i < 10; i++ {
+		if err := w.Advance(dynamic.Probe{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, _, err := w.Compiled(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RouteDynamic(w, 0, 18, dynamic.Config{HopsPerEpoch: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBudgetedSharedWorldRoute is the bounded-work perf guard: the
 // identical warm shared-world query as BenchmarkInstrumentedSharedWorldRoute,
 // but through RouteDynamicBudgeted with a deadline context and a hop budget

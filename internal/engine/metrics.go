@@ -64,6 +64,15 @@ type metrics struct {
 	batchSeconds   *obs.Histogram
 	hopsPerRoute   *obs.Histogram
 	headerBits     *obs.Histogram
+
+	// Per-network vector children, cached by AttachVecs (nil when the
+	// engine is not attached to a Vecs). Cached handles keep the vector
+	// map off the query path: the per-query cost is one nil check plus
+	// the atomic adds the series themselves need.
+	vecStatic  *obs.Counter
+	vecDynamic *obs.Counter
+	vecErrors  *obs.Counter
+	vecSeconds *obs.Histogram
 }
 
 // sampleEvery is the latency sampling period for the sub-microsecond
@@ -209,6 +218,20 @@ func (e *Engine) RouteLatencyQuantile(q float64) float64 {
 	return e.m.routeSeconds.Quantile(q)
 }
 
+// The raw instrumentation histograms, exposed so the SLO layer can derive
+// burn-rate sources from the numbers the scrape already shows (no second
+// measurement path). Read-only for callers.
+
+// RouteSecondsHistogram is the sampled static-route latency distribution.
+func (e *Engine) RouteSecondsHistogram() *obs.Histogram { return e.m.routeSeconds }
+
+// DynamicSecondsHistogram is the sampled dynamic-route latency distribution.
+func (e *Engine) DynamicSecondsHistogram() *obs.Histogram { return e.m.dynamicSeconds }
+
+// HopsHistogram is the hops-per-route distribution (§3's walk bound,
+// observed) — the source for bound-derived hop-stretch objectives.
+func (e *Engine) HopsHistogram() *obs.Histogram { return e.m.hopsPerRoute }
+
 func (m *metrics) maxHeader(bits int) {
 	v := int64(bits)
 	for {
@@ -239,8 +262,18 @@ func sampleStart(n int64) time.Time {
 // was already incremented at query start (it doubles as the latency
 // sampling grid); start is zero on unsampled queries.
 func (m *metrics) recordRoute(res *route.Result, err error, start time.Time) {
+	if m.vecStatic != nil {
+		m.vecStatic.Inc()
+		if err != nil {
+			m.vecErrors.Inc()
+		}
+	}
 	if !start.IsZero() {
-		m.routeSeconds.ObserveSince(start)
+		el := int64(time.Since(start))
+		m.routeSeconds.Observe(el)
+		if m.vecSeconds != nil {
+			m.vecSeconds.Observe(el)
+		}
 	}
 	m.recordErr(err)
 	if res == nil {
@@ -283,8 +316,18 @@ func (m *metrics) recordCount(res *count.Result, err error) {
 // recordDynamic books one RouteDynamic outcome; the dynamic-route counter
 // was incremented at query start, start is zero on unsampled queries.
 func (m *metrics) recordDynamic(res *dynamic.Result, err error, start time.Time) {
+	if m.vecDynamic != nil {
+		m.vecDynamic.Inc()
+		if err != nil {
+			m.vecErrors.Inc()
+		}
+	}
 	if !start.IsZero() {
-		m.dynamicSeconds.ObserveSince(start)
+		el := int64(time.Since(start))
+		m.dynamicSeconds.Observe(el)
+		if m.vecSeconds != nil {
+			m.vecSeconds.Observe(el)
+		}
 	}
 	m.recordErr(err)
 	if res == nil {

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"repro/internal/obs"
+)
+
+// Vecs is the shared per-network metric family set. The serving layer
+// creates one Vecs for the process and attaches every engine to it —
+// the boot engine under its load name and each registry tenant under its
+// network ID — so a misbehaving tenant is visible inside the fleet-wide
+// aggregates instead of averaged away.
+//
+// Attach caches the per-network child handles on the engine's metrics
+// struct, so the per-query cost of the labels is one nil-check branch
+// plus the same atomic adds the unlabeled counters already pay; the
+// vector map is never consulted on the query path
+// (BenchmarkVecRoute pins this against the unlabeled baseline).
+type Vecs struct {
+	routes  *obs.CounterVec   // {network, kind=static|dynamic}
+	errors  *obs.CounterVec   // {network}
+	seconds *obs.HistogramVec // {network}, sampled like the global histogram
+}
+
+// NewVecs builds the per-network families, capped at maxNetworks distinct
+// networks (the registry capacity plus the boot engine, with slack for
+// churn; past the cap, networks collapse into the "other" series and the
+// overflow is counted on obs_dropped_series_total).
+func NewVecs(maxNetworks int) *Vecs {
+	if maxNetworks <= 0 {
+		maxNetworks = 64
+	}
+	return &Vecs{
+		routes: obs.NewCounterVec("adhoc_network_routes_total",
+			"Completed routing queries per network, split static vs dynamic.",
+			[]string{"network", "kind"}, 2*maxNetworks),
+		errors: obs.NewCounterVec("adhoc_network_errors_total",
+			"Routing queries that returned an error, per network.",
+			[]string{"network"}, maxNetworks),
+		seconds: obs.NewLatencyHistogramVec("adhoc_network_route_seconds",
+			"Sampled routing latency per network (same 1-in-8 grid as the engine histograms).",
+			[]string{"network"}, maxNetworks),
+	}
+}
+
+// Register exports the families (their overflow counters ride along).
+func (v *Vecs) Register(o *obs.Registry) error {
+	return o.Register(v.routes, v.errors, v.seconds)
+}
+
+// AttachVecs binds this engine to its per-network series, caching the
+// child handles. Call once, before the engine serves queries (the fields
+// are read without synchronization on the hot path).
+func (e *Engine) AttachVecs(v *Vecs, network string) {
+	if v == nil {
+		return
+	}
+	e.m.vecStatic = v.routes.With(network, "static")
+	e.m.vecDynamic = v.routes.With(network, "dynamic")
+	e.m.vecErrors = v.errors.With(network)
+	e.m.vecSeconds = v.seconds.With(network)
+}

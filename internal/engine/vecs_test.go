@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+func TestAttachVecs(t *testing.T) {
+	e, err := Compile(gen.Grid(4, 4), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVecs(4)
+	e.AttachVecs(v, "net-a")
+
+	// Static and dynamic queries land in their per-network series.
+	for i := 0; i < 20; i++ {
+		if _, err := e.Route(0, 15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := e.NewWorld(&dynamic.EdgeChurn{Seed: 5, PDrop: 0.05, AddRate: 1})
+	if _, err := e.RouteDynamic(w, 0, 15, dynamic.Config{HopsPerEpoch: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	if err := v.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`adhoc_network_routes_total{network="net-a",kind="static"} 20`,
+		`adhoc_network_routes_total{network="net-a",kind="dynamic"} 1`,
+		`adhoc_network_errors_total{network="net-a"} 0`,
+		// 21 queries on the 1-in-8 grid: at least one sampled observation.
+		`adhoc_network_route_seconds_count{network="net-a"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := obs.Lint(out, false); errs != nil {
+		t.Fatalf("lint: %v", errs)
+	}
+
+	// An unattached engine keeps working (nil-check path).
+	e2, err := Compile(gen.Grid(3, 3), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Route(0, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	c := NewCounter("test_ops_total", "Operations.", nil)
+	c.Add(7)
+	g := NewGauge("test_depth", "Depth.", Labels{"shard": "a"})
+	g.Set(3)
+	h := NewLatencyHistogram("test_op_seconds", "Op latency.", nil)
+	h.Observe(2_000_000)                                              // 2 ms, plain
+	h.ObserveExemplar(40_000_000, "deadbeefdeadbeefdeadbeefdeadbeef") // 40 ms, sampled
+	reg.MustRegister(c, g, h)
+	return reg
+}
+
+func TestContentNegotiation(t *testing.T) {
+	reg := testRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	get := func(accept string) (string, string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		req.Header.Set("Accept", accept)
+		rec := httptest.NewRecorder()
+		reg.Handler().ServeHTTP(rec, req)
+		body, _ := io.ReadAll(rec.Result().Body)
+		return rec.Result().Header.Get("Content-Type"), string(body)
+	}
+
+	// Default (curl-style) and explicitly classic Accepts get the v0.0.4
+	// text format: no EOF, counter family keeps _total, no exemplars.
+	for _, accept := range []string{"", "*/*", "text/plain"} {
+		ct, body := get(accept)
+		if ct != ContentTypePrometheus {
+			t.Fatalf("Accept %q: Content-Type = %q", accept, ct)
+		}
+		if strings.Contains(body, "# EOF") {
+			t.Fatalf("Accept %q: classic exposition must not carry # EOF", accept)
+		}
+		if !strings.Contains(body, "# TYPE test_ops_total counter") {
+			t.Fatalf("Accept %q: classic counter family keeps _total:\n%s", accept, body)
+		}
+		if strings.Contains(body, "# {") {
+			t.Fatalf("Accept %q: classic exposition must not carry exemplars", accept)
+		}
+		if errs := Lint(body, false); errs != nil {
+			t.Fatalf("Accept %q: lint: %v", accept, errs)
+		}
+	}
+
+	// The Prometheus scraper's preference list negotiates OpenMetrics.
+	ct, body := get("application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	if ct != ContentTypeOpenMetrics {
+		t.Fatalf("OpenMetrics Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition must end with # EOF:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE test_ops counter") {
+		t.Fatalf("OpenMetrics counter family drops _total:\n%s", body)
+	}
+	if !strings.Contains(body, "test_ops_total 7") {
+		t.Fatalf("OpenMetrics counter sample keeps _total:\n%s", body)
+	}
+	if !strings.Contains(body, `# {trace_id="deadbeefdeadbeefdeadbeefdeadbeef"} 0.04`) {
+		t.Fatalf("OpenMetrics histogram must carry the exemplar:\n%s", body)
+	}
+	if errs := Lint(body, true); errs != nil {
+		t.Fatalf("OpenMetrics lint: %v", errs)
+	}
+}
+
+func TestExemplarStaysInItsBucket(t *testing.T) {
+	h := NewLatencyHistogram("test_ex_seconds", "help", nil)
+	h.ObserveExemplar(40_000_000, "aa") // 40 ms -> le=0.05 bucket
+	var b bytes.Buffer
+	h.writeOpenMetrics(&b)
+	var line string
+	for _, l := range strings.Split(b.String(), "\n") {
+		if strings.Contains(l, "# {") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no exemplar line:\n%s", b.String())
+	}
+	if !strings.Contains(line, `le="0.05"`) {
+		t.Fatalf("exemplar attached to the wrong bucket: %s", line)
+	}
+	if !strings.Contains(line, "} 0.04 ") {
+		t.Fatalf("exemplar value must be the rendered observation: %s", line)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	if err := RegisterRuntimeMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"go_goroutines ",
+		"go_memstats_heap_alloc_bytes ",
+		"go_gc_cycles_total ",
+		"# TYPE go_gc_pause_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := Lint(out, false); errs != nil {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestObserveSinceExemplar(t *testing.T) {
+	h := NewLatencyHistogram("test_since_seconds", "help", nil)
+	h.ObserveSinceExemplar(time.Now().Add(-time.Millisecond), "ff")
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}

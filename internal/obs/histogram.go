@@ -25,6 +25,21 @@ type Histogram struct {
 
 	buckets []atomic.Int64 // len(bounds)+1; the last is +Inf
 	sum     atomic.Int64   // raw-unit sum
+
+	// exemplars holds the most recent exemplar per bucket (nil when the
+	// bucket never saw one). Written only by ObserveExemplar — the plain
+	// Observe hot path never touches them — and rendered only in the
+	// OpenMetrics exposition.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one sampled observation attached to a histogram bucket: the
+// rendered label set (conventionally trace_id), the observed value in
+// rendered units, and when it was taken. Immutable once published.
+type Exemplar struct {
+	Labels string // pre-rendered `k="v"` pairs, e.g. trace_id="…"
+	Value  float64
+	Time   time.Time
 }
 
 // DefaultLatencyBounds are the nanosecond bucket bounds used by
@@ -60,17 +75,45 @@ func newHistogram(name, help string, labels Labels, bounds []int64, unit float64
 		unit:   unit,
 	}
 	h.buckets = make([]atomic.Int64, len(h.bounds)+1)
+	h.exemplars = make([]atomic.Pointer[Exemplar], len(h.bounds)+1)
 	return h
 }
 
-// Observe records one value (raw units). Lock- and allocation-free.
-func (h *Histogram) Observe(v int64) {
+// bucketIndex returns the bucket v falls into (len(bounds) = +Inf).
+func (h *Histogram) bucketIndex(v int64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one value (raw units). Lock- and allocation-free.
+func (h *Histogram) Observe(v int64) {
+	i := h.bucketIndex(v)
 	h.buckets[i].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar is Observe additionally publishing an exemplar joining
+// this observation to a trace: the bucket v lands in remembers the given
+// trace ID (latest wins). Costs one small allocation — callers use it on
+// already-sampled requests (the serving layer's traced ones), keeping the
+// plain Observe path allocation-free.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	i := h.bucketIndex(v)
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.exemplars[i].Store(&Exemplar{
+		Labels: `trace_id="` + escapeLabel(traceID) + `"`,
+		Value:  float64(v) / h.unit,
+		Time:   time.Now(),
+	})
+}
+
+// ObserveSinceExemplar records the elapsed time since t0 with an exemplar.
+func (h *Histogram) ObserveSinceExemplar(t0 time.Time, traceID string) {
+	h.ObserveExemplar(int64(time.Since(t0)), traceID)
 }
 
 // ObserveSince records the elapsed time since t0. Only meaningful on
@@ -91,25 +134,64 @@ func (h *Histogram) Count() int64 {
 // Sum returns the raw-unit sum of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Totals returns the total observation count and the count of observations
+// recorded above the given raw-unit threshold, resolved to bucket
+// granularity: observations in any bucket whose upper bound exceeds the
+// threshold count as "above". Feeding an exact bucket bound gives an exact
+// split; anything else over-counts by at most one bucket — the right
+// direction for an SLO bad-event counter.
+func (h *Histogram) Totals(threshold int64) (total, above int64) {
+	cut := h.bucketIndex(threshold)
+	if cut < len(h.bounds) && threshold >= h.bounds[cut] {
+		cut++ // threshold sits exactly on a bound: that bucket is "good"
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		total += c
+		if i >= cut {
+			above += c
+		}
+	}
+	return total, above
+}
+
 func (h *Histogram) metricDesc() *desc { return &h.d }
 
 // Write renders the cumulative buckets plus _sum and _count. A scrape
 // racing writers may see a bucket updated and the sum not yet (or vice
 // versa); each individual number is exact.
 func (h *Histogram) Write(b *bytes.Buffer) {
+	h.write(b, false)
+}
+
+// writeOpenMetrics is Write with per-bucket exemplars appended.
+func (h *Histogram) writeOpenMetrics(b *bytes.Buffer) {
+	h.write(b, true)
+}
+
+func (h *Histogram) write(b *bytes.Buffer, exemplars bool) {
 	var cum int64
-	for i, bound := range h.bounds {
+	for i := range h.buckets {
 		cum += h.buckets[i].Load()
-		h.d.series(b, "_bucket", `le="`+formatBound(float64(bound)/h.unit)+`"`)
+		le := `le="+Inf"`
+		if i < len(h.bounds) {
+			le = `le="` + formatBound(float64(h.bounds[i])/h.unit) + `"`
+		}
+		h.d.series(b, "_bucket", le)
 		b.WriteByte(' ')
 		b.WriteString(strconv.FormatInt(cum, 10))
+		if exemplars {
+			if e := h.exemplars[i].Load(); e != nil {
+				b.WriteString(" # {")
+				b.WriteString(e.Labels)
+				b.WriteString("} ")
+				writeFloat(b, e.Value)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatFloat(float64(e.Time.UnixNano())/1e9, 'f', 3, 64))
+			}
+		}
 		b.WriteByte('\n')
 	}
-	cum += h.buckets[len(h.bounds)].Load()
-	h.d.series(b, "_bucket", `le="+Inf"`)
-	b.WriteByte(' ')
-	b.WriteString(strconv.FormatInt(cum, 10))
-	b.WriteByte('\n')
 
 	h.d.series(b, "_sum", "")
 	b.WriteByte(' ')

@@ -1,0 +1,481 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a text metrics exposition the way a strict scraper
+// would: name and label syntax, HELP/TYPE metadata present before (and
+// contiguous with) each family's samples, histogram bucket le-ordering
+// and cumulative monotonicity, +Inf/_count agreement, duplicate-series
+// detection, and — in OpenMetrics mode — the # EOF terminator, counter
+// sample naming (_total on samples, stripped on the family), and
+// exemplar syntax. It returns every problem found, nil when clean.
+//
+// It is intentionally hand-rolled and dependency-free, mirroring the rest
+// of the obs package, so CI can scrape a live daemon and hold the full
+// exposition to the format contract without importing a client library.
+func Lint(text string, openMetrics bool) []error {
+	l := &linter{
+		om:     openMetrics,
+		typ:    map[string]string{},
+		help:   map[string]bool{},
+		seen:   map[string]bool{},
+		closed: map[string]bool{},
+		hist:   map[string]*bucketRun{},
+	}
+	lines := strings.Split(text, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	for i, line := range lines {
+		l.line(i+1, line, i == len(lines)-1)
+	}
+	l.finish(len(lines))
+	return l.errs
+}
+
+type bucketRun struct {
+	line     int     // first line of the group, for error reporting
+	lastLE   float64 // previous bucket's upper bound
+	lastCum  float64 // previous bucket's cumulative count
+	any      bool    // at least one bucket seen
+	infSeen  bool
+	infCum   float64
+	sawCount bool
+	countVal float64
+	sawSum   bool
+}
+
+type linter struct {
+	om     bool
+	errs   []error
+	typ    map[string]string // family -> declared type
+	help   map[string]bool
+	seen   map[string]bool // full series identity (name + sorted labels)
+	closed map[string]bool // families whose sample block has ended
+	last   string          // family of the previous non-EOF line
+	hist   map[string]*bucketRun
+	sawEOF bool
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: "+format, append([]any{line}, args...)...))
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.Contains(s, ":") {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// enter tracks family contiguity: all of a family's lines (metadata and
+// samples) must form one block.
+func (l *linter) enter(line int, family string) {
+	if family == l.last {
+		return
+	}
+	if l.last != "" {
+		l.closed[l.last] = true
+	}
+	if l.closed[family] {
+		l.errf(line, "family %q interleaved with other families", family)
+	}
+	l.last = family
+}
+
+func (l *linter) line(n int, line string, isLast bool) {
+	if l.sawEOF {
+		l.errf(n, "content after # EOF")
+		return
+	}
+	if line == "" {
+		return
+	}
+	if strings.HasPrefix(line, "#") {
+		l.comment(n, line, isLast)
+		return
+	}
+	l.sample(n, line)
+}
+
+func (l *linter) comment(n int, line string, isLast bool) {
+	if line == "# EOF" {
+		if !l.om {
+			l.errf(n, "# EOF terminator in a non-OpenMetrics exposition")
+		}
+		if !isLast {
+			l.errf(n, "# EOF is not the final line")
+		}
+		l.sawEOF = true
+		return
+	}
+	rest, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		if l.om {
+			l.errf(n, "OpenMetrics forbids free-form comments: %q", line)
+		}
+		return // classic format allows arbitrary comments
+	}
+	kind, rest, _ := strings.Cut(rest, " ")
+	switch kind {
+	case "HELP":
+		name, _, _ := strings.Cut(rest, " ")
+		if !validMetricName(name) {
+			l.errf(n, "invalid metric name in HELP: %q", name)
+			return
+		}
+		l.enter(n, name)
+		if l.help[name] {
+			l.errf(n, "duplicate HELP for %q", name)
+		}
+		l.help[name] = true
+	case "TYPE":
+		name, typ, _ := strings.Cut(rest, " ")
+		if !validMetricName(name) {
+			l.errf(n, "invalid metric name in TYPE: %q", name)
+			return
+		}
+		l.enter(n, name)
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped", "unknown":
+		default:
+			l.errf(n, "unknown TYPE %q for %q", typ, name)
+		}
+		if _, dup := l.typ[name]; dup {
+			l.errf(n, "duplicate TYPE for %q", name)
+		}
+		l.typ[name] = typ
+		if l.om && typ == "counter" && strings.HasSuffix(name, "_total") {
+			l.errf(n, "OpenMetrics counter family %q must not carry the _total suffix", name)
+		}
+	default:
+		if l.om {
+			l.errf(n, "unknown OpenMetrics comment keyword %q", kind)
+		}
+	}
+}
+
+// parseLabels consumes a `k="v",…}` block (the caller has eaten the
+// opening brace) and returns the pairs plus everything after the brace.
+func parseLabels(s string) (pairs [][2]string, rest string, err error) {
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return pairs, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label value for %q not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[0]
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[1] {
+				case '\\', '"', 'n':
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", s[1], name)
+				}
+				val.WriteByte(s[1])
+				s = s[2:]
+				continue
+			}
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		pairs = append(pairs, [2]string{name, val.String()})
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if !strings.HasPrefix(s, "}") {
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %q", name)
+		}
+	}
+}
+
+// canonical renders pairs sorted by name for identity comparison,
+// optionally dropping one label (le for bucket-group identity).
+func canonical(pairs [][2]string, drop string) string {
+	kept := make([][2]string, 0, len(pairs))
+	for _, p := range pairs {
+		if p[0] != drop {
+			kept = append(kept, p)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i][0] < kept[j][0] })
+	var b strings.Builder
+	for _, p := range kept {
+		b.WriteString(p[0])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(p[1]))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func (l *linter) sample(n int, line string) {
+	// Split off the metric name and optional label block.
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		l.errf(n, "sample line without value: %q", line)
+		return
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name %q", name)
+		return
+	}
+	var pairs [][2]string
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		pairs, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			l.errf(n, "%s: %v", name, err)
+			return
+		}
+	}
+	seenNames := map[string]bool{}
+	for _, p := range pairs {
+		if seenNames[p[0]] {
+			l.errf(n, "%s: duplicate label %q", name, p[0])
+		}
+		seenNames[p[0]] = true
+	}
+
+	// Value, optional timestamp, optional exemplar.
+	rest = strings.TrimLeft(rest, " ")
+	valStr, after, _ := strings.Cut(rest, " ")
+	val, err := parseValue(valStr)
+	if err != nil {
+		l.errf(n, "%s: bad value %q", name, valStr)
+		return
+	}
+	exemplar := ""
+	if j := strings.Index(after, "#"); j >= 0 {
+		exemplar = strings.TrimSpace(after[j+1:])
+		after = strings.TrimSpace(after[:j])
+	}
+	if after != "" { // timestamp
+		if _, err := strconv.ParseFloat(after, 64); err != nil {
+			l.errf(n, "%s: bad timestamp %q", name, after)
+		}
+	}
+
+	family, role := l.resolveFamily(n, name)
+	l.enter(n, family)
+	if role == "bucket" {
+		l.bucket(n, name, family, pairs, val)
+	} else {
+		key := name + "{" + canonical(pairs, "") + "}"
+		if l.seen[key] {
+			l.errf(n, "duplicate series %s", key)
+		}
+		l.seen[key] = true
+		group := family + "{" + canonical(pairs, "") + "}"
+		switch role {
+		case "count":
+			r := l.run(group, n)
+			r.sawCount, r.countVal = true, val
+		case "sum":
+			l.run(group, n).sawSum = true
+		}
+	}
+
+	if exemplar != "" {
+		if !l.om {
+			l.errf(n, "%s: exemplar in a non-OpenMetrics exposition", name)
+		} else if role != "bucket" && !strings.HasSuffix(name, "_total") {
+			l.errf(n, "%s: exemplars are only valid on counters and histogram buckets", name)
+		} else {
+			l.exemplar(n, name, exemplar)
+		}
+	}
+}
+
+// resolveFamily maps a sample name to its declared family and the role the
+// sample plays in it ("plain", "bucket", "sum", "count").
+func (l *linter) resolveFamily(n int, name string) (string, string) {
+	if t, ok := l.typ[name]; ok {
+		if t == "histogram" {
+			l.errf(n, "histogram family %q exposed without _bucket/_sum/_count suffix", name)
+		}
+		if l.om && t == "counter" {
+			// typ[name] exists and is a counter: in OM the family was
+			// declared without _total, so an exact match means the sample
+			// is missing the suffix.
+			l.errf(n, "OpenMetrics counter sample %q must end in _total", name)
+		}
+		return name, "plain"
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && l.typ[base] == "histogram" {
+			return base, suf[1:]
+		}
+	}
+	if base := strings.TrimSuffix(name, "_total"); base != name && l.typ[base] == "counter" {
+		if !l.om {
+			// Classic counters keep _total in the family name; landing here
+			// means TYPE said `base` but the sample says `base_total`.
+			l.errf(n, "sample %q does not match its TYPE line (%q)", name, base)
+		}
+		return base, "plain"
+	}
+	l.errf(n, "sample %q has no # TYPE metadata", name)
+	return name, "plain"
+}
+
+func (l *linter) run(group string, n int) *bucketRun {
+	r, ok := l.hist[group]
+	if !ok {
+		r = &bucketRun{line: n, lastLE: -1}
+		l.hist[group] = r
+	}
+	return r
+}
+
+func (l *linter) bucket(n int, name, family string, pairs [][2]string, cum float64) {
+	le := ""
+	for _, p := range pairs {
+		if p[0] == "le" {
+			le = p[1]
+		}
+	}
+	if le == "" {
+		l.errf(n, "%s: bucket without le label", name)
+		return
+	}
+	key := name + "{" + canonical(pairs, "") + "}"
+	if l.seen[key] {
+		l.errf(n, "duplicate series %s", key)
+	}
+	l.seen[key] = true
+
+	group := family + "{" + canonical(pairs, "le") + "}"
+	r := l.run(group, n)
+	bound := 0.0
+	if le == "+Inf" {
+		if r.infSeen {
+			l.errf(n, "%s: duplicate +Inf bucket", group)
+		}
+		r.infSeen, r.infCum = true, cum
+	} else {
+		var err error
+		bound, err = strconv.ParseFloat(le, 64)
+		if err != nil {
+			l.errf(n, "%s: unparsable le %q", name, le)
+			return
+		}
+		if r.infSeen {
+			l.errf(n, "%s: finite bucket le=%q after +Inf", group, le)
+		}
+		if r.any && bound <= r.lastLE {
+			l.errf(n, "%s: bucket le=%q out of order (previous %v)", group, le, r.lastLE)
+		}
+		r.lastLE = bound
+	}
+	if r.any && cum < r.lastCum {
+		l.errf(n, "%s: cumulative count decreased at le=%q (%v -> %v)", group, le, r.lastCum, cum)
+	}
+	r.any, r.lastCum = true, cum
+}
+
+// exemplar validates `{labels} value [timestamp]` after the `#`.
+func (l *linter) exemplar(n int, name, ex string) {
+	if !strings.HasPrefix(ex, "{") {
+		l.errf(n, "%s: exemplar must start with a label set", name)
+		return
+	}
+	pairs, rest, err := parseLabels(ex[1:])
+	if err != nil {
+		l.errf(n, "%s: exemplar labels: %v", name, err)
+		return
+	}
+	runes := 0
+	for _, p := range pairs {
+		runes += len([]rune(p[0])) + len([]rune(p[1]))
+	}
+	if runes > 128 {
+		l.errf(n, "%s: exemplar label set exceeds 128 runes", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errf(n, "%s: exemplar needs a value and optional timestamp, got %q", name, rest)
+		return
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		l.errf(n, "%s: bad exemplar value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			l.errf(n, "%s: bad exemplar timestamp %q", name, fields[1])
+		}
+	}
+}
+
+// parseValue parses a sample value; strconv already accepts the format's
+// special values (+Inf, -Inf, NaN).
+func parseValue(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+func (l *linter) finish(lastLine int) {
+	if l.om && !l.sawEOF {
+		l.errs = append(l.errs, fmt.Errorf("line %d: OpenMetrics exposition missing # EOF terminator", lastLine))
+	}
+	for group, r := range l.hist {
+		if r.any && !r.infSeen {
+			l.errf(r.line, "%s: histogram missing +Inf bucket", group)
+		}
+		if r.any && !r.sawCount {
+			l.errf(r.line, "%s: histogram missing _count", group)
+		}
+		if r.any && !r.sawSum {
+			l.errf(r.line, "%s: histogram missing _sum", group)
+		}
+		if r.infSeen && r.sawCount && r.countVal != r.infCum {
+			l.errf(r.line, "%s: _count %v disagrees with +Inf bucket %v", group, r.countVal, r.infCum)
+		}
+	}
+}

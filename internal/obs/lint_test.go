@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func lintErrs(t *testing.T, text string, om bool) []string {
+	t.Helper()
+	var out []string
+	for _, err := range Lint(text, om) {
+		out = append(out, err.Error())
+	}
+	return out
+}
+
+func wantErr(t *testing.T, errs []string, substr string) {
+	t.Helper()
+	for _, e := range errs {
+		if strings.Contains(e, substr) {
+			return
+		}
+	}
+	t.Fatalf("no error containing %q in %v", substr, errs)
+}
+
+func TestLintCleanClassic(t *testing.T) {
+	text := `# HELP test_ops_total Operations.
+# TYPE test_ops_total counter
+test_ops_total{shard="a"} 7
+test_ops_total{shard="b"} 9
+# HELP test_seconds Latency.
+# TYPE test_seconds histogram
+test_seconds_bucket{le="0.1"} 1
+test_seconds_bucket{le="1"} 3
+test_seconds_bucket{le="+Inf"} 4
+test_seconds_sum 1.5
+test_seconds_count 4
+`
+	if errs := Lint(text, false); errs != nil {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestLintCleanOpenMetrics(t *testing.T) {
+	text := `# HELP test_ops Operations.
+# TYPE test_ops counter
+test_ops_total 7
+# HELP test_seconds Latency.
+# TYPE test_seconds histogram
+test_seconds_bucket{le="0.1"} 1 # {trace_id="abc123"} 0.05 1700000000.123
+test_seconds_bucket{le="+Inf"} 2
+test_seconds_sum 1.1
+test_seconds_count 2
+# EOF
+`
+	if errs := Lint(text, true); errs != nil {
+		t.Fatalf("clean OpenMetrics flagged: %v", errs)
+	}
+}
+
+func TestLintCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		om   bool
+		want string
+	}{
+		{"missing type", "foo 1\n", false, "no # TYPE"},
+		{"bad name", "# TYPE 9bad counter\n", false, "invalid metric name"},
+		{"bad label", `# TYPE a_total counter` + "\n" + `a_total{9x="1"} 1` + "\n", false, "invalid label name"},
+		{"unquoted value", `# TYPE a_total counter` + "\n" + `a_total{x=1} 1` + "\n", false, "not quoted"},
+		{"duplicate series", "# TYPE a_total counter\na_total 1\na_total 2\n", false, "duplicate series"},
+		{"duplicate label", `# TYPE a_total counter` + "\n" + `a_total{x="1",x="2"} 1` + "\n", false, "duplicate label"},
+		{"bad value", "# TYPE a_total counter\na_total x\n", false, "bad value"},
+		{"le out of order", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n", false, "out of order"},
+		{"cum decrease", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", false, "decreased"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", false, "missing +Inf"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n", false, "disagrees"},
+		{"missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", false, "missing _sum"},
+		{"interleaved", "# TYPE a_total counter\na_total 1\n# TYPE b_total counter\nb_total 1\na_total{x=\"2\"} 1\n", false, "interleaved"},
+		{"missing eof", "# TYPE a counter\na_total 1\n", true, "missing # EOF"},
+		{"content after eof", "# EOF\n# TYPE a counter\n", true, "after # EOF"},
+		{"om counter suffix", "# TYPE a_total counter\na_total 1\n# EOF\n", true, "must not carry the _total suffix"},
+		{"om sample suffix", "# TYPE a counter\na 1\n# EOF\n", true, "must end in _total"},
+		{"exemplar classic", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {t=\"1\"} 0.5\nh_sum 1\nh_count 1\n", false, "non-OpenMetrics"},
+		{"exemplar on gauge", "# TYPE g gauge\ng 1 # {t=\"1\"} 0.5\n# EOF\n", true, "only valid on counters and histogram buckets"},
+		{"exemplar bad value", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {t=\"1\"} zz\nh_sum 1\nh_count 1\n# EOF\n", true, "bad exemplar value"},
+		{"exemplar too long", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {t=\"" + strings.Repeat("x", 140) + "\"} 0.5\nh_sum 1\nh_count 1\n# EOF\n", true, "128 runes"},
+		{"histogram bare sample", "# TYPE h histogram\nh 1\n", false, "without _bucket"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{x=\"1\"} 1\nh_sum 1\nh_count 1\n", false, "without le label"},
+		{"duplicate help", "# HELP a_total x\n# HELP a_total y\n# TYPE a_total counter\na_total 1\n", false, "duplicate HELP"},
+		{"unknown type", "# TYPE a widget\n", false, "unknown TYPE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantErr(t, lintErrs(t, tc.text, tc.om), tc.want)
+		})
+	}
+}
+
+func TestLintEscapedLabelValues(t *testing.T) {
+	text := "# TYPE a_total counter\n" + `a_total{x="q\"uo\\te\n"} 1` + "\n"
+	if errs := Lint(text, false); errs != nil {
+		t.Fatalf("escaped label value flagged: %v", errs)
+	}
+}
+
+// TestLintSelf holds the package's own writers to the linter's contract.
+func TestLintSelf(t *testing.T) {
+	reg := NewRegistry()
+	cv := NewCounterVec("self_ops_total", "Ops.", []string{"net"}, 2)
+	hv := NewLatencyHistogramVec("self_seconds", "Latency.", []string{"net"}, 2)
+	reg.MustRegister(cv, hv)
+	if err := RegisterRuntimeMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b", "c", "d"} { // past the cap
+		cv.With(n).Inc()
+		hv.With(n).ObserveExemplar(5_000_000, "cafe")
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if errs := Lint(buf.String(), false); errs != nil {
+		t.Fatalf("self-lint classic: %v", errs)
+	}
+	buf.Reset()
+	reg.WriteOpenMetrics(&buf)
+	if errs := Lint(buf.String(), true); errs != nil {
+		t.Fatalf("self-lint OpenMetrics: %v", errs)
+	}
+}

@@ -252,6 +252,25 @@ func (r *Registry) Register(ms ...Metric) error {
 			r.seen[key] = true
 		}
 		r.ms = append(r.ms, m)
+		// A capped vector brings its overflow counter along — the drop
+		// signal must be in the same exposition as the vector it guards.
+		if dm, ok := m.(droppedMetric); ok {
+			c := dm.droppedMetric()
+			cd := c.metricDesc()
+			if fam, ok := r.families[cd.name]; ok {
+				if fam != [2]string{cd.typ, cd.help} {
+					return fmt.Errorf("obs: family %q re-registered as %s (was %s)", cd.name, cd.typ, fam[0])
+				}
+			} else {
+				r.families[cd.name] = [2]string{cd.typ, cd.help}
+			}
+			ckey := cd.name + "{" + cd.labels + "}"
+			if r.seen[ckey] {
+				return fmt.Errorf("obs: duplicate series %s", ckey)
+			}
+			r.seen[ckey] = true
+			r.ms = append(r.ms, c)
+		}
 	}
 	return nil
 }
@@ -290,13 +309,82 @@ func (r *Registry) WritePrometheus(b *bytes.Buffer) {
 	}
 }
 
-// Handler serves the registry in the Prometheus text exposition format —
-// mount it at GET /metrics.
+// openMetricsWriter is implemented by metrics whose OpenMetrics rendering
+// differs from the classic text form (histograms attach exemplars).
+// Everything else renders identically in both formats.
+type openMetricsWriter interface {
+	writeOpenMetrics(b *bytes.Buffer)
+}
+
+// WriteOpenMetrics renders every registered metric in the OpenMetrics
+// text format: counter families drop the _total suffix in their HELP/TYPE
+// lines (samples keep it), histogram buckets carry exemplars when they
+// have them, and the output ends with the mandatory # EOF terminator.
+func (r *Registry) WriteOpenMetrics(b *bytes.Buffer) {
+	r.mu.Lock()
+	ms := make([]Metric, len(r.ms))
+	copy(ms, r.ms)
+	r.mu.Unlock()
+
+	sort.SliceStable(ms, func(i, j int) bool {
+		return ms[i].metricDesc().name < ms[j].metricDesc().name
+	})
+	last := ""
+	for _, m := range ms {
+		d := m.metricDesc()
+		if d.name != last {
+			last = d.name
+			fam := d.name
+			if d.typ == "counter" {
+				fam = strings.TrimSuffix(fam, "_total")
+			}
+			fmt.Fprintf(b, "# HELP %s %s\n", fam, strings.ReplaceAll(d.help, "\n", " "))
+			fmt.Fprintf(b, "# TYPE %s %s\n", fam, d.typ)
+		}
+		if om, ok := m.(openMetricsWriter); ok {
+			om.writeOpenMetrics(b)
+		} else {
+			m.Write(b)
+		}
+	}
+	b.WriteString("# EOF\n")
+}
+
+// ContentTypePrometheus and ContentTypeOpenMetrics are the Content-Type
+// values the handler negotiates between.
+const (
+	ContentTypePrometheus  = "text/plain; version=0.0.4; charset=utf-8"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics exposition. Prometheus sends the media type first in its
+// preference list; a plain scan over the comma-separated ranges is enough
+// — anything not mentioning openmetrics-text falls back to the classic
+// text format, the safe default for curl and older scrapers.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
+// Handler serves the registry at GET /metrics, negotiating between the
+// Prometheus text format (the default) and OpenMetrics (with exemplars
+// and the # EOF terminator) on the request's Accept header.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		var b bytes.Buffer
-		r.WritePrometheus(&b)
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			r.WriteOpenMetrics(&b)
+			w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+		} else {
+			r.WritePrometheus(&b)
+			w.Header().Set("Content-Type", ContentTypePrometheus)
+		}
 		_, _ = w.Write(b.Bytes())
 	})
 }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeStats caches one runtime.ReadMemStats per refresh window so a
+// scrape hitting several go_* families pays the (stop-the-world-adjacent)
+// read once, and feeds newly completed GC pauses from the MemStats PauseNs
+// ring into a histogram between refreshes.
+type runtimeStats struct {
+	mu        sync.Mutex
+	ms        runtime.MemStats
+	fetched   time.Time
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+const runtimeStatsTTL = time.Second
+
+// snapshot refreshes the cached MemStats when stale and returns it.
+func (rs *runtimeStats) snapshot() runtime.MemStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if time.Since(rs.fetched) >= runtimeStatsTTL {
+		runtime.ReadMemStats(&rs.ms)
+		rs.fetched = time.Now()
+		// PauseNs is a 256-entry ring indexed by GC cycle; replay the
+		// cycles completed since the last refresh (capped at one lap).
+		n := rs.ms.NumGC
+		from := rs.lastNumGC
+		if n > from+uint32(len(rs.ms.PauseNs)) {
+			from = n - uint32(len(rs.ms.PauseNs))
+		}
+		for c := from + 1; c <= n; c++ { // cycle c's pause sits at (c+255)%256
+			rs.pauses.Observe(int64(rs.ms.PauseNs[(c+255)%256]))
+		}
+		rs.lastNumGC = n
+	}
+	return rs.ms
+}
+
+// gcPauseBounds resolve microsecond-scale GC pauses: 10 µs to 100 ms.
+var gcPauseBounds = []int64{
+	10_000, 25_000, 50_000, 100_000, 250_000, 500_000, // 10 µs .. 0.5 ms
+	1e6, 2.5e6, 5e6, 10e6, 25e6, 50e6, 100e6, // 1 ms .. 100 ms
+}
+
+// RegisterRuntimeMetrics registers process-level Go runtime metrics:
+// goroutine count, heap usage, GC cycle counter, and a GC pause
+// histogram. All values come from one cached ReadMemStats per scrape.
+func RegisterRuntimeMetrics(reg *Registry) error {
+	rs := &runtimeStats{
+		pauses: newHistogram("go_gc_pause_seconds",
+			"Stop-the-world GC pause durations, from the runtime's pause ring.",
+			nil, gcPauseBounds, 1e9),
+	}
+	return reg.Register(
+		NewGaugeFunc("go_goroutines", "Number of live goroutines.", nil,
+			func() float64 { return float64(runtime.NumGoroutine()) }),
+		NewGaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+			func() float64 { return float64(rs.snapshot().HeapAlloc) }),
+		NewGaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.", nil,
+			func() float64 { return float64(rs.snapshot().HeapObjects) }),
+		NewGaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.", nil,
+			func() float64 { return float64(rs.snapshot().Sys) }),
+		NewCounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil,
+			func() float64 { return float64(rs.snapshot().NumGC) }),
+		rs.pauses,
+	)
+}

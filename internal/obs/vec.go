@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DroppedSeriesHelp is the shared help text of the obs_dropped_series_total
+// family — one counter per capped vector, labeled by family name.
+const DroppedSeriesHelp = "Observations redirected to the catch-all other series because their metric vector reached its cardinality cap."
+
+// droppedMetric is the hook Registry.Register uses to pull a vector's
+// overflow counter into the exposition alongside the vector itself, so
+// callers registering a vec never forget its drop signal.
+type droppedMetric interface {
+	droppedMetric() Metric
+}
+
+// vecCore is the machinery shared by CounterVec and HistogramVec: a
+// lock-free child lookup keyed by the rendered label values, a
+// mutex-guarded insert path, and a hard cardinality cap. At the cap, new
+// label combinations collapse into a catch-all child whose every label is
+// "other", and each such observation bumps an obs_dropped_series_total
+// counter labeled with the family name — cardinality explosions become a
+// visible, bounded signal instead of unbounded memory growth.
+type vecCore struct {
+	d    desc     // family identity; labels field stays empty (children carry them)
+	keys []string // label names, in declaration order
+	max  int      // hard cap on distinct children (the other child is extra)
+
+	children sync.Map // rendered labels -> child Metric
+	mu       sync.Mutex
+	n        int // children count, guarded by mu
+
+	dropped *Counter
+}
+
+func newVecCore(name, help, typ string, keys []string, maxCard int) vecCore {
+	if len(keys) == 0 {
+		panic("obs: vector needs at least one label key")
+	}
+	if maxCard < 1 {
+		panic("obs: vector cardinality cap must be >= 1")
+	}
+	return vecCore{
+		d:    desc{name: name, help: help, typ: typ},
+		keys: append([]string(nil), keys...),
+		max:  maxCard,
+		dropped: NewCounter("obs_dropped_series_total", DroppedSeriesHelp,
+			Labels{"family": name}),
+	}
+}
+
+// renderKey joins label values into the canonical `k1="v1",k2="v2"` form.
+// Missing values render empty; extras are ignored.
+func (v *vecCore) renderKey(values []string) string {
+	var b strings.Builder
+	for i, k := range v.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		if i < len(values) {
+			b.WriteString(escapeLabel(values[i]))
+		}
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// otherKey is renderKey with every value set to "other".
+func (v *vecCore) otherKey() string {
+	vals := make([]string, len(v.keys))
+	for i := range vals {
+		vals[i] = "other"
+	}
+	return v.renderKey(vals)
+}
+
+// lookup returns the child for the rendered key, or (nil, false) when it
+// does not exist yet. Lock-free: one sync.Map read.
+func (v *vecCore) lookup(key string) (any, bool) {
+	return v.children.Load(key)
+}
+
+// insert adds a child under key unless the cap is reached, in which case
+// it returns the catch-all other child (creating it on first overflow)
+// and counts the drop. build constructs the child from its rendered
+// label set.
+func (v *vecCore) insert(key string, build func(labels string) any) any {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children.Load(key); ok { // lost the race to another insert
+		return c
+	}
+	if v.n >= v.max {
+		v.dropped.Inc()
+		ok := v.otherKey()
+		if c, found := v.children.Load(ok); found {
+			return c
+		}
+		c := build(ok)
+		v.children.Store(ok, c)
+		return c
+	}
+	c := build(key)
+	v.children.Store(key, c)
+	v.n++
+	return c
+}
+
+// Len returns the number of distinct children (the other child, once
+// materialized, counts as one more on top of the cap).
+func (v *vecCore) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := v.n
+	if _, ok := v.children.Load(v.otherKey()); ok && n >= v.max {
+		n++
+	}
+	return n
+}
+
+// Dropped returns the number of observations that landed in the other
+// series because the cap was reached.
+func (v *vecCore) Dropped() int64 { return v.dropped.Value() }
+
+func (v *vecCore) droppedMetric() Metric { return v.dropped }
+
+func (v *vecCore) metricDesc() *desc { return &v.d }
+
+// sortedChildren snapshots the children in key order so the exposition is
+// deterministic. Bounded by the cap, so sorting at scrape time is cheap.
+func (v *vecCore) sortedChildren() []Metric {
+	type kv struct {
+		k string
+		m Metric
+	}
+	var all []kv
+	v.children.Range(func(k, val any) bool {
+		all = append(all, kv{k.(string), val.(Metric)})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	ms := make([]Metric, len(all))
+	for i, e := range all {
+		ms[i] = e.m
+	}
+	return ms
+}
+
+// CounterVec is a counter family with label values decided at use time:
+// With(values...) returns the per-series Counter, creating it on first
+// use. Hot paths either cache the returned child or pay one map read per
+// call; the cardinality cap bounds memory no matter what callers feed in.
+type CounterVec struct {
+	vecCore
+}
+
+// NewCounterVec builds a counter vector over the given label keys with a
+// hard cap on distinct label combinations.
+func NewCounterVec(name, help string, keys []string, maxCard int) *CounterVec {
+	return &CounterVec{newVecCore(name, help, "counter", keys, maxCard)}
+}
+
+// With returns the counter for the given label values (positional, in key
+// order), creating it if the cap allows and otherwise returning the
+// catch-all other series.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := v.renderKey(values)
+	if c, ok := v.lookup(key); ok {
+		return c.(*Counter)
+	}
+	return v.insert(key, func(labels string) any {
+		return &Counter{d: desc{name: v.d.name, help: v.d.help, typ: "counter", labels: labels}}
+	}).(*Counter)
+}
+
+// Write renders every child series, sorted by label set.
+func (v *CounterVec) Write(b *bytes.Buffer) {
+	for _, m := range v.sortedChildren() {
+		m.Write(b)
+	}
+}
+
+// HistogramVec is a histogram family with label values decided at use
+// time. All children share the same bucket bounds and unit.
+type HistogramVec struct {
+	vecCore
+	bounds []int64
+	unit   float64
+}
+
+// NewHistogramVec builds a raw-unit histogram vector over the given label
+// keys and bucket bounds, with a hard cap on distinct label combinations.
+func NewHistogramVec(name, help string, keys []string, bounds []int64, maxCard int) *HistogramVec {
+	return newHistogramVec(name, help, keys, bounds, 1, maxCard)
+}
+
+// NewLatencyHistogramVec builds a nanosecond-valued histogram vector
+// rendered in seconds, with DefaultLatencyBounds.
+func NewLatencyHistogramVec(name, help string, keys []string, maxCard int) *HistogramVec {
+	return newHistogramVec(name, help, keys, DefaultLatencyBounds, 1e9, maxCard)
+}
+
+func newHistogramVec(name, help string, keys []string, bounds []int64, unit float64, maxCard int) *HistogramVec {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &HistogramVec{
+		vecCore: newVecCore(name, help, "histogram", keys, maxCard),
+		bounds:  append([]int64(nil), bounds...),
+		unit:    unit,
+	}
+}
+
+// With returns the histogram for the given label values (positional, in
+// key order), creating it if the cap allows and otherwise returning the
+// catch-all other series.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := v.renderKey(values)
+	if c, ok := v.lookup(key); ok {
+		return c.(*Histogram)
+	}
+	return v.insert(key, func(labels string) any {
+		h := &Histogram{
+			d:      desc{name: v.d.name, help: v.d.help, typ: "histogram", labels: labels},
+			bounds: v.bounds,
+			unit:   v.unit,
+		}
+		h.buckets = make([]atomic.Int64, len(v.bounds)+1)
+		h.exemplars = make([]atomic.Pointer[Exemplar], len(v.bounds)+1)
+		return h
+	}).(*Histogram)
+}
+
+// Write renders every child series, sorted by label set.
+func (v *HistogramVec) Write(b *bytes.Buffer) {
+	for _, m := range v.sortedChildren() {
+		m.Write(b)
+	}
+}
+
+// writeOpenMetrics renders every child with its exemplars.
+func (v *HistogramVec) writeOpenMetrics(b *bytes.Buffer) {
+	for _, m := range v.sortedChildren() {
+		m.(*Histogram).writeOpenMetrics(b)
+	}
+}

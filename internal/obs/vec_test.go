@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecBasic(t *testing.T) {
+	v := NewCounterVec("test_requests_total", "help", []string{"network", "verdict"}, 8)
+	v.With("net1", "found").Inc()
+	v.With("net1", "found").Inc()
+	v.With("net2", "unreachable").Add(3)
+
+	if got := v.With("net1", "found").Value(); got != 2 {
+		t.Fatalf("net1/found = %d, want 2", got)
+	}
+	if got := v.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	var b bytes.Buffer
+	v.Write(&b)
+	want := `test_requests_total{network="net1",verdict="found"} 2
+test_requests_total{network="net2",verdict="unreachable"} 3
+`
+	if b.String() != want {
+		t.Fatalf("Write:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestVecCardinalityCap(t *testing.T) {
+	v := NewCounterVec("test_capped_total", "help", []string{"id"}, 3)
+	for i := 0; i < 10; i++ {
+		v.With(fmt.Sprint(i)).Inc()
+	}
+	if got := v.Len(); got != 4 { // 3 real + other
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := v.Dropped(); got != 7 {
+		t.Fatalf("Dropped = %d, want 7", got)
+	}
+	if got := v.With("other").Value(); got != 7 {
+		t.Fatalf("other bucket = %d, want 7", got)
+	}
+	// Existing children keep working at the cap.
+	v.With("0").Inc()
+	if got := v.With("0").Value(); got != 2 {
+		t.Fatalf("existing child after cap = %d, want 2", got)
+	}
+	if got := v.Dropped(); got != 7 {
+		t.Fatalf("Dropped after existing-child write = %d, want 7", got)
+	}
+}
+
+// TestVecLabelStorm hammers a capped vector from many goroutines with a
+// randomized label stream far wider than the cap, under -race in CI:
+// memory must stay bounded (cap + other), every observation must land
+// somewhere, and the overflow counter must account for every drop.
+func TestVecLabelStorm(t *testing.T) {
+	const (
+		cap        = 64
+		workers    = 8
+		perWorker  = 2500
+		labelSpace = 10000
+	)
+	v := NewHistogramVec("test_storm_seconds", "help", []string{"tenant"}, []int64{1, 10, 100}, cap)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				v.With(fmt.Sprintf("t%d", rng.Intn(labelSpace))).Observe(int64(rng.Intn(200)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if got := v.Len(); got > cap+1 {
+		t.Fatalf("Len = %d, want <= %d (cap + other)", got, cap+1)
+	}
+	var total int64
+	v.children.Range(func(_, c any) bool {
+		total += c.(*Histogram).Count()
+		return true
+	})
+	if want := int64(workers * perWorker); total != want {
+		t.Fatalf("observations recorded = %d, want %d (none lost)", total, want)
+	}
+	if v.Dropped() != v.With("other").Count() {
+		t.Fatalf("Dropped = %d but other bucket holds %d", v.Dropped(), v.With("other").Count())
+	}
+	if v.Dropped() == 0 {
+		t.Fatal("storm over 10k labels with cap 64 must drop")
+	}
+}
+
+func TestVecDroppedCounterAutoRegistered(t *testing.T) {
+	reg := NewRegistry()
+	v := NewCounterVec("test_auto_total", "help", []string{"k"}, 1)
+	reg.MustRegister(v)
+	v.With("a").Inc()
+	v.With("b").Inc() // over cap -> other + drop
+
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE obs_dropped_series_total counter",
+		`obs_dropped_series_total{family="test_auto_total"} 1`,
+		`test_auto_total{k="other"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Two capped vecs share the obs_dropped_series_total family.
+	reg.MustRegister(NewCounterVec("test_auto2_total", "help", []string{"k"}, 1))
+	b.Reset()
+	reg.WritePrometheus(&b)
+	if errs := Lint(b.String(), false); errs != nil {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestVecEscapesLabelValues(t *testing.T) {
+	v := NewCounterVec("test_escape_total", "help", []string{"k"}, 4)
+	v.With("a\"b\\c\nd").Inc()
+	var b bytes.Buffer
+	v.Write(&b)
+	want := `test_escape_total{k="a\"b\\c\nd"} 1` + "\n"
+	if b.String() != want {
+		t.Fatalf("Write = %q, want %q", b.String(), want)
+	}
+}
+
+func TestHistogramVecSharesBounds(t *testing.T) {
+	v := NewLatencyHistogramVec("test_lat_seconds", "help", []string{"k"}, 4)
+	h := v.With("a")
+	h.Observe(2_000) // 2 µs
+	if got := h.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+	var b bytes.Buffer
+	v.Write(&b)
+	if !strings.Contains(b.String(), `test_lat_seconds_bucket{k="a",le="2.5e-06"} 1`) {
+		t.Fatalf("unexpected rendering:\n%s", b.String())
+	}
+}
+
+func TestHistogramTotals(t *testing.T) {
+	h := NewHistogram("test_totals", "help", nil, []int64{10, 100, 1000})
+	for _, v := range []int64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	total, above := h.Totals(100)
+	if total != 4 || above != 2 {
+		t.Fatalf("Totals(100) = (%d, %d), want (4, 2)", total, above)
+	}
+	total, above = h.Totals(10)
+	if total != 4 || above != 3 {
+		t.Fatalf("Totals(10) = (%d, %d), want (4, 3)", total, above)
+	}
+	// Threshold inside a bucket: the whole containing bucket counts bad.
+	total, above = h.Totals(60)
+	if total != 4 || above != 3 {
+		t.Fatalf("Totals(60) = (%d, %d), want (4, 3)", total, above)
+	}
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	v := NewCounterVec("bench_total", "help", []string{"network"}, 64)
+	v.With("net1").Inc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("net1").Inc()
+	}
+}
+
+func BenchmarkCounterVecCachedChild(b *testing.B) {
+	v := NewCounterVec("bench_cached_total", "help", []string{"network"}, 64)
+	c := v.With("net1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

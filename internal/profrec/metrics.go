@@ -1,0 +1,27 @@
+package profrec
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the recorder's own counters, making the
+// profile flight recorder observable the same way the trace recorder is:
+// trips taken, trips rate-limited away, ring evictions, capture errors,
+// and the number of snapshots currently held.
+func (r *Recorder) RegisterMetrics(reg *obs.Registry) error {
+	return reg.Register(
+		obs.NewCounterFunc("adhoc_profiles_trips_total",
+			"Profile captures triggered (SLO burns and latency guards).", nil,
+			func() float64 { return float64(r.trips.Load()) }),
+		obs.NewCounterFunc("adhoc_profiles_dropped_total",
+			"Profile trips suppressed by the rate limiter.", nil,
+			func() float64 { return float64(r.dropped.Load()) }),
+		obs.NewCounterFunc("adhoc_profiles_evicted_total",
+			"Profile snapshots evicted from the ring.", nil,
+			func() float64 { return float64(r.evicted.Load()) }),
+		obs.NewCounterFunc("adhoc_profiles_errors_total",
+			"Profile captures that failed (including CPU-profiler contention).", nil,
+			func() float64 { return float64(r.errors.Load()) }),
+		obs.NewGaugeFunc("adhoc_profiles_held",
+			"Profile snapshots currently resident in the ring.", nil,
+			func() float64 { return float64(r.Stats().Held) }),
+	)
+}

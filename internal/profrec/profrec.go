@@ -1,0 +1,206 @@
+// Package profrec is a profile flight recorder: a bounded ring of pprof
+// snapshots captured automatically at the moment something goes wrong —
+// an SLO window starts burning, a latency guard trips — so the profile
+// an operator needs is the one taken DURING the incident, not the one
+// they started by hand ten minutes after it ended. It parallels the
+// trace flight recorder in internal/trace: always armed, bounded memory,
+// queried after the fact.
+//
+// Each trip captures a heap snapshot synchronously and a windowed CPU
+// profile asynchronously. CPU profiles are deltas by construction (they
+// cover exactly the capture window); heap snapshots are full profiles
+// that diff pairwise offline (`go tool pprof -diff_base earlier.pb.gz
+// later.pb.gz`), which is why the ring keeps several — the snapshot from
+// before the incident is the diff base for the one taken during it.
+package profrec
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the recorder.
+type Config struct {
+	// Capacity is the snapshot ring size. Default 16.
+	Capacity int
+
+	// CPUWindow is how long each CPU capture runs. Default 5s.
+	CPUWindow time.Duration
+
+	// MinInterval rate-limits trips: a trip closer than this to the
+	// previous accepted one is counted and dropped, so a flapping SLO
+	// cannot turn the recorder into a profiling loop. Default 30s.
+	MinInterval time.Duration
+
+	// now is a test hook for the rate limiter's clock.
+	now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 16
+	}
+	if c.CPUWindow <= 0 {
+		c.CPUWindow = 5 * time.Second
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = 30 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Info is one snapshot's metadata, as listed by GET /v1/profiles.
+type Info struct {
+	ID     int64     `json:"id"`
+	Kind   string    `json:"kind"` // "heap" or "cpu"
+	Reason string    `json:"reason"`
+	At     time.Time `json:"at"`
+	Bytes  int       `json:"bytes"`
+}
+
+type snapshot struct {
+	info Info
+	data []byte
+}
+
+// Recorder captures and retains profile snapshots. Safe for concurrent
+// use; Trip is cheap when rate-limited.
+type Recorder struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ring     []snapshot // newest appended; trimmed to Capacity
+	lastTrip time.Time
+	nextID   int64
+
+	trips     atomic.Int64 // accepted trips
+	dropped   atomic.Int64 // rate-limited trips
+	evicted   atomic.Int64 // snapshots pushed out of the ring
+	errors    atomic.Int64 // failed captures
+	cpuActive atomic.Bool  // one CPU capture at a time (profiling is global)
+}
+
+// New builds a recorder.
+func New(cfg Config) *Recorder {
+	cfg.fill()
+	return &Recorder{cfg: cfg}
+}
+
+// Trip asks the recorder to capture. It returns false when the trip was
+// rate-limited. The heap snapshot is taken before returning; the CPU
+// capture runs in the background for CPUWindow.
+func (r *Recorder) Trip(reason string) bool {
+	r.mu.Lock()
+	now := r.cfg.now()
+	if !r.lastTrip.IsZero() && now.Sub(r.lastTrip) < r.cfg.MinInterval {
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return false
+	}
+	r.lastTrip = now
+	r.mu.Unlock()
+	r.trips.Add(1)
+
+	r.captureHeap(reason, now)
+	go r.captureCPU(reason)
+	return true
+}
+
+func (r *Recorder) captureHeap(reason string, at time.Time) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		r.errors.Add(1)
+		return
+	}
+	r.keep("heap", reason, at, buf.Bytes())
+}
+
+func (r *Recorder) captureCPU(reason string) {
+	// CPU profiling is process-global: if another capture (ours or an
+	// operator's via /debug/pprof) is running, record the miss and leave
+	// it alone.
+	if !r.cpuActive.CompareAndSwap(false, true) {
+		r.errors.Add(1)
+		return
+	}
+	defer r.cpuActive.Store(false)
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		r.errors.Add(1)
+		return
+	}
+	time.Sleep(r.cfg.CPUWindow)
+	pprof.StopCPUProfile()
+	r.keep("cpu", reason, r.cfg.now(), buf.Bytes())
+}
+
+func (r *Recorder) keep(kind, reason string, at time.Time, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	r.ring = append(r.ring, snapshot{
+		info: Info{ID: r.nextID, Kind: kind, Reason: reason, At: at, Bytes: len(data)},
+		data: data,
+	})
+	if over := len(r.ring) - r.cfg.Capacity; over > 0 {
+		r.ring = append([]snapshot(nil), r.ring[over:]...)
+		r.evicted.Add(int64(over))
+	}
+}
+
+// List returns snapshot metadata, newest first.
+func (r *Recorder) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, 0, len(r.ring))
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		out = append(out, r.ring[i].info)
+	}
+	return out
+}
+
+// Get returns one snapshot's metadata and raw pprof bytes by ID.
+func (r *Recorder) Get(id int64) (Info, []byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		if r.ring[i].info.ID == id {
+			return r.ring[i].info, r.ring[i].data, true
+		}
+	}
+	return Info{}, nil, false
+}
+
+// Stats are the recorder's own counters.
+type Stats struct {
+	Trips   int64 `json:"trips"`
+	Dropped int64 `json:"dropped"`
+	Evicted int64 `json:"evicted"`
+	Errors  int64 `json:"errors"`
+	Held    int64 `json:"held"`
+}
+
+// Stats returns a snapshot of the recorder's counters.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	held := int64(len(r.ring))
+	r.mu.Unlock()
+	return Stats{
+		Trips:   r.trips.Load(),
+		Dropped: r.dropped.Load(),
+		Evicted: r.evicted.Load(),
+		Errors:  r.errors.Load(),
+		Held:    held,
+	}
+}
+
+// Filename suggests a download name for a snapshot.
+func (i Info) Filename() string {
+	return fmt.Sprintf("%s-%d.pb.gz", i.Kind, i.ID)
+}

@@ -1,0 +1,148 @@
+package profrec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func TestTripCapturesHeapAndCPU(t *testing.T) {
+	r := New(Config{Capacity: 8, CPUWindow: 50 * time.Millisecond, MinInterval: time.Millisecond})
+	if !r.Trip("test-burn") {
+		t.Fatal("first trip must be accepted")
+	}
+	// Heap is synchronous.
+	infos := r.List()
+	if len(infos) != 1 || infos[0].Kind != "heap" || infos[0].Reason != "test-burn" {
+		t.Fatalf("after trip: %+v", infos)
+	}
+	if infos[0].Bytes == 0 {
+		t.Fatal("heap snapshot is empty")
+	}
+	// CPU lands asynchronously after its window.
+	waitFor(t, func() bool { return len(r.List()) == 2 })
+	var cpu Info
+	for _, i := range r.List() {
+		if i.Kind == "cpu" {
+			cpu = i
+		}
+	}
+	if cpu.ID == 0 {
+		t.Fatalf("no cpu snapshot: %+v", r.List())
+	}
+	info, data, ok := r.Get(cpu.ID)
+	if !ok || info.Kind != "cpu" || len(data) != info.Bytes {
+		t.Fatalf("Get(%d) = %+v ok=%v len=%d", cpu.ID, info, ok, len(data))
+	}
+	if info.Filename() != "cpu-"+itoa(cpu.ID)+".pb.gz" {
+		t.Fatalf("Filename = %q", info.Filename())
+	}
+}
+
+func itoa(n int64) string {
+	var b bytes.Buffer
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	b.Write(digits)
+	return b.String()
+}
+
+func TestRateLimit(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r := New(Config{Capacity: 8, CPUWindow: time.Millisecond, MinInterval: 30 * time.Second,
+		now: func() time.Time { return now }})
+	if !r.Trip("a") {
+		t.Fatal("first trip rejected")
+	}
+	if r.Trip("b") {
+		t.Fatal("second trip inside MinInterval accepted")
+	}
+	if got := r.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d", got)
+	}
+	now = now.Add(31 * time.Second)
+	if !r.Trip("c") {
+		t.Fatal("trip after MinInterval rejected")
+	}
+	if got := r.Stats().Trips; got != 2 {
+		t.Fatalf("Trips = %d", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r := New(Config{Capacity: 2, CPUWindow: time.Millisecond, MinInterval: time.Nanosecond,
+		now: func() time.Time { now = now.Add(time.Second); return now }})
+	for i := 0; i < 4; i++ {
+		r.captureHeap("fill", now)
+	}
+	if got := len(r.List()); got != 2 {
+		t.Fatalf("ring holds %d, want 2", got)
+	}
+	if got := r.Stats().Evicted; got != 2 {
+		t.Fatalf("Evicted = %d", got)
+	}
+	// Oldest IDs are gone, newest remain.
+	if _, _, ok := r.Get(1); ok {
+		t.Fatal("evicted snapshot still resolvable")
+	}
+	if _, _, ok := r.Get(4); !ok {
+		t.Fatal("newest snapshot lost")
+	}
+}
+
+func TestCPUContention(t *testing.T) {
+	r := New(Config{Capacity: 4, CPUWindow: time.Millisecond, MinInterval: time.Nanosecond})
+	r.cpuActive.Store(true) // simulate a running external capture
+	r.captureCPU("x")
+	if got := r.Stats().Errors; got != 1 {
+		t.Fatalf("Errors = %d", got)
+	}
+	r.cpuActive.Store(false)
+}
+
+func TestMetrics(t *testing.T) {
+	r := New(Config{Capacity: 4, CPUWindow: time.Millisecond})
+	reg := obs.NewRegistry()
+	if err := r.RegisterMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	r.captureHeap("m", time.Now())
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"adhoc_profiles_trips_total 0",
+		"adhoc_profiles_held 1",
+		"adhoc_profiles_dropped_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := obs.Lint(out, false); errs != nil {
+		t.Fatalf("lint: %v", errs)
+	}
+}

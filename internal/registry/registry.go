@@ -121,6 +121,11 @@ type Registry struct {
 	// compileSeconds distributes the cost of actual compiles (not dedup
 	// joiners) — the latency a cold tenant pays and the LRU amortizes.
 	compileSeconds *obs.Histogram
+
+	// vecs, when set, attaches every compiled engine to the process-wide
+	// per-network metric families under its registry ID. Set once at
+	// boot, before traffic (read without synchronization in compile).
+	vecs *engine.Vecs
 }
 
 // New builds an empty registry.
@@ -134,6 +139,10 @@ func New(cfg Config) *Registry {
 			"Latency of tenant network compiles (topology build + degree reduction + flat snapshot).", nil),
 	}
 }
+
+// SetVecs binds the per-network metric families every subsequently
+// compiled engine attaches to. Call once at boot, before traffic.
+func (r *Registry) SetVecs(v *engine.Vecs) { r.vecs = v }
 
 // RegisterMetrics exports the registry's traffic counters, occupancy
 // gauges, compile-latency histogram, and a per-resident-network query
@@ -294,6 +303,9 @@ func (r *Registry) compile(id, key string, spec Spec) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: compile %s: %w", spec.Desc(), err)
 	}
+	// Attach before publication: the engine must carry its per-network
+	// series from its first query.
+	eng.AttachVecs(r.vecs, id)
 	elapsed := time.Since(start)
 	r.compileSeconds.Observe(int64(elapsed))
 	return &Entry{ID: id, Desc: spec.Desc(), Spec: spec, Eng: eng, Pos: pos, CompileTime: elapsed, key: key}, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dynamic"
 	"repro/internal/engine"
@@ -39,6 +40,10 @@ type WorldEntry struct {
 	Eng *engine.Engine
 	// W is the shared evolving world.
 	W *dynamic.World
+	// Routes counts routing queries served over this world; the serving
+	// layer increments it per request and the metric exposition lists it
+	// per resident world.
+	Routes atomic.Int64
 
 	seq int // creation order, for stable listings
 }
@@ -199,5 +204,15 @@ func (ws *Worlds) RegisterMetrics(o *obs.Registry) error {
 			func(s dynamic.Snapshot) float64 { return float64(s.CacheHits) }),
 		perWorld("adhoc_world_recompile_seconds", "Total wall time spent in churn-forced rebuilds per resident world.",
 			func(s dynamic.Snapshot) float64 { return s.RecompileTime.Seconds() }),
+		obs.NewGaugeVecFunc("adhoc_world_routes",
+			"Routing queries served per resident world (drops when the world is deleted, hence a gauge).",
+			func() []obs.Sample {
+				ents := ws.List()
+				out := make([]obs.Sample, len(ents))
+				for i, ent := range ents {
+					out[i] = obs.Sample{Labels: obs.Labels{"world": ent.ID}, Value: float64(ent.Routes.Load())}
+				}
+				return out
+			}),
 	)
 }

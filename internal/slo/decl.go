@@ -1,0 +1,153 @@
+// Package slo turns the repo's theoretically defensible guarantees into
+// evaluated service-level objectives. The paper's Theorem 1 bounds every
+// walk by an O(log n) stretch factor, so "hop_p99 < 4log" is not an
+// aspiration — it is the compiled bound with a safety factor, and the
+// burn-rate machinery below tells an operator, in real time, whether the
+// serving system is honoring it.
+//
+// Objectives are declared as a compact spec string (a flag), bound to
+// sources over the existing metrics (histograms and counters — no second
+// measurement path), and evaluated as multi-window burn rates: an
+// objective is "burning" only when both a short window (reactive) and a
+// long window (de-noised) exceed the burn threshold, the standard
+// two-window page condition.
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Decl is one parsed objective declaration, not yet bound to a metric
+// source. Three value grammars are understood:
+//
+//	route_p99 < 250ms      latency quantile: at most 1% of requests
+//	                       slower than 250ms (budget from the pNN suffix)
+//	hop_p99 < 4log         bound-derived: threshold is 4·n·log2(n) hops,
+//	                       resolved against the compiled network size
+//	wrong_verdicts == 0    zero-tolerance: any bad event burns
+type Decl struct {
+	Name string // metric identity, e.g. "route_p99"
+
+	// Quantile from the _pNN suffix (0.99 for p99); 0 for zero-tolerance
+	// declarations. The error budget is 1-Quantile.
+	Quantile float64
+
+	// Exactly one of the following is set, per the value grammar.
+	Latency   time.Duration // "250ms": raw latency threshold
+	LogFactor float64       // "4log": c in c·n·log2(n)
+	Zero      bool          // "== 0"
+}
+
+// Budget is the allowed bad-event fraction: 1-Quantile for quantile
+// objectives, 0 for zero-tolerance ones.
+func (d Decl) Budget() float64 {
+	if d.Zero {
+		return 0
+	}
+	return 1 - d.Quantile
+}
+
+// String renders the declaration back in spec form.
+func (d Decl) String() string {
+	switch {
+	case d.Zero:
+		return d.Name + " == 0"
+	case d.LogFactor != 0:
+		return fmt.Sprintf("%s < %glog", d.Name, d.LogFactor)
+	default:
+		return fmt.Sprintf("%s < %s", d.Name, d.Latency)
+	}
+}
+
+// Parse reads a comma-separated objective spec, e.g.
+//
+//	route_p99<250ms,dynamic_p99<2s,errors==0,hop_p99<4log,wrong_verdicts==0
+//
+// Whitespace around tokens is ignored. Duplicate names are an error.
+func Parse(spec string) ([]Decl, error) {
+	var decls []Decl
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := parseOne(part)
+		if err != nil {
+			return nil, fmt.Errorf("slo: %q: %w", part, err)
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("slo: duplicate objective %q", d.Name)
+		}
+		seen[d.Name] = true
+		decls = append(decls, d)
+	}
+	return decls, nil
+}
+
+func parseOne(s string) (Decl, error) {
+	if name, val, ok := strings.Cut(s, "=="); ok {
+		name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+		if val != "0" {
+			return Decl{}, fmt.Errorf("only '== 0' is supported, got %q", val)
+		}
+		if name == "" {
+			return Decl{}, fmt.Errorf("missing objective name")
+		}
+		return Decl{Name: name, Zero: true}, nil
+	}
+	name, val, ok := strings.Cut(s, "<")
+	if !ok {
+		return Decl{}, fmt.Errorf("expected 'name < value' or 'name == 0'")
+	}
+	name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+	q, err := quantileSuffix(name)
+	if err != nil {
+		return Decl{}, err
+	}
+	d := Decl{Name: name, Quantile: q}
+	if factor, ok := strings.CutSuffix(val, "log"); ok {
+		f, err := strconv.ParseFloat(strings.TrimSpace(factor), 64)
+		if err != nil || f <= 0 {
+			return Decl{}, fmt.Errorf("bad log factor %q", factor)
+		}
+		d.LogFactor = f
+		return d, nil
+	}
+	dur, err := time.ParseDuration(val)
+	if err != nil || dur <= 0 {
+		return Decl{}, fmt.Errorf("bad threshold %q (want a duration like 250ms or a log factor like 4log)", val)
+	}
+	d.Latency = dur
+	return d, nil
+}
+
+// quantileSuffix extracts the declared quantile from a _pNN name suffix:
+// _p99 -> 0.99, _p90 -> 0.9, _p999 -> 0.999.
+func quantileSuffix(name string) (float64, error) {
+	i := strings.LastIndex(name, "_p")
+	if i < 0 {
+		return 0, fmt.Errorf("threshold objective %q needs a _pNN quantile suffix", name)
+	}
+	digits := name[i+2:]
+	if digits == "" {
+		return 0, fmt.Errorf("empty quantile in %q", name)
+	}
+	n, err := strconv.ParseUint(digits, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad quantile suffix in %q", name)
+	}
+	q := float64(n)
+	div := 100.0
+	for q/div >= 1 {
+		div *= 10
+	}
+	q /= div
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("quantile %q out of (0,1)", digits)
+	}
+	return q, nil
+}

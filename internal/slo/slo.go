@@ -1,0 +1,348 @@
+package slo
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Source supplies an objective's event counts: total events seen and how
+// many were bad (over threshold, errored, wrong). Implementations read
+// the metrics the process already maintains — the SLO layer adds no
+// second measurement path, so the numbers an operator alerts on are the
+// numbers the scrape shows.
+type Source interface {
+	Totals() (total, bad int64)
+}
+
+// SourceFunc adapts a closure to Source.
+type SourceFunc func() (total, bad int64)
+
+// Totals calls f.
+func (f SourceFunc) Totals() (total, bad int64) { return f() }
+
+// HistogramSource derives bad events from observations above a raw-unit
+// threshold in an existing histogram (bucket-resolved; see
+// obs.Histogram.Totals).
+func HistogramSource(h *obs.Histogram, threshold int64) Source {
+	return SourceFunc(func() (int64, int64) { return h.Totals(threshold) })
+}
+
+// Objective is one bound, evaluatable SLO.
+type Objective struct {
+	Decl Decl
+
+	// Threshold is the resolved raw threshold in the source's unit —
+	// nanoseconds for latency objectives, hops for bound-derived ones, 0
+	// for zero-tolerance. Informational; the Source already encodes it.
+	Threshold float64
+
+	// Unit names Threshold's unit in reports ("s" rendered from ns,
+	// "hops", "").
+	Unit string
+
+	// ClientEvaluated marks objectives the server declares but cannot
+	// measure (wrong_verdicts: only a client replaying walks against a
+	// reference can see a wrong verdict). They are published in reports
+	// for clients (loadgen -slo) to enforce and never burn server-side.
+	ClientEvaluated bool
+
+	Source Source // nil iff ClientEvaluated
+}
+
+// Windows are the burn evaluation windows: short reacts, long de-noises.
+const (
+	ShortWindow = 5 * time.Minute
+	LongWindow  = time.Hour
+)
+
+// snap is one objective's cumulative counters at a tick.
+type snap struct {
+	at         time.Time
+	total, bad int64
+}
+
+type objState struct {
+	obj     Objective
+	ring    []snap
+	burning bool
+}
+
+// Evaluator tracks objectives and computes multi-window burn rates from
+// periodic snapshots of their sources. Tick is driven either by a
+// background ticker (production) or directly with a synthetic clock
+// (tests); Report both serves GET /v1/slo and backs the slo_* metrics.
+type Evaluator struct {
+	// BurnThreshold is the burn-rate level at which a window counts as
+	// burning (default 1.0: the error budget is being spent exactly as
+	// fast as it accrues).
+	BurnThreshold float64
+
+	// OnBurn, when set, fires once per transition from healthy to burning
+	// (both windows over threshold), synchronously from Tick. The profile
+	// flight recorder hooks here.
+	OnBurn func(name string)
+
+	mu       sync.Mutex
+	objs     []*objState
+	lastTick time.Time
+	ticks    int64
+}
+
+// NewEvaluator builds an evaluator over the given objectives.
+func NewEvaluator(objs ...Objective) *Evaluator {
+	e := &Evaluator{BurnThreshold: 1}
+	for _, o := range objs {
+		e.objs = append(e.objs, &objState{obj: o})
+	}
+	return e
+}
+
+// minTickGap bounds ring growth when Tick is also driven on demand by
+// report requests.
+const minTickGap = time.Second
+
+// Tick snapshots every objective's source at the given time and
+// re-evaluates burn state. Snapshots closer than a second to the previous
+// one are skipped (scrape-driven ticks); the ring is pruned past the long
+// window.
+func (e *Evaluator) Tick(now time.Time) {
+	e.mu.Lock()
+	var fired []string
+	if e.lastTick.IsZero() || now.Sub(e.lastTick) >= minTickGap {
+		e.lastTick = now
+		e.ticks++
+		for _, st := range e.objs {
+			if st.obj.Source == nil {
+				continue
+			}
+			total, bad := st.obj.Source.Totals()
+			st.ring = append(st.ring, snap{at: now, total: total, bad: bad})
+			// Prune anything older than the long window plus one slot.
+			cut := 0
+			for cut < len(st.ring)-1 && now.Sub(st.ring[cut+1].at) > LongWindow {
+				cut++
+			}
+			st.ring = st.ring[cut:]
+
+			burning := e.windowBurn(st, now, ShortWindow) >= e.BurnThreshold &&
+				e.windowBurn(st, now, LongWindow) >= e.BurnThreshold
+			if burning && !st.burning {
+				fired = append(fired, st.obj.Decl.Name)
+			}
+			st.burning = burning
+		}
+	}
+	cb := e.OnBurn
+	e.mu.Unlock()
+	if cb != nil {
+		for _, name := range fired {
+			cb(name)
+		}
+	}
+}
+
+// windowBurn computes the burn rate over the trailing window ending at
+// now: the fraction of events in the window that were bad, divided by the
+// error budget. Zero-budget objectives burn infinitely on any bad event.
+// Called with e.mu held.
+func (e *Evaluator) windowBurn(st *objState, now time.Time, w time.Duration) float64 {
+	totalD, badD := e.windowDeltas(st, now, w)
+	if totalD <= 0 {
+		return 0
+	}
+	budget := st.obj.Decl.Budget()
+	if budget == 0 {
+		if badD > 0 {
+			return maxBurn
+		}
+		return 0
+	}
+	return (float64(badD) / float64(totalD)) / budget
+}
+
+// maxBurn stands in for an infinite burn rate (zero-budget objective with
+// bad events) so reports stay JSON-encodable.
+const maxBurn = 1e9
+
+// windowDeltas returns the event deltas across the trailing window: the
+// difference between the newest snapshot and the oldest one still inside
+// the window (or the window's start boundary, interpolation-free).
+func (e *Evaluator) windowDeltas(st *objState, now time.Time, w time.Duration) (total, bad int64) {
+	if len(st.ring) < 2 {
+		return 0, 0
+	}
+	newest := st.ring[len(st.ring)-1]
+	start := now.Add(-w)
+	oldest := st.ring[0]
+	for _, s := range st.ring {
+		if s.at.After(start) {
+			break
+		}
+		oldest = s
+	}
+	return newest.total - oldest.total, newest.bad - oldest.bad
+}
+
+// WindowReport is one window's burn numbers for one objective.
+type WindowReport struct {
+	Window   string  `json:"window"`
+	BurnRate float64 `json:"burn_rate"`
+	Total    int64   `json:"total"`
+	Bad      int64   `json:"bad"`
+}
+
+// ObjectiveReport is the externally served state of one objective —
+// everything a client (an operator, or loadgen -slo) needs to understand
+// and, for client-evaluated objectives, enforce it.
+type ObjectiveReport struct {
+	Name            string         `json:"name"`
+	Objective       string         `json:"objective"` // spec form, e.g. "route_p99 < 250ms"
+	Quantile        float64        `json:"quantile,omitempty"`
+	Budget          float64        `json:"budget"`
+	Threshold       float64        `json:"threshold,omitempty"` // in Unit
+	Unit            string         `json:"unit,omitempty"`
+	ClientEvaluated bool           `json:"client_evaluated,omitempty"`
+	Burning         bool           `json:"burning"`
+	Windows         []WindowReport `json:"windows,omitempty"`
+}
+
+// Report returns the current state of every objective. It first applies
+// an on-demand Tick at now, so a bare GET /v1/slo in a test (or a
+// freshly booted daemon) reflects the sources without waiting for the
+// background ticker.
+func (e *Evaluator) Report(now time.Time) []ObjectiveReport {
+	e.Tick(now)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ObjectiveReport, 0, len(e.objs))
+	for _, st := range e.objs {
+		r := ObjectiveReport{
+			Name:            st.obj.Decl.Name,
+			Objective:       st.obj.Decl.String(),
+			Quantile:        st.obj.Decl.Quantile,
+			Budget:          st.obj.Decl.Budget(),
+			Threshold:       st.obj.Threshold,
+			Unit:            st.obj.Unit,
+			ClientEvaluated: st.obj.ClientEvaluated,
+			Burning:         st.burning,
+		}
+		if st.obj.Source != nil {
+			for _, w := range []struct {
+				d    time.Duration
+				name string
+			}{{ShortWindow, "5m"}, {LongWindow, "1h"}} {
+				total, bad := e.windowDeltas(st, now, w.d)
+				r.Windows = append(r.Windows, WindowReport{
+					Window:   w.name,
+					BurnRate: e.windowBurn(st, now, w.d),
+					Total:    total,
+					Bad:      bad,
+				})
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Burning reports whether the named objective is currently burning.
+func (e *Evaluator) Burning(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.objs {
+		if st.obj.Decl.Name == name {
+			return st.burning
+		}
+	}
+	return false
+}
+
+// RegisterMetrics exposes the evaluator's own state as metrics: per-
+// objective/per-window burn rates, a burning flag, and a tick counter.
+// Collect-time funcs — the scrape reads the same state /v1/slo serves.
+func (e *Evaluator) RegisterMetrics(reg *obs.Registry) error {
+	burn := obs.NewGaugeVecFunc("adhoc_slo_burn_rate",
+		"Error-budget burn rate per objective and window (1 = spending exactly the budget).",
+		func() []obs.Sample {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			now := e.lastTick
+			var out []obs.Sample
+			for _, st := range e.objs {
+				if st.obj.Source == nil {
+					continue
+				}
+				for _, w := range []struct {
+					d    time.Duration
+					name string
+				}{{ShortWindow, "5m"}, {LongWindow, "1h"}} {
+					out = append(out, obs.Sample{
+						Labels: obs.Labels{"objective": st.obj.Decl.Name, "window": w.name},
+						Value:  e.windowBurn(st, now, w.d),
+					})
+				}
+			}
+			return out
+		})
+	burning := obs.NewGaugeVecFunc("adhoc_slo_burning",
+		"1 while the objective burns in both windows, else 0.",
+		func() []obs.Sample {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			var out []obs.Sample
+			for _, st := range e.objs {
+				if st.obj.Source == nil {
+					continue
+				}
+				v := 0.0
+				if st.burning {
+					v = 1
+				}
+				out = append(out, obs.Sample{
+					Labels: obs.Labels{"objective": st.obj.Decl.Name},
+					Value:  v,
+				})
+			}
+			return out
+		})
+	ticks := obs.NewCounterFunc("adhoc_slo_ticks_total",
+		"SLO evaluation ticks taken.", nil,
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.ticks)
+		})
+	return reg.Register(burn, burning, ticks)
+}
+
+// Run drives Tick on the given interval until stop is closed — the
+// production ticker. Use interval 0 for a 10s default.
+func (e *Evaluator) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			e.Tick(now)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// HopThreshold resolves a bound-derived declaration against the compiled
+// network: c·n·log2(n) hops, the paper's Theorem 1 walk-length bound with
+// the declared safety factor. n is the reduced node count the walks
+// actually traverse; n < 2 degenerates to c.
+func HopThreshold(factor float64, n int) float64 {
+	if n < 2 {
+		return factor
+	}
+	return factor * float64(n) * math.Log2(float64(n))
+}

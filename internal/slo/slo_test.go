@@ -1,0 +1,261 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestParse(t *testing.T) {
+	decls, err := Parse("route_p99<250ms, dynamic_p99 < 2s,errors==0,hop_p99<4log,wrong_verdicts == 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 5 {
+		t.Fatalf("got %d decls", len(decls))
+	}
+	d := decls[0]
+	if d.Name != "route_p99" || d.Quantile != 0.99 || d.Latency != 250*time.Millisecond {
+		t.Fatalf("route decl = %+v", d)
+	}
+	if got := d.Budget(); got < 0.0099 || got > 0.0101 {
+		t.Fatalf("budget = %v, want ~0.01", got)
+	}
+	if !decls[2].Zero || decls[2].Budget() != 0 {
+		t.Fatalf("errors decl = %+v", decls[2])
+	}
+	if decls[3].LogFactor != 4 {
+		t.Fatalf("hop decl = %+v", decls[3])
+	}
+	if decls[0].String() != "route_p99 < 250ms" || decls[3].String() != "hop_p99 < 4log" {
+		t.Fatalf("String round-trip: %q / %q", decls[0].String(), decls[3].String())
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"route_p99<250ms,route_p99<1s", // duplicate
+		"route<250ms",                  // no quantile suffix
+		"errors==1",                    // only zero supported
+		"route_p99<banana",
+		"route_p99<-3ms",
+		"hop_p99<0log",
+		"route_p99",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Fatalf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestQuantileSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want float64
+	}{
+		{"x_p99", 0.99}, {"x_p90", 0.9}, {"x_p999", 0.999}, {"x_p50", 0.5},
+	} {
+		got, err := quantileSuffix(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("quantileSuffix(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+	}
+}
+
+// fakeSource is a hand-cranked cumulative counter pair.
+type fakeSource struct{ total, bad int64 }
+
+func (f *fakeSource) Totals() (int64, int64) { return f.total, f.bad }
+
+func at(min int) time.Time {
+	return time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute)
+}
+
+func TestBurnRateWindows(t *testing.T) {
+	src := &fakeSource{}
+	decl, err := Parse("route_p99<250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(Objective{Decl: decl[0], Source: src})
+	var fired []string
+	e.OnBurn = func(name string) { fired = append(fired, name) }
+
+	// Minute 0..9: healthy traffic, exactly at budget would be 1 bad per
+	// 100; give it none.
+	for m := 0; m < 10; m++ {
+		src.total += 100
+		e.Tick(at(m))
+	}
+	if e.Burning("route_p99") {
+		t.Fatal("healthy traffic must not burn")
+	}
+
+	// Minute 10..15: 10% of requests go bad — 10x the 1% budget.
+	for m := 10; m < 16; m++ {
+		src.total += 100
+		src.bad += 10
+		e.Tick(at(m))
+	}
+	if !e.Burning("route_p99") {
+		t.Fatal("10x budget burn must trip both windows")
+	}
+	if len(fired) != 1 || fired[0] != "route_p99" {
+		t.Fatalf("OnBurn fired %v, want one route_p99", fired)
+	}
+
+	rep := e.Report(at(15))
+	if len(rep) != 1 || !rep[0].Burning {
+		t.Fatalf("report = %+v", rep)
+	}
+	var short WindowReport
+	for _, w := range rep[0].Windows {
+		if w.Window == "5m" {
+			short = w
+		}
+	}
+	// Trailing 5m of pure 10% badness: burn rate 10.
+	if short.BurnRate < 9 || short.BurnRate > 11 {
+		t.Fatalf("5m burn = %+v, want ~10", short)
+	}
+
+	// Recovery: the short window clears first, and the AND condition
+	// stops the page even while the 1h window still remembers the spill.
+	for m := 16; m < 26; m++ {
+		src.total += 100
+		e.Tick(at(m))
+	}
+	if e.Burning("route_p99") {
+		t.Fatal("clean 10 minutes must clear the short window")
+	}
+	if len(fired) != 1 {
+		t.Fatalf("OnBurn must fire only on the transition, got %v", fired)
+	}
+}
+
+func TestZeroToleranceObjective(t *testing.T) {
+	src := &fakeSource{}
+	decls, err := Parse("errors==0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(Objective{Decl: decls[0], Source: src})
+	src.total = 50
+	e.Tick(at(0))
+	src.total = 100
+	e.Tick(at(1))
+	if e.Burning("errors") {
+		t.Fatal("no bad events yet")
+	}
+	src.total, src.bad = 150, 1
+	e.Tick(at(2))
+	if !e.Burning("errors") {
+		t.Fatal("one bad event must burn a zero-budget objective")
+	}
+	rep := e.Report(at(2))
+	if rep[0].Windows[0].BurnRate != maxBurn {
+		t.Fatalf("zero-budget burn = %v", rep[0].Windows[0].BurnRate)
+	}
+}
+
+func TestClientEvaluatedObjective(t *testing.T) {
+	decls, err := Parse("wrong_verdicts==0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(Objective{Decl: decls[0], ClientEvaluated: true})
+	e.Tick(at(0))
+	rep := e.Report(at(1))
+	if !rep[0].ClientEvaluated || rep[0].Burning || rep[0].Windows != nil {
+		t.Fatalf("client-evaluated report = %+v", rep[0])
+	}
+	// The report must round-trip as JSON for loadgen.
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"client_evaluated":true`) {
+		t.Fatalf("json = %s", b)
+	}
+}
+
+func TestHistogramSource(t *testing.T) {
+	h := obs.NewLatencyHistogram("test_route_seconds", "help", nil)
+	for i := 0; i < 99; i++ {
+		h.Observe(int64(time.Millisecond))
+	}
+	h.Observe(int64(time.Second))
+	src := HistogramSource(h, int64(250*time.Millisecond))
+	total, bad := src.Totals()
+	if total != 100 || bad != 1 {
+		t.Fatalf("Totals = (%d, %d), want (100, 1)", total, bad)
+	}
+}
+
+func TestTickGapAndPrune(t *testing.T) {
+	src := &fakeSource{}
+	decls, _ := Parse("x_p99<1ms")
+	e := NewEvaluator(Objective{Decl: decls[0], Source: src})
+	base := at(0)
+	// Sub-second ticks collapse into one snapshot.
+	for i := 0; i < 10; i++ {
+		src.total++
+		e.Tick(base.Add(time.Duration(i*100) * time.Millisecond))
+	}
+	if n := len(e.objs[0].ring); n != 1 {
+		t.Fatalf("ring after sub-second ticks = %d, want 1", n)
+	}
+	// Two hours of minutely ticks prune to roughly one long window.
+	for m := 1; m <= 120; m++ {
+		src.total++
+		e.Tick(base.Add(time.Duration(m) * time.Minute))
+	}
+	if n := len(e.objs[0].ring); n > 63 {
+		t.Fatalf("ring after 2h = %d, want pruned to ~1h of snapshots", n)
+	}
+}
+
+func TestHopThreshold(t *testing.T) {
+	if got := HopThreshold(4, 1); got != 4 {
+		t.Fatalf("degenerate n: %v", got)
+	}
+	if got := HopThreshold(2, 16); got != 2*16*4 {
+		t.Fatalf("HopThreshold(2, 16) = %v, want 128", got)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	src := &fakeSource{total: 100, bad: 1}
+	decls, _ := Parse("route_p99<250ms,wrong_verdicts==0")
+	e := NewEvaluator(
+		Objective{Decl: decls[0], Source: src},
+		Objective{Decl: decls[1], ClientEvaluated: true},
+	)
+	reg := obs.NewRegistry()
+	if err := e.RegisterMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	e.Tick(at(0))
+	src.total = 200
+	e.Tick(at(1))
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`adhoc_slo_burn_rate{objective="route_p99",window="5m"}`,
+		`adhoc_slo_burn_rate{objective="route_p99",window="1h"}`,
+		`adhoc_slo_burning{objective="route_p99"} 0`,
+		"adhoc_slo_ticks_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := obs.Lint(out, false); errs != nil {
+		t.Fatalf("lint: %v", errs)
+	}
+}

@@ -8,9 +8,10 @@ import "sync/atomic"
 // writers. Finished traces are immutable, so a published pointer is
 // always safe to read.
 type Recorder struct {
-	slots  []atomic.Pointer[Trace]
-	cursor atomic.Uint64
-	kept   atomic.Int64
+	slots   []atomic.Pointer[Trace]
+	cursor  atomic.Uint64
+	kept    atomic.Int64
+	evicted atomic.Int64
 }
 
 // NewRecorder builds a recorder retaining the last capacity traces
@@ -28,12 +29,17 @@ func (r *Recorder) Keep(tr *Trace) {
 		return
 	}
 	i := (r.cursor.Add(1) - 1) % uint64(len(r.slots))
-	r.slots[i].Store(tr)
+	if old := r.slots[i].Swap(tr); old != nil {
+		r.evicted.Add(1)
+	}
 	r.kept.Add(1)
 }
 
 // Kept reports how many traces were ever retained (including evicted).
 func (r *Recorder) Kept() int64 { return r.kept.Load() }
+
+// Evicted reports how many retained traces the ring has overwritten.
+func (r *Recorder) Evicted() int64 { return r.evicted.Load() }
 
 // Capacity reports the ring size.
 func (r *Recorder) Capacity() int { return len(r.slots) }
