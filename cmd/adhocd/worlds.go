@@ -28,17 +28,21 @@ type worldCreateRequest struct {
 // engine's one-off compile, recompile_ms the cumulative churn-forced
 // rebuild time this world has paid since.
 type worldInfo struct {
-	ID          string  `json:"id"`
-	NetworkID   string  `json:"network_id,omitempty"`
-	Desc        string  `json:"desc"`
-	Epoch       int     `json:"epoch"`
-	Version     uint64  `json:"version"`
-	Nodes       int     `json:"nodes"`
-	Links       int     `json:"links"`
-	Recompiles  int64   `json:"recompiles"`
-	CacheHits   int64   `json:"compile_cache_hits"`
-	CompileMS   float64 `json:"compile_ms"`
-	RecompileMS float64 `json:"recompile_ms"`
+	ID              string  `json:"id"`
+	NetworkID       string  `json:"network_id,omitempty"`
+	Desc            string  `json:"desc"`
+	Epoch           int     `json:"epoch"`
+	Version         uint64  `json:"version"`
+	Nodes           int     `json:"nodes"`
+	Links           int     `json:"links"`
+	Recompiles      int64   `json:"recompiles"`
+	DeltaRecompiles int64   `json:"delta_recompiles"`
+	FullRecompiles  int64   `json:"full_recompiles"`
+	CacheHits       int64   `json:"compile_cache_hits"`
+	CompileMS       float64 `json:"compile_ms"`
+	RecompileMS     float64 `json:"recompile_ms"`
+	DeltaMS         float64 `json:"delta_recompile_ms"`
+	FullMS          float64 `json:"full_recompile_ms"`
 }
 
 func worldInfoOf(ent *registry.WorldEntry) worldInfo {
@@ -46,17 +50,21 @@ func worldInfoOf(ent *registry.WorldEntry) worldInfo {
 	// epoch's clock with another epoch's link count.
 	snap := ent.W.Snapshot()
 	return worldInfo{
-		ID:          ent.ID,
-		NetworkID:   ent.NetworkID,
-		Desc:        ent.Desc,
-		Epoch:       snap.Epoch,
-		Version:     snap.Version,
-		Nodes:       snap.Nodes,
-		Links:       snap.Links,
-		Recompiles:  snap.Recompiles,
-		CacheHits:   snap.CacheHits,
-		CompileMS:   float64(ent.Eng.CompileDuration()) / float64(time.Millisecond),
-		RecompileMS: float64(snap.RecompileTime) / float64(time.Millisecond),
+		ID:              ent.ID,
+		NetworkID:       ent.NetworkID,
+		Desc:            ent.Desc,
+		Epoch:           snap.Epoch,
+		Version:         snap.Version,
+		Nodes:           snap.Nodes,
+		Links:           snap.Links,
+		Recompiles:      snap.Recompiles,
+		DeltaRecompiles: snap.DeltaRecompiles,
+		FullRecompiles:  snap.FullRecompiles,
+		CacheHits:       snap.CacheHits,
+		CompileMS:       float64(ent.Eng.CompileDuration()) / float64(time.Millisecond),
+		RecompileMS:     float64(snap.RecompileTime) / float64(time.Millisecond),
+		DeltaMS:         float64(snap.DeltaRecompileTime) / float64(time.Millisecond),
+		FullMS:          float64(snap.FullRecompileTime) / float64(time.Millisecond),
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -67,9 +68,28 @@ func run(args []string, out io.Writer) error {
 		perEpoch = fs.Int("hops-per-epoch", 32, "message hops between epochs")
 		quick    = fs.Bool("quick", false, "tiny sweep for smoke runs")
 		csv      = fs.Bool("csv", false, "emit CSV instead of Markdown")
+		nodesF   = fs.String("nodes", "", "comma-separated world sizes: run the delta-vs-full recompile scaling sweep instead of the churn sweep")
+		scEpochs = fs.Int("scale-epochs", 30, "churned epochs per world size in the -nodes sweep")
+		diff     = fs.Float64("diff", 8, "target topology diff (edge events per epoch) in the -nodes sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nodesF != "" {
+		sizes, err := parseInts(*nodesF)
+		if err != nil {
+			return fmt.Errorf("-nodes: %w", err)
+		}
+		table, err := scaleSweep(sizes, *scEpochs, *diff, *seed)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(out, table.CSV())
+		} else {
+			fmt.Fprint(out, table.Markdown())
+		}
+		return nil
 	}
 	cfg := sweepConfig{
 		n: *n, radius: *radius, genSeed: *genSeed, seed: *seed,
@@ -115,6 +135,127 @@ func parseFloats(s string) ([]float64, error) {
 		return nil, errors.New("empty list")
 	}
 	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if v < 4 {
+			return nil, fmt.Errorf("world size %d too small", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty list")
+	}
+	return out, nil
+}
+
+// scaleStats is one -nodes sweep cell: a torus world of ~n nodes churned
+// for a fixed number of epochs under a size-independent diff rate, with
+// identical twin worlds compiled through the delta path and through forced
+// full rebuilds.
+type scaleStats struct {
+	nodes, links  int
+	epochs        int
+	meanDiff      float64 // journaled edge events per recompiled epoch
+	deltaRebuilds int64
+	totalRebuilds int64
+	deltaMeanUS   float64 // mean delta-path recompile, µs
+	fullMeanUS    float64 // mean full-rebuild recompile, µs
+}
+
+// scaleCell churns twin worlds of ~n nodes for the given epochs and
+// measures recompile cost on each compile path. The churn rate is scaled
+// so the per-epoch diff stays near diffTarget edge events regardless of
+// world size — the point of the sweep is that delta cost tracks the diff,
+// not the world.
+func scaleCell(n, epochs int, diffTarget float64, seed uint64) (scaleStats, error) {
+	side := int(math.Sqrt(float64(n)))
+	base := gen.Torus(side, side)
+	links := base.NumEdges()
+	sched := func() dynamic.Schedule {
+		return &dynamic.EdgeChurn{
+			Seed:    seed,
+			PDrop:   diffTarget / 2 / float64(links),
+			AddRate: diffTarget / 2,
+		}
+	}
+	wd := dynamic.NewWorld(base, sched())
+	wf := dynamic.NewWorld(base, sched())
+	wf.SetDeltaCompilation(false)
+	st := scaleStats{nodes: side * side, links: links, epochs: epochs}
+	diffSum := 0
+	for e := 0; e < epochs; e++ {
+		if err := wd.Advance(dynamic.Probe{}); err != nil {
+			return st, err
+		}
+		if err := wf.Advance(dynamic.Probe{}); err != nil {
+			return st, err
+		}
+		if j := wd.Graph().Journal(); j != nil {
+			diffSum += j.Len()
+		}
+		if _, _, err := wd.Compiled(); err != nil {
+			return st, err
+		}
+		if _, _, err := wf.Compiled(); err != nil {
+			return st, err
+		}
+	}
+	sd, sf := wd.Snapshot(), wf.Snapshot()
+	st.meanDiff = float64(diffSum) / float64(epochs)
+	st.deltaRebuilds, st.totalRebuilds = sd.DeltaRecompiles, sd.Recompiles
+	if sd.DeltaRecompiles > 0 {
+		st.deltaMeanUS = float64(sd.DeltaRecompileTime.Microseconds()) / float64(sd.DeltaRecompiles)
+	}
+	if sf.FullRecompiles > 0 {
+		st.fullMeanUS = float64(sf.FullRecompileTime.Microseconds()) / float64(sf.FullRecompiles)
+	}
+	return st, nil
+}
+
+// scaleSweep runs scaleCell per requested world size and renders the
+// recompile-cost scaling table.
+func scaleSweep(sizes []int, epochs int, diffTarget float64, seed uint64) (*exp.Table, error) {
+	t := &exp.Table{
+		ID:     "SCALE",
+		Title:  "epoch recompile cost vs world size at fixed topology diff (delta vs full path)",
+		Anchor: "compile pipeline: O(diff) journal/delta recompiles vs O(graph) full reductions",
+		Columns: []string{"nodes", "links", "epochs", "mean diff", "delta path",
+			"delta µs", "full µs", "speedup"},
+	}
+	for _, n := range sizes {
+		st, err := scaleCell(n, epochs, diffTarget, seed)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", n, err)
+		}
+		speedup := "n/a"
+		if st.deltaMeanUS > 0 {
+			speedup = fmt.Sprintf("%.1f×", st.fullMeanUS/st.deltaMeanUS)
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(st.nodes),
+			strconv.Itoa(st.links),
+			strconv.Itoa(st.epochs),
+			fmt.Sprintf("%.1f", st.meanDiff),
+			fmt.Sprintf("%d/%d", st.deltaRebuilds, st.totalRebuilds),
+			fmt.Sprintf("%.0f", st.deltaMeanUS),
+			fmt.Sprintf("%.0f", st.fullMeanUS),
+			speedup,
+		})
+	}
+	t.AddNote("Twin worlds run the identical schedule; one compiles via the journal/delta path, the other is forced through full rebuilds.")
+	t.AddNote("Churn probability is scaled inversely with link count so the per-epoch diff stays flat while the world grows.")
+	return t, nil
 }
 
 // sweep runs the full churn × speed grid and renders one table.

@@ -1,0 +1,270 @@
+package degred
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// slotRef names a gadget node independently of its ID: the original it
+// simulates plus its position in that original's cycle order.
+type slotRef struct {
+	orig graph.NodeID
+	slot int
+}
+
+// signature renders the reduced topology in ID-free form: for every
+// (original, slot, port) triple, the (original, slot, port) triple on the
+// far side. Two reductions of the same graph are port-preservingly
+// isomorphic iff their signatures are equal, which is exactly the parity
+// ApplyDelta promises against a fresh Reduce.
+func signature(t *testing.T, r *Reduced) string {
+	t.Helper()
+	f := r.Flat()
+	if f == nil {
+		t.Fatal("reduction has no snapshot")
+	}
+	ref := make(map[graph.NodeID]slotRef, f.NumNodes())
+	for _, v := range r.origIDs {
+		for j, gid := range r.Gadget(v) {
+			ref[gid] = slotRef{orig: v, slot: j}
+		}
+	}
+	if len(ref) != f.NumNodes() {
+		t.Fatalf("slot map covers %d of %d gadgets", len(ref), f.NumNodes())
+	}
+	lines := make([]string, 0, 3*f.NumNodes())
+	for i := 0; i < f.NumNodes(); i++ {
+		a := ref[graph.NodeID(i)]
+		for p := int32(0); p < 3; p++ {
+			h := f.Half(int32(i), p)
+			b := ref[graph.NodeID(h.To)]
+			lines = append(lines, fmt.Sprintf("%d.%d:%d->%d.%d:%d", a.orig, a.slot, p, b.orig, b.slot, h.Port))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// checkParity asserts that got (a delta compile) is indistinguishable from
+// a fresh Reduce of g: structure, component index, and validity.
+func checkParity(t *testing.T, g *graph.Graph, got *Reduced) {
+	t.Helper()
+	want, err := Reduce(g)
+	if err != nil {
+		t.Fatalf("reference Reduce: %v", err)
+	}
+	if gs, ws := signature(t, got), signature(t, want); gs != ws {
+		t.Fatalf("delta and full reductions differ structurally:\ndelta:\n%s\nfull:\n%s", gs, ws)
+	}
+	gf, wf := got.Flat(), want.Flat()
+	if err := gf.CheckConsistent(); err != nil {
+		t.Fatalf("delta snapshot inconsistent: %v", err)
+	}
+	gc, wc := gf.Components(), wf.Components()
+	if gc.Count() != wc.Count() {
+		t.Fatalf("component count: delta %d, full %d", gc.Count(), wc.Count())
+	}
+	for _, v := range got.origIDs {
+		ge, _ := got.Entry(v)
+		we, _ := want.Entry(v)
+		gi, _ := gf.Index(ge)
+		wi, _ := wf.Index(we)
+		if gc.Of(gi) != wc.Of(wi) {
+			t.Fatalf("node %d: delta component %d, full component %d", v, gc.Of(gi), wc.Of(wi))
+		}
+	}
+	for id := int32(0); id < int32(gc.Count()); id++ {
+		if gc.Size(id) != wc.Size(id) {
+			t.Fatalf("component %d: delta size %d, full size %d", id, gc.Size(id), wc.Size(id))
+		}
+	}
+	mg := got.Graph()
+	if mg == nil {
+		t.Fatal("delta reduction failed to materialize a graph")
+	}
+	if err := mg.Validate(); err != nil {
+		t.Fatalf("materialized graph invalid: %v", err)
+	}
+	if !mg.IsRegular(3) {
+		t.Fatal("materialized graph is not 3-regular")
+	}
+}
+
+// seedGraph builds a graph on n nodes with roughly e random edges.
+func seedGraph(t *testing.T, src *prng.Source, n, e int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(graph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < e; i++ {
+		u, v := graph.NodeID(src.Intn(n)), graph.NodeID(src.Intn(n))
+		if _, _, err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// mutateOnce applies one random mutation, biased to exercise adds, removes,
+// self-loops, and parallel edges.
+func mutateOnce(t *testing.T, g *graph.Graph, src *prng.Source, n int) {
+	t.Helper()
+	u := graph.NodeID(src.Intn(n))
+	switch src.Intn(4) {
+	case 0: // remove a random edge if possible
+		if d := g.Degree(u); d > 0 {
+			if err := g.RemoveEdge(u, src.Intn(d)); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		fallthrough
+	case 1: // self-loop
+		if _, _, err := g.AddEdge(u, u); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		v := graph.NodeID(src.Intn(n))
+		if _, _, err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestApplyDeltaMatchesReduce chains many delta generations over a churning
+// graph and checks each against a from-scratch reduction: identical
+// structure (up to the gadget-ID isomorphism), identical canonical
+// component ids and sizes, and a valid 3-regular materialized graph. The
+// small node count keeps degree transitions (0↔1↔2↔3↔more), splits,
+// merges, and gadget-ID relocation all in constant rotation.
+func TestApplyDeltaMatchesReduce(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			src := prng.New(seed)
+			const n = 48
+			g := seedGraph(t, src, n, 60)
+			j := graph.NewJournal(0)
+			g.SetJournal(j)
+			red, err := Reduce(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deltaGens := 0
+			for gen := 0; gen < 40; gen++ {
+				for m := 0; m < 1+src.Intn(3); m++ {
+					mutateOnce(t, g, src, n)
+				}
+				if j.Dirty() {
+					t.Fatalf("gen %d: journal unexpectedly dirty: %s", gen, j.DirtyReason())
+				}
+				next, err := red.ApplyDelta(g, j.Peek())
+				if errors.Is(err, ErrDeltaTooLarge) {
+					next, err = Reduce(g)
+				} else if err == nil {
+					deltaGens++
+				}
+				if err != nil {
+					t.Fatalf("gen %d: %v", gen, err)
+				}
+				j.Reset()
+				checkParity(t, g, next)
+				red = next
+			}
+			if deltaGens < 30 {
+				t.Fatalf("only %d of 40 generations took the delta path", deltaGens)
+			}
+		})
+	}
+}
+
+// TestApplyDeltaFallbacks pins the errors that route callers to a full
+// rebuild.
+func TestApplyDeltaFallbacks(t *testing.T) {
+	src := prng.New(7)
+	g := seedGraph(t, src, 12, 16)
+	red, err := Reduce(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("too-large", func(t *testing.T) {
+		j := graph.NewJournal(0)
+		g2 := g.Clone()
+		g2.SetJournal(j)
+		for i := 0; i < 12; i++ { // touch every node
+			if _, _, err := g2.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%12)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := red.ApplyDelta(g2, j.Peek()); !errors.Is(err, ErrDeltaTooLarge) {
+			t.Fatalf("got %v, want ErrDeltaTooLarge", err)
+		}
+	})
+	t.Run("unknown-node", func(t *testing.T) {
+		deltas := []graph.Delta{{Op: graph.DeltaAdd, U: 99, V: 0}}
+		if _, err := red.ApplyDelta(g, deltas); !errors.Is(err, ErrDeltaUnusable) {
+			t.Fatalf("got %v, want ErrDeltaUnusable", err)
+		}
+	})
+	t.Run("empty-delta-is-identity", func(t *testing.T) {
+		got, err := red.ApplyDelta(g, nil)
+		if err != nil || got != red {
+			t.Fatalf("empty delta: got (%p, %v), want the base back", got, err)
+		}
+	})
+}
+
+// FuzzApplyDelta drives random journal/apply sequences from fuzzer-chosen
+// bytes: each byte picks a mutation, every few mutations the journal is
+// drained through ApplyDelta, and the result must match a fresh Reduce.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x90, 0x17, 0xfe, 0x33, 0x08, 0x77})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xab, 0xcd})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 256 {
+			t.Skip()
+		}
+		const n = 32
+		src := prng.New(11)
+		g := seedGraph(t, src, n, 40)
+		j := graph.NewJournal(0)
+		g.SetJournal(j)
+		red, err := Reduce(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range data {
+			u := graph.NodeID(int(b>>3) % n)
+			v := graph.NodeID(int(b&0x07) * 4 % n)
+			if b&0x80 != 0 && g.Degree(u) > 0 {
+				if err := g.RemoveEdge(u, int(b)%g.Degree(u)); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, _, err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 != 2 && i != len(data)-1 {
+				continue
+			}
+			next, err := red.ApplyDelta(g, j.Peek())
+			if errors.Is(err, ErrDeltaTooLarge) {
+				next, err = Reduce(g)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			j.Reset()
+			checkParity(t, g, next)
+			red = next
+		}
+	})
+}

@@ -18,7 +18,9 @@
 // Original edges are wired between the gadget nodes that own the
 // corresponding ports, so the reduction is purely local: a real node could
 // simulate its own gadget with O(log n) state, which is what the paper's
-// model requires.
+// model requires. That locality is also what makes the reduction
+// incrementally maintainable — see ApplyDelta, which re-gadgets only the
+// nodes whose degree a batch of edge mutations touched.
 package degred
 
 import (
@@ -31,31 +33,74 @@ import (
 
 // Reduced is a 3-regular multigraph G′ together with the bidirectional
 // mapping between gadget nodes and the original nodes they simulate.
+//
+// Internally the mapping is array-based, indexed by dense gadget ID and
+// dense original index: delta compiles produce a new generation by copying
+// the spines and patching only the touched entries, while the original-node
+// universe (origIDs/origIdx) is shared immutably across generations — any
+// change to the node set forces a full Reduce.
 type Reduced struct {
+	// orig[g] is the original node simulated by gadget node g; origIx[g] is
+	// the dense index of that original. Gadget IDs are always exactly
+	// 0..len(orig)-1.
+	orig   []graph.NodeID
+	origIx []int32
+	// slots[i] lists, in cycle order, the gadget nodes simulating the
+	// original at dense index i; slot j owns original ports p with
+	// p % len(slots[i]) == j.
+	slots [][]graph.NodeID
+	// origIDs/origIdx enumerate the original nodes in insertion order and
+	// invert that enumeration. Shared (never mutated) by every generation
+	// derived from the same full Reduce.
+	origIDs []graph.NodeID
+	origIdx map[graph.NodeID]int32
+
+	// g is the reduced multigraph in mutable-graph form. A full Reduce
+	// builds it as a construction byproduct; a delta generation only
+	// materializes it from the CSR snapshot if a caller (the reference
+	// engine) actually asks.
+	gOnce sync.Once
 	g     *graph.Graph
-	orig  map[graph.NodeID]graph.NodeID
-	slots map[graph.NodeID][]graph.NodeID
 
 	flatOnce sync.Once
 	flat     *flatgraph.Graph
+}
+
+// gadgetSize returns the number of gadget nodes simulating an original node
+// of degree d — the Figure 1 shape is a pure local function of degree.
+func gadgetSize(d int) int {
+	switch {
+	case d >= 3:
+		return d
+	case d == 2:
+		return 2
+	case d == 1:
+		return 1
+	default: // d == 0: theta gadget
+		return 2
+	}
 }
 
 // Reduce builds the 3-regular version of g. The input graph is not
 // modified. Gadget node IDs are assigned densely from 0 in the insertion
 // order of the original nodes.
 func Reduce(g *graph.Graph) (*Reduced, error) {
+	numOrig := g.NumNodes()
 	r := &Reduced{
-		g:     graph.New(),
-		orig:  make(map[graph.NodeID]graph.NodeID),
-		slots: make(map[graph.NodeID][]graph.NodeID, g.NumNodes()),
+		g:       graph.New(),
+		slots:   make([][]graph.NodeID, numOrig),
+		origIDs: g.Nodes(),
+		origIdx: make(map[graph.NodeID]int32, numOrig),
 	}
-	next := graph.NodeID(0)
-	fresh := func(owner graph.NodeID) graph.NodeID {
-		id := next
-		next++
+	for i, id := range r.origIDs {
+		r.origIdx[id] = int32(i)
+	}
+	fresh := func(ownerIx int32) graph.NodeID {
+		id := graph.NodeID(len(r.orig))
 		r.g.EnsureNode(id)
-		r.orig[id] = owner
-		r.slots[owner] = append(r.slots[owner], id)
+		r.orig = append(r.orig, r.origIDs[ownerIx])
+		r.origIx = append(r.origIx, ownerIx)
+		r.slots[ownerIx] = append(r.slots[ownerIx], id)
 		return id
 	}
 
@@ -65,13 +110,14 @@ func Reduce(g *graph.Graph) (*Reduced, error) {
 		if buildErr != nil {
 			return
 		}
+		ix := r.origIdx[v]
 		d := g.Degree(v)
 		switch {
 		case d >= 3:
-			first := fresh(v)
+			first := fresh(ix)
 			prev := first
 			for i := 1; i < d; i++ {
-				cur := fresh(v)
+				cur := fresh(ix)
 				if _, _, err := r.g.AddEdge(prev, cur); err != nil {
 					buildErr = err
 					return
@@ -82,7 +128,7 @@ func Reduce(g *graph.Graph) (*Reduced, error) {
 				buildErr = err
 			}
 		case d == 2:
-			a, b := fresh(v), fresh(v)
+			a, b := fresh(ix), fresh(ix)
 			for i := 0; i < 2; i++ {
 				if _, _, err := r.g.AddEdge(a, b); err != nil {
 					buildErr = err
@@ -90,12 +136,12 @@ func Reduce(g *graph.Graph) (*Reduced, error) {
 				}
 			}
 		case d == 1:
-			a := fresh(v)
+			a := fresh(ix)
 			if _, _, err := r.g.AddEdge(a, a); err != nil {
 				buildErr = err
 			}
 		default: // d == 0
-			a, b := fresh(v), fresh(v)
+			a, b := fresh(ix), fresh(ix)
 			for i := 0; i < 3; i++ {
 				if _, _, err := r.g.AddEdge(a, b); err != nil {
 					buildErr = err
@@ -144,21 +190,51 @@ func Reduce(g *graph.Graph) (*Reduced, error) {
 }
 
 // Graph returns the reduced 3-regular multigraph. Callers must treat it as
-// read-only.
-func (r *Reduced) Graph() *graph.Graph { return r.g }
+// read-only. For a delta-compiled Reduced the graph is materialized from
+// the CSR snapshot on first use; full reductions have it from construction.
+func (r *Reduced) Graph() *graph.Graph {
+	r.gOnce.Do(func() {
+		if r.g != nil {
+			return
+		}
+		f := r.flat
+		if f == nil {
+			return
+		}
+		n := f.NumNodes()
+		order := make([]graph.NodeID, n)
+		adj := make(map[graph.NodeID][]graph.Half, n)
+		for i := 0; i < n; i++ {
+			order[i] = graph.NodeID(i)
+			row := make([]graph.Half, f.Degree(int32(i)))
+			for p := range row {
+				h := f.Half(int32(i), int32(p))
+				row[p] = graph.Half{To: graph.NodeID(h.To), ToPort: int(h.Port)}
+			}
+			adj[graph.NodeID(i)] = row
+		}
+		if g, err := graph.NewFromAdjacency(order, adj); err == nil {
+			r.g = g
+		}
+	})
+	return r.g
+}
 
 // Flat returns the compiled CSR snapshot of the reduced graph, including
 // the gadget-to-original projection — the shared hot-path artifact every
 // router and counter built from this reduction walks. It is built on first
 // use and memoized, so one reduction serves any number of engines with a
-// single snapshot. Flat returns nil only if compilation fails, which a
-// validated reduction cannot provoke; callers treat nil as "use the
-// reference engine".
+// single snapshot; delta-compiled reductions are born with it. Flat returns
+// nil only if compilation fails, which a validated reduction cannot
+// provoke; callers treat nil as "use the reference engine".
 func (r *Reduced) Flat() *flatgraph.Graph {
 	r.flatOnce.Do(func() {
+		if r.flat != nil {
+			return
+		}
 		fg, err := flatgraph.Compile(r.g, func(v graph.NodeID) graph.NodeID {
-			if o, ok := r.orig[v]; ok {
-				return o
+			if int(v) < len(r.orig) {
+				return r.orig[v]
 			}
 			return v
 		})
@@ -169,19 +245,28 @@ func (r *Reduced) Flat() *flatgraph.Graph {
 	return r.flat
 }
 
+// NumOriginals returns the number of original nodes the reduction simulates.
+func (r *Reduced) NumOriginals() int { return len(r.origIDs) }
+
+// NumGadgets returns the number of gadget nodes in the reduced graph.
+func (r *Reduced) NumGadgets() int { return len(r.orig) }
+
 // Original returns the original node simulated by gadget node v.
 func (r *Reduced) Original(v graph.NodeID) (graph.NodeID, bool) {
-	o, ok := r.orig[v]
-	return o, ok
+	if v < 0 || int(v) >= len(r.orig) {
+		return 0, false
+	}
+	return r.orig[v], true
 }
 
 // Gadget returns the gadget nodes simulating original node v, in cycle
 // order (a copy).
 func (r *Reduced) Gadget(v graph.NodeID) []graph.NodeID {
-	s, ok := r.slots[v]
+	ix, ok := r.origIdx[v]
 	if !ok {
 		return nil
 	}
+	s := r.slots[ix]
 	out := make([]graph.NodeID, len(s))
 	copy(out, s)
 	return out
@@ -190,16 +275,16 @@ func (r *Reduced) Gadget(v graph.NodeID) []graph.NodeID {
 // Entry returns the canonical gadget node for original node v — the place
 // where a message originating at v enters the reduced graph.
 func (r *Reduced) Entry(v graph.NodeID) (graph.NodeID, bool) {
-	s, ok := r.slots[v]
-	if !ok || len(s) == 0 {
+	ix, ok := r.origIdx[v]
+	if !ok || len(r.slots[ix]) == 0 {
 		return 0, false
 	}
-	return s[0], true
+	return r.slots[ix][0], true
 }
 
 // SameOriginal reports whether gadget node v simulates original node o.
 func (r *Reduced) SameOriginal(v, o graph.NodeID) bool {
-	got, ok := r.orig[v]
+	got, ok := r.Original(v)
 	return ok && got == o
 }
 
@@ -207,5 +292,6 @@ func (r *Reduced) SameOriginal(v, o graph.NodeID) bool {
 // node v. Degree ≥ 3 gadgets own port i at slot i; degree-2 gadgets own one
 // port per slot; the degree-1 gadget owns its single port.
 func (r *Reduced) portOwner(v graph.NodeID, p int) graph.NodeID {
-	return r.slots[v][p%len(r.slots[v])]
+	s := r.slots[r.origIdx[v]]
+	return s[p%len(s)]
 }

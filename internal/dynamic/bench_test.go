@@ -1,10 +1,12 @@
 package dynamic
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/degred"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/route"
 )
 
@@ -198,5 +200,71 @@ func BenchmarkStaticReference(b *testing.B) {
 		if _, err := r.Route(0, 18); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDeltaRecompile pins the tentpole claim: with a fixed-size diff
+// (one link down, one link up between epochs), a delta recompile costs
+// O(diff) while the full rebuild costs O(graph) — so as the world grows
+// 10× and 100×, the delta path's per-epoch cost should stay roughly flat
+// while the full path's grows with the graph. CI guards the ratio at the
+// largest size.
+func BenchmarkDeltaRecompile(b *testing.B) {
+	for _, side := range []int{10, 32, 100} {
+		for _, path := range []string{"delta", "full"} {
+			b.Run(fmt.Sprintf("n=%d/%s", side*side, path), func(b *testing.B) {
+				w := NewWorld(gen.Torus(side, side), nil)
+				w.SetDeltaCompilation(path == "delta")
+				if _, _, err := w.Compiled(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.RemoveEdgeBetween(0, 1); err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := w.AddEdge(0, 1); err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := w.Compiled(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRemoveEdgeBetweenHighDegree measures the schedule-facing edge
+// removal on a hub node, where the old implementation paid one locked
+// Neighbor call (map lookup + bounds checks) per port scanned; the
+// journal-era PortTo helper does one adjacency lookup and scans the slice.
+func BenchmarkRemoveEdgeBetweenHighDegree(b *testing.B) {
+	for _, deg := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("deg=%d", deg), func(b *testing.B) {
+			g := graph.New()
+			g.EnsureNode(0)
+			for i := 1; i <= deg; i++ {
+				g.EnsureNode(graph.NodeID(i))
+				if _, _, err := g.AddEdge(0, graph.NodeID(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			w := NewWorld(g, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Hit spokes near the end of the hub's port row — the
+				// expensive half of the scan.
+				target := graph.NodeID(deg - i%8)
+				if err := w.RemoveEdgeBetween(0, target); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := w.AddEdge(0, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -62,15 +62,34 @@ type World struct {
 	cacheHits       int64
 	recompileTime   time.Duration
 
+	// Split recompile accounting: every rebuild is either a delta compile
+	// (journal drained through degred.ApplyDelta, cost O(diff)) or a full
+	// compile (degred.Reduce from scratch, cost O(graph)). The two counters
+	// always sum to recompiles, and the two durations to recompileTime.
+	deltaRecompiles int64
+	fullRecompiles  int64
+	deltaTime       time.Duration
+	fullTime        time.Duration
+	// deltaDisabled forces every rebuild down the full path — used by
+	// differential tests and benchmarks that need the O(graph) baseline.
+	deltaDisabled bool
+	// recompObs, when set, observes every actual rebuild (never cache
+	// hits). It runs under the world lock: it must be fast and must not
+	// call back into the World.
+	recompObs func(path string, version uint64, d time.Duration)
+
 	// chaos is the optional fault injector (nil = off). It sits outside mu
 	// so the per-hop read on the walk hot path is one atomic load.
 	chaos atomic.Pointer[chaos.Injector]
 }
 
 // NewWorld builds a world over a private clone of g, evolving under sched
-// (nil = static). The caller's graph is never mutated.
+// (nil = static). The caller's graph is never mutated. The private clone
+// carries a mutation journal so epoch recompiles can take the delta path.
 func NewWorld(g *graph.Graph, sched Schedule) *World {
-	return &World{g: g.Clone(), sched: sched}
+	w := &World{g: g.Clone(), sched: sched}
+	w.g.SetJournal(graph.NewJournal(0))
+	return w
 }
 
 // NewWorldFromCompiled builds a world over a private clone of g and seeds
@@ -155,6 +174,20 @@ func (w *World) RecompileTime() time.Duration {
 	return w.recompileTime
 }
 
+// DeltaRecompiles returns how many rebuilds took the O(diff) delta path.
+func (w *World) DeltaRecompiles() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.deltaRecompiles
+}
+
+// FullRecompiles returns how many rebuilds took the O(graph) full path.
+func (w *World) FullRecompiles() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fullRecompiles
+}
+
 // Snapshot is a consistent point-in-time summary of a world's state —
 // all fields observed under one lock, so a reader racing a concurrent
 // Advance never pairs one epoch's clock with another epoch's topology.
@@ -165,8 +198,15 @@ type Snapshot struct {
 	Links      int
 	Recompiles int64
 	CacheHits  int64
-	// RecompileTime is the total wall time spent in churn-forced rebuilds.
-	RecompileTime time.Duration
+	// DeltaRecompiles and FullRecompiles split Recompiles by compile path:
+	// journal-driven O(diff) patches versus from-scratch O(graph) rebuilds.
+	DeltaRecompiles int64
+	FullRecompiles  int64
+	// RecompileTime is the total wall time spent in churn-forced rebuilds;
+	// DeltaRecompileTime and FullRecompileTime split it by path.
+	RecompileTime      time.Duration
+	DeltaRecompileTime time.Duration
+	FullRecompileTime  time.Duration
 }
 
 // Snapshot returns the world's current state atomically.
@@ -174,13 +214,17 @@ func (w *World) Snapshot() Snapshot {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return Snapshot{
-		Epoch:         w.epoch,
-		Version:       w.version,
-		Nodes:         w.g.NumNodes(),
-		Links:         w.g.NumEdges(),
-		Recompiles:    w.recompiles,
-		CacheHits:     w.cacheHits,
-		RecompileTime: w.recompileTime,
+		Epoch:              w.epoch,
+		Version:            w.version,
+		Nodes:              w.g.NumNodes(),
+		Links:              w.g.NumEdges(),
+		Recompiles:         w.recompiles,
+		CacheHits:          w.cacheHits,
+		DeltaRecompiles:    w.deltaRecompiles,
+		FullRecompiles:     w.fullRecompiles,
+		RecompileTime:      w.recompileTime,
+		DeltaRecompileTime: w.deltaTime,
+		FullRecompileTime:  w.fullTime,
 	}
 }
 
@@ -221,6 +265,14 @@ func (w *World) Advance(p Probe) error {
 // the world lock, so concurrent routers blocked on the same stale version
 // share one recompile. The returned artifacts are immutable snapshots,
 // safe to walk after the world has moved on.
+//
+// A rebuild prefers the delta path: if the previous compile is intact and
+// the mutation journal is clean, the journaled edge deltas are replayed
+// through degred.ApplyDelta, re-gadgeting only the touched nodes and
+// patching the CSR snapshot in O(diff). Anything that poisons the journal
+// (overflow, node insertion, label shuffles) or trips the re-gadgeting
+// fraction guard falls back to a full O(graph) Reduce. Both paths produce
+// byte-for-byte identical routing behaviour; only the price differs.
 func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -229,22 +281,70 @@ func (w *World) Compiled() (*degred.Reduced, *flatgraph.Graph, error) {
 		return w.red, w.flat, nil
 	}
 	if err := w.chaos.Load().CompileFault(); err != nil {
+		// The journal is NOT drained on an injected fault: the deltas are
+		// still pending and the next attempt replays them.
 		return nil, nil, fmt.Errorf("dynamic: recompile at version %d: %w", w.version, err)
 	}
 	start := time.Now()
-	red, err := degred.Reduce(w.g)
-	if err != nil {
-		return nil, nil, fmt.Errorf("dynamic: recompile at version %d: %w", w.version, err)
+	j := w.g.Journal()
+	path := "full"
+	var red *degred.Reduced
+	if !w.deltaDisabled && w.compiledOK && w.red != nil && j != nil && !j.Dirty() {
+		if dr, err := w.red.ApplyDelta(w.g, j.Peek()); err == nil {
+			red, path = dr, "delta"
+		}
+	}
+	if red == nil {
+		r, err := degred.Reduce(w.g)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dynamic: recompile at version %d: %w", w.version, err)
+		}
+		red = r
 	}
 	flat := red.Flat()
 	if flat == nil {
 		return nil, nil, fmt.Errorf("dynamic: flat snapshot failed at version %d", w.version)
 	}
+	if j != nil {
+		j.Reset()
+	}
+	elapsed := time.Since(start)
 	w.red, w.flat = red, flat
 	w.compiledVersion, w.compiledOK = w.version, true
 	w.recompiles++
-	w.recompileTime += time.Since(start)
+	w.recompileTime += elapsed
+	if path == "delta" {
+		w.deltaRecompiles++
+		w.deltaTime += elapsed
+	} else {
+		w.fullRecompiles++
+		w.fullTime += elapsed
+	}
+	if w.recompObs != nil {
+		w.recompObs(path, w.version, elapsed)
+	}
 	return w.red, w.flat, nil
+}
+
+// SetRecompileObserver installs fn to be called on every actual rebuild
+// (cache hits never fire it) with the compile path ("delta" or "full"),
+// the topology version compiled, and the wall time spent. fn runs under
+// the world lock: keep it fast and never call back into the World. Pass
+// nil to remove.
+func (w *World) SetRecompileObserver(fn func(path string, version uint64, d time.Duration)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.recompObs = fn
+}
+
+// SetDeltaCompilation enables or disables the delta compile path (enabled
+// by default). Disabling forces every rebuild through the full O(graph)
+// Reduce — the baseline that differential tests and benchmarks compare
+// the delta path against.
+func (w *World) SetDeltaCompilation(enabled bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.deltaDisabled = !enabled
 }
 
 // AddEdge inserts an edge between u and v (assigning the next free port at
@@ -281,20 +381,14 @@ func (w *World) removeEdgeLocked(v graph.NodeID, p int) error {
 func (w *World) RemoveEdgeBetween(u, v graph.NodeID) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	d := w.g.Degree(u)
-	if d < 0 {
+	if w.g.Degree(u) < 0 {
 		return fmt.Errorf("%w: %d", graph.ErrNodeNotFound, u)
 	}
-	for p := 0; p < d; p++ {
-		h, err := w.g.Neighbor(u, p)
-		if err != nil {
-			return err
-		}
-		if h.To == v {
-			return w.removeEdgeLocked(u, p)
-		}
+	p, ok := w.g.PortTo(u, v)
+	if !ok {
+		return fmt.Errorf("%w: no edge %d-%d", graph.ErrPortRange, u, v)
 	}
-	return fmt.Errorf("%w: no edge %d-%d", graph.ErrPortRange, u, v)
+	return w.removeEdgeLocked(u, p)
 }
 
 // Edges lists the current links once each, in the deterministic scan order

@@ -1,5 +1,7 @@
 package flatgraph
 
+import "sort"
+
 // Connected components of the CSR snapshot, computed once and memoized on
 // the Graph (which is immutable after Compile, so the index never goes
 // stale). The walk of §4 can only ever reach nodes in the component of its
@@ -8,25 +10,42 @@ package flatgraph
 // doubling loop would otherwise establish by burning its entire budget.
 
 // Components is an immutable node→component index over one compiled
-// snapshot. Component ids are canonical — numbered 0..Count()-1 by first
-// appearance in dense-index order — so two compiles of the same graph
-// assign identical ids and a certificate minted from one snapshot can be
-// compared against a recompile of the same topology version.
+// snapshot. Component ids are canonical — components are ranked by the
+// smallest original NodeID they contain and numbered 0..Count()-1 in that
+// order. The ranking depends only on the projected original topology,
+// never on gadget numbering or dense-index layout, so a full compile and a
+// delta-patched compile of the same topology version assign identical ids
+// and certificates minted from either snapshot compare equal.
 type Components struct {
 	comp  []int32
 	sizes []int32
 }
 
 // Components returns the connected-component index of f, computing it on
-// first use. Safe for concurrent callers.
+// first use. Safe for concurrent callers. Delta-patched snapshots arrive
+// with the index precomputed (maintained incrementally by the patcher);
+// the lazy path below serves full compiles.
 func (f *Graph) Components() *Components {
-	f.compOnce.Do(func() { f.comps = computeComponents(f) })
+	f.compOnce.Do(func() {
+		if f.comps == nil {
+			f.comps = computeComponents(f)
+		}
+	})
 	return f.comps
 }
 
+// NewComponents wraps a precomputed index: comp[i] is the canonical
+// component id of dense node i and sizes[id] the member count of component
+// id. Intended for delta compilers that maintain the index incrementally;
+// the arrays are taken over, not copied, and must follow the canonical
+// min-original-ID ranking documented on Components.
+func NewComponents(comp, sizes []int32) *Components {
+	return &Components{comp: comp, sizes: sizes}
+}
+
 // computeComponents runs union-find (path halving + union by size) over
-// the half-edge table, then relabels roots in dense-index order so ids are
-// deterministic.
+// the half-edge table, then relabels components canonically by their
+// minimum original NodeID.
 func computeComponents(f *Graph) *Components {
 	n := len(f.ids)
 	parent := make([]int32, n)
@@ -55,18 +74,29 @@ func computeComponents(f *Graph) *Components {
 			size[a] += size[b]
 		}
 	}
-	c := &Components{comp: make([]int32, n)}
-	label := make([]int32, n)
-	for i := range label {
-		label[i] = -1
-	}
+	// Rank roots by the minimum original NodeID of their members, so ids do
+	// not depend on how the compile path happened to number gadget nodes.
+	minOrig := make(map[int32]int64, 4)
 	for i := 0; i < n; i++ {
 		r := find(int32(i))
-		if label[r] < 0 {
-			label[r] = int32(len(c.sizes))
-			c.sizes = append(c.sizes, size[r])
+		o := int64(f.orig[i])
+		if cur, ok := minOrig[r]; !ok || o < cur {
+			minOrig[r] = o
 		}
-		c.comp[i] = label[r]
+	}
+	roots := make([]int32, 0, len(minOrig))
+	for r := range minOrig {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return minOrig[roots[i]] < minOrig[roots[j]] })
+	label := make(map[int32]int32, len(roots))
+	c := &Components{comp: make([]int32, n), sizes: make([]int32, len(roots))}
+	for rank, r := range roots {
+		label[r] = int32(rank)
+		c.sizes[rank] = size[r]
+	}
+	for i := 0; i < n; i++ {
+		c.comp[i] = label[find(int32(i))]
 	}
 	return c
 }

@@ -32,8 +32,14 @@ type Graph struct {
 	// orig maps dense index -> the original node it simulates (the gadget
 	// projection of degred; identity when the graph is not a reduction).
 	orig []graph.NodeID
-	// idx is the reverse map NodeID -> dense index.
+	// idx is the reverse map NodeID -> dense index. It is nil when identIDs
+	// holds — the common case for degree-reduced graphs, whose gadget node
+	// IDs are assigned densely from 0, so index == ID and the map (the one
+	// O(n)-allocation-heavy part of a snapshot build) is never needed.
 	idx map[graph.NodeID]int32
+	// identIDs records that ids[i] == i for every node, making Index a
+	// bounds check instead of a map lookup.
+	identIDs bool
 	// memw caches, per node, the metering width of its two identity
 	// registers (wordBits(ids[i]) + wordBits(orig[i])) so the walkers'
 	// memory-metering replica costs one byte load per hop instead of two
@@ -68,12 +74,23 @@ func Compile(g *graph.Graph, originalOf func(graph.NodeID) graph.NodeID) (*Graph
 		rowStart: make([]int32, n+1),
 		ids:      g.Nodes(),
 		orig:     make([]graph.NodeID, n),
-		idx:      make(map[graph.NodeID]int32, n),
 		regular3: true,
+		identIDs: true,
+	}
+	for i, id := range f.ids {
+		if id != graph.NodeID(i) {
+			f.identIDs = false
+			break
+		}
+	}
+	if !f.identIDs {
+		f.idx = make(map[graph.NodeID]int32, n)
 	}
 	f.memw = make([]uint8, n)
 	for i, id := range f.ids {
-		f.idx[id] = int32(i)
+		if f.idx != nil {
+			f.idx[id] = int32(i)
+		}
 		if originalOf != nil {
 			f.orig[i] = originalOf(id)
 		} else {
@@ -98,7 +115,7 @@ func Compile(g *graph.Graph, originalOf func(graph.NodeID) graph.NodeID) (*Graph
 			if err != nil {
 				return nil, fmt.Errorf("flatgraph: %w", err)
 			}
-			to, ok := f.idx[h.To]
+			to, ok := f.Index(h.To)
 			if !ok {
 				return nil, fmt.Errorf("flatgraph: half-edge (%d,%d) targets unknown node %d", id, p, h.To)
 			}
@@ -117,6 +134,12 @@ func (f *Graph) Regular3() bool { return f.regular3 }
 
 // Index returns the dense index of id and whether it is a snapshot node.
 func (f *Graph) Index(id graph.NodeID) (int32, bool) {
+	if f.identIDs {
+		if id < 0 || id >= graph.NodeID(len(f.ids)) {
+			return 0, false
+		}
+		return int32(id), true
+	}
 	i, ok := f.idx[id]
 	return i, ok
 }

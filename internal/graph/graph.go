@@ -43,6 +43,13 @@ var (
 type Graph struct {
 	order []NodeID
 	adj   map[NodeID][]Half
+	// edges counts the current edges (a self-loop counts once), maintained
+	// by every mutation so NumEdges is O(1) instead of a full adjacency
+	// rescan.
+	edges int
+	// journal, when attached, records mutations for delta-aware consumers
+	// (see journal.go).
+	journal *Journal
 }
 
 // New returns an empty graph.
@@ -69,6 +76,7 @@ func NewFromAdjacency(order []NodeID, adj map[NodeID][]Half) (*Graph, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	g.edges = g.countEdges()
 	return g, nil
 }
 
@@ -80,6 +88,9 @@ func (g *Graph) AddNode(id NodeID) error {
 	}
 	g.adj[id] = nil
 	g.order = append(g.order, id)
+	if g.journal != nil {
+		g.journal.MarkDirty("node added")
+	}
 	return nil
 }
 
@@ -88,6 +99,9 @@ func (g *Graph) EnsureNode(id NodeID) {
 	if _, ok := g.adj[id]; !ok {
 		g.adj[id] = nil
 		g.order = append(g.order, id)
+		if g.journal != nil {
+			g.journal.MarkDirty("node added")
+		}
 	}
 }
 
@@ -105,12 +119,20 @@ func (g *Graph) AddEdge(u, v NodeID) (portU, portV int, err error) {
 		p1 := len(g.adj[u])
 		p2 := p1 + 1
 		g.adj[u] = append(g.adj[u], Half{To: u, ToPort: p2}, Half{To: u, ToPort: p1})
+		g.edges++
+		if g.journal != nil {
+			g.journal.record(Delta{Op: DeltaAdd, U: u, V: u, PortU: p1, PortV: p2})
+		}
 		return p1, p2, nil
 	}
 	pu := len(g.adj[u])
 	pv := len(g.adj[v])
 	g.adj[u] = append(g.adj[u], Half{To: v, ToPort: pv})
 	g.adj[v] = append(g.adj[v], Half{To: u, ToPort: pu})
+	g.edges++
+	if g.journal != nil {
+		g.journal.record(Delta{Op: DeltaAdd, U: u, V: v, PortU: pu, PortV: pv})
+	}
 	return pu, pv, nil
 }
 
@@ -138,10 +160,18 @@ func (g *Graph) RemoveEdge(v NodeID, p int) error {
 		}
 		g.removeHalf(v, hi)
 		g.removeHalf(v, lo)
+		g.edges--
+		if g.journal != nil {
+			g.journal.record(Delta{Op: DeltaRemove, U: v, V: v, PortU: lo, PortV: hi})
+		}
 		return nil
 	}
 	g.removeHalf(v, p)
 	g.removeHalf(other.To, other.ToPort)
+	g.edges--
+	if g.journal != nil {
+		g.journal.record(Delta{Op: DeltaRemove, U: v, V: other.To, PortU: p, PortV: other.ToPort})
+	}
 	return nil
 }
 
@@ -179,11 +209,30 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return false
 }
 
+// PortTo returns the lowest port at u whose edge leads to v, or ok=false
+// when no edge joins them. One map lookup plus a contiguous slice scan —
+// the neighbor-resolution helper for callers that would otherwise probe
+// ports one Neighbor call (one map lookup) at a time.
+func (g *Graph) PortTo(u, v NodeID) (port int, ok bool) {
+	for p, h := range g.adj[u] {
+		if h.To == v {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.order) }
 
-// NumEdges returns the number of edges; a self-loop counts once.
-func (g *Graph) NumEdges() int {
+// NumEdges returns the number of edges; a self-loop counts once. The count
+// is maintained incrementally by every mutation, so this is O(1).
+func (g *Graph) NumEdges() int { return g.edges }
+
+// countEdges recounts edges from the adjacency lists — the O(n) oracle the
+// incremental counter replaces, retained for constructors that build
+// adjacency wholesale (and for tests pinning counter == recount).
+func (g *Graph) countEdges() int {
 	halves := 0
 	for _, hs := range g.adj {
 		halves += len(hs)
@@ -289,11 +338,13 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The edge counter carries over; an
+// attached journal does not — the clone starts unwatched.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		order: make([]NodeID, len(g.order)),
 		adj:   make(map[NodeID][]Half, len(g.adj)),
+		edges: g.edges,
 	}
 	copy(c.order, g.order)
 	for v, hs := range g.adj {
@@ -394,6 +445,10 @@ func (g *Graph) ShuffleLabels(seed uint64) {
 		newAdj[v] = out
 	}
 	g.adj = newAdj
+	if g.journal != nil {
+		// Every port moved at once; no edge-level diff can express that.
+		g.journal.MarkDirty("labels shuffled")
+	}
 }
 
 // Encode writes g in a line-oriented text format that round-trips exactly,
@@ -475,6 +530,7 @@ func Decode(r io.Reader) (*Graph, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	g.edges = g.countEdges()
 	return g, nil
 }
 

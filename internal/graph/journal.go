@@ -1,0 +1,110 @@
+package graph
+
+// Mutation journal: a bounded record of edge-level changes since the last
+// drain, attached to a Graph so a delta-aware compiler can re-derive only
+// the parts of its artifacts the mutations actually touched. The journal
+// is deliberately conservative: anything it cannot express as an edge
+// add/remove with endpoints and ports — node insertion, wholesale label
+// shuffles, overflow past its capacity — marks it dirty, and a dirty
+// journal means "diff unknown, rebuild from scratch". That staged
+// surrender is what lets the fast path skip nothing it would need.
+
+// DeltaOp is the kind of one journal record.
+type DeltaOp uint8
+
+const (
+	// DeltaAdd records an edge inserted between U and V, assigned ports
+	// PortU and PortV.
+	DeltaAdd DeltaOp = iota
+	// DeltaRemove records an edge deleted between U and V. PortU/PortV are
+	// the ports the edge occupied at deletion time — note RemoveEdge
+	// compacts ports by swapping the last port into the freed slot, so
+	// later records' ports are always relative to the state they mutated.
+	DeltaRemove
+)
+
+// Delta is one recorded mutation. For a self-loop U == V and PortU/PortV
+// are the loop's two ports at that node.
+type Delta struct {
+	Op           DeltaOp
+	U, V         NodeID
+	PortU, PortV int
+}
+
+// Journal accumulates Delta records between drains, up to a fixed
+// capacity. The zero value is not usable; construct with NewJournal.
+// A Journal is not safe for concurrent use — callers synchronize exactly
+// as they do for the Graph it watches.
+type Journal struct {
+	recs   []Delta
+	cap    int
+	dirty  bool
+	reason string
+}
+
+// DefaultJournalCap bounds a journal's memory when no explicit capacity is
+// chosen: enough for thousands of mutations per compile window, small
+// enough to be irrelevant next to the graph itself.
+const DefaultJournalCap = 4096
+
+// NewJournal returns an empty journal holding at most capacity records
+// before going dirty (capacity <= 0 selects DefaultJournalCap).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{cap: capacity}
+}
+
+// record appends one delta, tripping the overflow ladder at capacity.
+func (j *Journal) record(d Delta) {
+	if j.dirty {
+		return
+	}
+	if len(j.recs) >= j.cap {
+		j.MarkDirty("journal overflow")
+		return
+	}
+	j.recs = append(j.recs, d)
+}
+
+// MarkDirty poisons the journal: the mutation history is no longer a
+// faithful diff and consumers must fall back to a full rebuild. The first
+// reason sticks until Reset.
+func (j *Journal) MarkDirty(reason string) {
+	if !j.dirty {
+		j.dirty, j.reason = true, reason
+		j.recs = j.recs[:0]
+	}
+}
+
+// Dirty reports whether the journal has surrendered (overflow or an
+// inexpressible mutation) since the last Reset.
+func (j *Journal) Dirty() bool { return j.dirty }
+
+// DirtyReason returns why the journal went dirty ("" when clean).
+func (j *Journal) DirtyReason() string { return j.reason }
+
+// Len returns the number of buffered records (0 when dirty).
+func (j *Journal) Len() int { return len(j.recs) }
+
+// Peek returns the buffered records without consuming them. The slice is
+// owned by the journal and valid only until the next mutation or Reset.
+func (j *Journal) Peek() []Delta { return j.recs }
+
+// Reset empties the journal and clears the dirty flag: the consumer has
+// either applied the diff or rebuilt from scratch, and a new window
+// starts now.
+func (j *Journal) Reset() {
+	j.recs = j.recs[:0]
+	j.dirty, j.reason = false, ""
+}
+
+// SetJournal attaches j to the graph (nil detaches): every subsequent
+// mutation is recorded or, when inexpressible, marks it dirty. Attaching
+// starts a new window — the journal is not reset, so a caller can attach
+// a pre-poisoned journal deliberately.
+func (g *Graph) SetJournal(j *Journal) { g.journal = j }
+
+// Journal returns the attached journal, or nil.
+func (g *Graph) Journal() *Journal { return g.journal }

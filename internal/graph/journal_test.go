@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// randomMutate drives n random mutations (biased toward adds so the graph
+// grows) over nodes 0..nodes-1, returning after each step has been applied.
+func randomMutate(t *testing.T, g *Graph, src *prng.Source, nodes, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		u := NodeID(src.Intn(nodes))
+		v := NodeID(src.Intn(nodes))
+		if src.Intn(3) == 0 && g.Degree(u) > 0 {
+			p := src.Intn(g.Degree(u))
+			if err := g.RemoveEdge(u, p); err != nil {
+				t.Fatalf("remove(%d,%d): %v", u, p, err)
+			}
+			continue
+		}
+		if _, _, err := g.AddEdge(u, v); err != nil {
+			t.Fatalf("add(%d,%d): %v", u, v, err)
+		}
+	}
+}
+
+// TestEdgeCounterMatchesRecount pins the O(1) edge counter against the
+// full-rescan oracle after randomized mutation sequences, including
+// self-loops and parallel edges.
+func TestEdgeCounterMatchesRecount(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := New()
+		const nodes = 24
+		for i := 0; i < nodes; i++ {
+			if err := g.AddNode(NodeID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src := prng.New(seed)
+		for step := 0; step < 40; step++ {
+			randomMutate(t, g, src, nodes, 25)
+			if got, want := g.NumEdges(), g.countEdges(); got != want {
+				t.Fatalf("seed %d step %d: NumEdges %d, recount %d", seed, step, got, want)
+			}
+		}
+		// The counter must survive Clone and an Encode/Decode round trip.
+		c := g.Clone()
+		if got, want := c.NumEdges(), c.countEdges(); got != want {
+			t.Fatalf("seed %d: clone NumEdges %d, recount %d", seed, got, want)
+		}
+	}
+}
+
+func TestJournalRecordsMutations(t *testing.T) {
+	g := New()
+	for i := 0; i < 4; i++ {
+		if err := g.AddNode(NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j := NewJournal(16)
+	g.SetJournal(j)
+
+	pu, pv, err := g.AddEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.AddEdge(2, 2); err != nil { // self-loop
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(0, pu); err != nil {
+		t.Fatal(err)
+	}
+	recs := j.Peek()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+	}
+	if recs[0] != (Delta{Op: DeltaAdd, U: 0, V: 1, PortU: pu, PortV: pv}) {
+		t.Fatalf("add record: %+v", recs[0])
+	}
+	if recs[1].Op != DeltaAdd || recs[1].U != 2 || recs[1].V != 2 {
+		t.Fatalf("self-loop record: %+v", recs[1])
+	}
+	if recs[2].Op != DeltaRemove || recs[2].U != 0 || recs[2].V != 1 || recs[2].PortU != pu {
+		t.Fatalf("remove record: %+v", recs[2])
+	}
+	j.Reset()
+	if j.Len() != 0 || j.Dirty() {
+		t.Fatalf("after reset: len %d dirty %v", j.Len(), j.Dirty())
+	}
+}
+
+func TestJournalDirtyLadder(t *testing.T) {
+	t.Run("overflow", func(t *testing.T) {
+		g := New()
+		g.EnsureNode(0)
+		g.EnsureNode(1)
+		j := NewJournal(2)
+		g.SetJournal(j)
+		for i := 0; i < 3; i++ {
+			if _, _, err := g.AddEdge(0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !j.Dirty() {
+			t.Fatal("journal survived overflow")
+		}
+		if j.Len() != 0 {
+			t.Fatalf("dirty journal retains %d records", j.Len())
+		}
+	})
+	t.Run("node-add", func(t *testing.T) {
+		g := New()
+		j := NewJournal(8)
+		g.SetJournal(j)
+		g.EnsureNode(7)
+		if !j.Dirty() {
+			t.Fatal("node insertion did not poison the journal")
+		}
+	})
+	t.Run("shuffle", func(t *testing.T) {
+		g := New()
+		g.EnsureNode(0)
+		g.EnsureNode(1)
+		if _, _, err := g.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		j := NewJournal(8)
+		g.SetJournal(j)
+		g.ShuffleLabels(3)
+		if !j.Dirty() {
+			t.Fatal("label shuffle did not poison the journal")
+		}
+	})
+	t.Run("reset-recovers", func(t *testing.T) {
+		j := NewJournal(1)
+		j.MarkDirty("test")
+		j.Reset()
+		if j.Dirty() || j.DirtyReason() != "" {
+			t.Fatal("reset did not clear dirty state")
+		}
+	})
+}
+
+func TestPortTo(t *testing.T) {
+	g := New()
+	for i := 0; i < 3; i++ {
+		g.EnsureNode(NodeID(i))
+	}
+	if _, ok := g.PortTo(0, 1); ok {
+		t.Fatal("PortTo found an edge in an empty graph")
+	}
+	if _, _, err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	p01a, _, err := g.AddEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.AddEdge(0, 1); err != nil { // parallel edge
+		t.Fatal(err)
+	}
+	p, ok := g.PortTo(0, 1)
+	if !ok || p != p01a {
+		t.Fatalf("PortTo(0,1) = %d,%v; want lowest port %d", p, ok, p01a)
+	}
+	h, err := g.Neighbor(0, p)
+	if err != nil || h.To != 1 {
+		t.Fatalf("port %d leads to %v (%v)", p, h, err)
+	}
+	if _, ok := g.PortTo(1, 2); ok {
+		t.Fatal("PortTo invented an edge")
+	}
+}

@@ -200,6 +200,14 @@ func NewGaugeVecFunc(name, help string, fn func() []Sample) *VecFunc {
 	return &VecFunc{d: desc{name: name, help: help, typ: "gauge"}, fn: fn}
 }
 
+// NewCounterVecFunc exposes fn's samples as a labeled counter family. By
+// convention the name ends in _total; each sample's value must be monotone
+// for its label set (fn typically reads counters a subsystem already
+// maintains).
+func NewCounterVecFunc(name, help string, fn func() []Sample) *VecFunc {
+	return &VecFunc{d: desc{name: name, help: help, typ: "counter"}, fn: fn}
+}
+
 func (v *VecFunc) metricDesc() *desc { return &v.d }
 
 func (v *VecFunc) Write(b *bytes.Buffer) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/engine"
@@ -57,6 +58,12 @@ type Worlds struct {
 	m     map[string]*WorldEntry
 	names int // generated-name counter ("w<n>")
 	seq   int // creation counter, for stable listing order
+
+	// recompDelta/recompFull aggregate recompile latency across all worlds
+	// (deleted ones included — latency history outlives the world), split
+	// by compile path. Create installs the observer feeding them.
+	recompDelta *obs.Histogram
+	recompFull  *obs.Histogram
 }
 
 // NewWorlds builds an empty world table holding at most limit worlds
@@ -65,7 +72,13 @@ func NewWorlds(limit int) *Worlds {
 	if limit <= 0 {
 		limit = DefaultWorldLimit
 	}
-	return &Worlds{limit: limit, m: make(map[string]*WorldEntry)}
+	const recompHelp = "World snapshot recompile latency, by compile path (delta = journal-driven patch, full = from-scratch reduction)."
+	return &Worlds{
+		limit:       limit,
+		m:           make(map[string]*WorldEntry),
+		recompDelta: obs.NewLatencyHistogram("adhoc_world_recompile_duration_seconds", recompHelp, obs.Labels{"path": "delta"}),
+		recompFull:  obs.NewLatencyHistogram("adhoc_world_recompile_duration_seconds", recompHelp, obs.Labels{"path": "full"}),
+	}
 }
 
 // validWorldName accepts 1..64 chars of [A-Za-z0-9_-] — IDs appear in
@@ -133,6 +146,16 @@ func (ws *Worlds) Create(name string, ent *WorldEntry) (*WorldEntry, error) {
 	ws.seq++
 	ent.seq = ws.seq
 	ws.m[name] = ent
+	// Feed the shared recompile-latency histograms from this world's
+	// rebuilds. The observer runs under the world's lock, so it only does
+	// the lock-free histogram observe.
+	ent.W.SetRecompileObserver(func(path string, _ uint64, d time.Duration) {
+		if path == "delta" {
+			ws.recompDelta.Observe(int64(d))
+		} else {
+			ws.recompFull.Observe(int64(d))
+		}
+	})
 	return ent, nil
 }
 
@@ -181,15 +204,21 @@ func (ws *Worlds) Len() int {
 // field copies, never across a recompile, and paid at scrape cadence
 // (seconds), not query cadence.
 func (ws *Worlds) RegisterMetrics(o *obs.Registry) error {
-	perWorld := func(name, help string, f func(dynamic.Snapshot) float64) *obs.VecFunc {
-		return obs.NewGaugeVecFunc(name, help, func() []obs.Sample {
+	samples := func(f func(dynamic.Snapshot) float64) func() []obs.Sample {
+		return func() []obs.Sample {
 			ents := ws.List()
 			out := make([]obs.Sample, len(ents))
 			for i, ent := range ents {
 				out[i] = obs.Sample{Labels: obs.Labels{"world": ent.ID}, Value: f(ent.W.Snapshot())}
 			}
 			return out
-		})
+		}
+	}
+	perWorld := func(name, help string, f func(dynamic.Snapshot) float64) *obs.VecFunc {
+		return obs.NewGaugeVecFunc(name, help, samples(f))
+	}
+	perWorldCounter := func(name, help string, f func(dynamic.Snapshot) float64) *obs.VecFunc {
+		return obs.NewCounterVecFunc(name, help, samples(f))
 	}
 	return o.Register(
 		obs.NewGaugeFunc("adhoc_worlds", "Resident named dynamic worlds.", nil,
@@ -200,6 +229,14 @@ func (ws *Worlds) RegisterMetrics(o *obs.Registry) error {
 			func(s dynamic.Snapshot) float64 { return float64(s.Links) }),
 		perWorld("adhoc_world_recompiles", "Churn-forced snapshot recompiles per resident world.",
 			func(s dynamic.Snapshot) float64 { return float64(s.Recompiles) }),
+		perWorldCounter("adhoc_world_delta_recompiles_total",
+			"Rebuilds that took the O(diff) journal/delta compile path, per resident world.",
+			func(s dynamic.Snapshot) float64 { return float64(s.DeltaRecompiles) }),
+		perWorldCounter("adhoc_world_full_recompiles_total",
+			"Rebuilds that took the O(graph) full compile path, per resident world.",
+			func(s dynamic.Snapshot) float64 { return float64(s.FullRecompiles) }),
+		ws.recompDelta,
+		ws.recompFull,
 		perWorld("adhoc_world_compile_cache_hits", "Compile-cache hits per resident world.",
 			func(s dynamic.Snapshot) float64 { return float64(s.CacheHits) }),
 		perWorld("adhoc_world_recompile_seconds", "Total wall time spent in churn-forced rebuilds per resident world.",
