@@ -106,15 +106,18 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/registry"
+	"repro/internal/token"
 )
 
 func main() {
@@ -171,6 +174,16 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		profMinInterval = fs.Duration("prof-min-interval", 30*time.Second, "minimum spacing between profile trips (rate limit)")
 		profGuard       = fs.Duration("prof-guard", defaultProfGuard, "request latency that trips a profile capture directly (0 disables the guard)")
 
+		clusterOn        = fs.Bool("cluster", false, "run as one shard of a consistent-hash cluster (requires -cluster-name and -token-key)")
+		clusterName      = fs.String("cluster-name", "", "stable shard identity on the ring (required with -cluster)")
+		clusterAdvertise = fs.String("cluster-advertise", "", "base URL peers reach this shard at, e.g. http://10.0.0.5:8080 (default: derived from the bound listener; required for multi-host clusters)")
+		clusterPeers     = fs.String("cluster-peers", "", "comma-separated seed base URLs for gossip bootstrap")
+		clusterVnodes    = fs.Int("cluster-vnodes", cluster.DefaultVnodes, "virtual nodes per member on the placement ring")
+		clusterInterval  = fs.Duration("cluster-gossip-interval", 500*time.Millisecond, "gossip tick cadence")
+		clusterSuspect   = fs.Int("cluster-suspect-ticks", cluster.DefaultSuspectAfterTicks, "ticks of heartbeat silence before a peer is suspected")
+		clusterDead      = fs.Int("cluster-dead-ticks", cluster.DefaultDeadAfterTicks, "further ticks of silence before a suspected peer is declared dead")
+		tokenKeySrc      = fs.String("token-key", "", `resume-token HMAC key: a file path or "env:NAME", containing >=16 bytes of hex; tokens then survive restarts and verify on every process sharing the key (required with -cluster). Default: a random per-process key`)
+
 		maxBody     = fs.Int64("max-body", defaultMaxBody, "request body cap in bytes (-1 = unlimited)")
 		maxBatch    = fs.Int("max-batch", defaultMaxBatch, "batch members per request (-1 = unlimited)")
 		maxInflight = fs.Int("max-inflight", defaultMaxInflight, "concurrently admitted requests (-1 = unlimited)")
@@ -192,6 +205,53 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			drainDur = *drainAlt
 		}
 	})
+	// Cluster flags follow the chaos-enable pattern: -cluster-* without
+	// -cluster is refused (a typoed launch must not half-configure a
+	// shard), and -cluster without the identity and shared token key is
+	// refused (anonymous shards can't own keys; per-process token keys
+	// would strand every cross-shard resume).
+	var clusterCfg *clusterConfig
+	var tokenKey []byte
+	if src := *tokenKeySrc; src != "" {
+		key, err := token.LoadKey(src)
+		if err != nil {
+			return err
+		}
+		tokenKey = key
+	}
+	if !*clusterOn {
+		var stray string
+		fs.Visit(func(f *flag.Flag) {
+			if strings.HasPrefix(f.Name, "cluster-") {
+				stray = f.Name
+			}
+		})
+		if stray != "" {
+			return fmt.Errorf("-%s requires -cluster", stray)
+		}
+	} else {
+		if *clusterName == "" {
+			return errors.New("-cluster requires -cluster-name (the shard's stable ring identity)")
+		}
+		if tokenKey == nil {
+			return errors.New("-cluster requires -token-key (resume tokens must verify on every shard)")
+		}
+		var peers []string
+		for _, p := range strings.Split(*clusterPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		clusterCfg = &clusterConfig{
+			name:      *clusterName,
+			advertise: *clusterAdvertise,
+			peers:     peers,
+			vnodes:    *clusterVnodes,
+			interval:  *clusterInterval,
+			suspect:   *clusterSuspect,
+			dead:      *clusterDead,
+		}
+	}
 	// Chaos is armed only behind the master switch: a production launch
 	// cannot inject faults by a single mistyped flag.
 	chaosCfg := chaos.Config{
@@ -266,6 +326,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		logOut:        logOut,
 		chaos:         inj,
 		drainLog:      drainOut,
+		tokenKey:      tokenKey,
+		cluster:       clusterCfg,
 
 		sloSpec:         *sloSpec,
 		sloInterval:     *sloInterval,
@@ -358,6 +420,15 @@ func serve(addr string, h http.Handler, metricsAddr string, ops http.Handler, ou
 	defer close(sloStop)
 	if d, ok := h.(interface{ RunSLO(<-chan struct{}) }); ok {
 		go d.RunSLO(sloStop)
+	}
+	// Start the cluster gossip loop (a no-op without -cluster), handing it
+	// the dialable form of the bound address for shards launched without
+	// an explicit -cluster-advertise (tests and single-host clusters on
+	// :0 learn their port only now).
+	if c, ok := h.(interface {
+		RunCluster(string, <-chan struct{})
+	}); ok {
+		go c.RunCluster(advertiseURL(ln.Addr()), sloStop)
 	}
 
 	errCh := make(chan error, len(srvs))

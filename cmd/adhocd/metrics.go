@@ -165,6 +165,11 @@ func (s *server) registerMetrics(patterns []string) error {
 			return err
 		}
 	}
+	if s.cluster != nil {
+		if err := s.cluster.registerMetrics(s.obs); err != nil {
+			return err
+		}
+	}
 	hm, err := newHTTPMetrics(s.obs, patterns)
 	if err != nil {
 		return err

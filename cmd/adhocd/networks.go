@@ -76,11 +76,15 @@ func (s *server) networkFor(w http.ResponseWriter, id string) (*registry.Entry, 
 	return ent, true
 }
 
-// handleNetworkInfo describes one resident network.
+// handleNetworkInfo describes one resident network, spec included — the
+// spec plus the spec-derived ID let any reader reconstruct the network
+// exactly (cluster shards use the same property to migrate worlds).
 func (s *server) handleNetworkInfo(w http.ResponseWriter, r *http.Request) {
 	ent, ok := s.networkFor(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, infoOf(ent.ID, ent.Desc, ent.Eng, ent.CompileTime))
+	info := infoOf(ent.ID, ent.Desc, ent.Eng, ent.CompileTime)
+	info.Spec = &ent.Spec
+	writeJSON(w, http.StatusOK, info)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/dynamic"
 	"repro/internal/engine"
 	"repro/internal/geom"
@@ -89,6 +90,16 @@ type serverConfig struct {
 	// minted while the server was draining — the in-flight walk cursors a
 	// replacement instance can pick up.
 	drainLog io.Writer
+
+	// tokenKey, when non-empty, is the shared HMAC key for resume tokens
+	// (-token-key). Empty keeps the single-process default: a random
+	// per-boot key. Cluster mode requires a shared key — tokens must
+	// verify on whichever shard the resumed walk lands on.
+	tokenKey []byte
+	// cluster, when non-nil, runs this server as one shard of a
+	// consistent-hash cluster (-cluster): gossip membership, ownership
+	// routing on /v1/networks* and /v1/worlds*, and world rebalancing.
+	cluster *clusterConfig
 }
 
 func (c serverConfig) bodyLimit() int64 {
@@ -161,11 +172,16 @@ type server struct {
 	prof      *profrec.Recorder
 	profGuard time.Duration
 
-	// tok signs the opaque resume tokens budgeted walks mint. The key is
-	// per-process: tokens live exactly as long as the server (and the
-	// worlds) they point into.
+	// tok signs the opaque resume tokens budgeted walks mint. Without
+	// -token-key the key is per-process (tokens live exactly as long as
+	// the server); with it, tokens are portable across every process
+	// sharing the key — the basis of cross-shard resume in cluster mode.
 	tok   *token.Signer
 	chaos *chaos.Injector // nil = no fault injection
+
+	// cluster is the distribution layer (nil in single-server mode): ring
+	// ownership, gossip, forwarding, world migration. See cluster.go.
+	cluster *clusterNode
 
 	// Drain state: BeginDrain flips draining (healthz goes 503) and cancels
 	// drainCtx, which interrupts in-flight budgeted walks at their next
@@ -206,7 +222,7 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 			Capacity:      cfg.traceCapacity,
 		}),
 		reqLog:      newRequestLog(cfg.logOut),
-		tok:         token.NewSigner(nil),
+		tok:         token.NewSigner(cfg.tokenKey),
 		chaos:       cfg.chaos,
 		drainLog:    cfg.drainLog,
 		sloNow:      time.Now,
@@ -248,6 +264,13 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 	if n := cfg.inflightLimit(); n > 0 {
 		s.inflight = make(chan struct{}, n)
 	}
+	// The cluster node must exist before the endpoint table: the tenant
+	// routes below are wrapped with ownership routing, and the wrapper
+	// reads s.cluster per request (nil = serve locally, the single-server
+	// fast path).
+	if cfg.cluster != nil {
+		s.cluster = newClusterNode(s, *cfg.cluster)
+	}
 	// handle registers a route and collects its pattern so the HTTP
 	// metrics layer pre-builds one latency histogram + status counters per
 	// endpoint (the per-request path is then a read-only map lookup).
@@ -267,17 +290,31 @@ func newServer(eng *engine.Engine, pos map[graph.NodeID]geom.Point, desc string,
 	handle("POST /v1/dynamic", s.handleDynamic)
 
 	// Multi-tenant surface: runtime-compiled networks and shared worlds.
-	handle("POST /v1/networks", s.handleNetworkCreate)
+	// Each route is wrapped with cluster ownership routing (a nil check in
+	// single-server mode): the key derivations place networks by their
+	// spec-derived ID and worlds by name, so every shard resolves the same
+	// owner for the same resource. List endpoints stay local — each shard
+	// reports what it serves.
+	handle("POST /v1/networks", s.clustered(netCreateKey, s.handleNetworkCreate))
 	handle("GET /v1/networks", s.handleNetworkList)
-	handle("GET /v1/networks/{id}", s.handleNetworkInfo)
-	handle("POST /v1/networks/{id}/route", s.namedEngine(s.handleRoute))
-	handle("POST /v1/networks/{id}/batch", s.namedEngine(s.handleBatch))
-	handle("POST /v1/worlds", s.handleWorldCreate)
+	handle("GET /v1/networks/{id}", s.clustered(netIDKey, s.handleNetworkInfo))
+	handle("POST /v1/networks/{id}/route", s.clustered(netIDKey, s.namedEngine(s.handleRoute)))
+	handle("POST /v1/networks/{id}/batch", s.clustered(netIDKey, s.namedEngine(s.handleBatch)))
+	handle("POST /v1/worlds", s.clustered(worldCreateKey, s.handleWorldCreate))
 	handle("GET /v1/worlds", s.handleWorldList)
-	handle("GET /v1/worlds/{id}", s.handleWorldInfo)
-	handle("POST /v1/worlds/{id}/advance", s.handleWorldAdvance)
-	handle("POST /v1/worlds/{id}/route", s.handleWorldRoute)
-	handle("DELETE /v1/worlds/{id}", s.handleWorldDelete)
+	handle("GET /v1/worlds/{id}", s.clustered(worldIDKey, s.handleWorldInfo))
+	handle("POST /v1/worlds/{id}/advance", s.clustered(worldIDKey, s.handleWorldAdvance))
+	handle("POST /v1/worlds/{id}/route", s.clustered(worldIDKey, s.handleWorldRoute))
+	handle("DELETE /v1/worlds/{id}", s.clustered(worldIDKey, s.handleWorldDelete))
+
+	// The cluster control surface: the shard map, the gossip exchange, and
+	// the world-migration handoff (the latter two bypass admission control
+	// in ServeHTTP — membership and drain must work on a saturated shard).
+	if s.cluster != nil {
+		handle("GET /v1/cluster", s.cluster.handleInfo)
+		handle("POST "+cluster.GossipPath, s.cluster.handleGossip)
+		handle("POST "+migratePath, s.cluster.handleMigrate)
+	}
 
 	// Flight recorder: retained slow/failed traces, newest first.
 	handle("GET /v1/traces", s.handleTraceList)
@@ -367,6 +404,15 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.mux.ServeHTTP(sr, r)
 		return
 	}
+	// Cluster control traffic also bypasses admission (and request chaos):
+	// an overloaded shard must not be gossiped dead by its own admission
+	// control, and a draining shard must be able to hand worlds to a busy
+	// peer. Both handlers apply their own body caps.
+	if s.cluster != nil && r.Method == http.MethodPost &&
+		(r.URL.Path == cluster.GossipPath || r.URL.Path == migratePath) {
+		s.mux.ServeHTTP(sr, r)
+		return
+	}
 	if s.inflight != nil {
 		select {
 		case s.inflight <- struct{}{}:
@@ -431,6 +477,13 @@ func (s *server) retryAfterSeconds() int {
 func (s *server) BeginDrain() {
 	if s.draining.CompareAndSwap(false, true) {
 		s.drainFired()
+		// In cluster mode, drain is also departure: broadcast the death
+		// verdict (peers shrink their rings immediately instead of waiting
+		// out the failure detector) and hand every local world to its new
+		// owner while the listener is still up to answer forwards.
+		if s.cluster != nil {
+			s.cluster.leave()
+		}
 	}
 }
 
@@ -590,6 +643,11 @@ type networkInfo struct {
 	Workers      int     `json:"workers"`
 	Seed         uint64  `json:"seed"`
 	CompileMS    float64 `json:"compile_ms"`
+	// Spec is the canonical spec a registry network was compiled from,
+	// included by GET /v1/networks/{id} only: with it, any client (or
+	// shard) can re-register the identical network anywhere — the ID is
+	// spec-derived, so the round trip is exact.
+	Spec *registry.Spec `json:"spec,omitempty"`
 }
 
 // infoOf summarizes a served engine. compile is the one-off preparation

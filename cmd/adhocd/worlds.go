@@ -79,8 +79,16 @@ func (s *server) handleWorldCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	eng, pos := s.eng, s.pos
 	if req.NetworkID != "" {
-		ent, ok := s.networkFor(w, req.NetworkID)
+		ent, ok := s.reg.Get(req.NetworkID)
+		if !ok && s.cluster != nil {
+			// The world hashed here but its backing network hashed to another
+			// shard: pull the spec from the network's owner and compile it
+			// locally (same spec → same engine).
+			ent, ok = s.cluster.fetchNetwork(r.Context(), req.NetworkID)
+		}
 		if !ok {
+			writeJSON(w, http.StatusNotFound,
+				errorBody{Error: fmt.Sprintf("unknown network %q (re-register via POST /v1/networks)", req.NetworkID)})
 			return
 		}
 		eng, pos = ent.Eng, ent.Pos
@@ -111,6 +119,7 @@ func (s *server) handleWorldCreate(w http.ResponseWriter, r *http.Request) {
 		Desc:      desc,
 		Eng:       eng,
 		W:         world,
+		Schedule:  req.Schedule,
 	})
 	if err != nil {
 		writeWorldCreateErr(w, err)

@@ -92,6 +92,7 @@ type config struct {
 	jsonPath     string
 	slowest      int
 	slo          bool
+	cluster      bool
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -107,6 +108,7 @@ func parseFlags(args []string) (*config, error) {
 		jsonOut   = fs.String("json", "", "write the JSON report to this path (\"-\" = stdout)")
 		slowest   = fs.Int("slowest", 3, "report the trace IDs of the k slowest requests per scenario (0 disables)")
 		sloCheck  = fs.Bool("slo", false, "after the run, fetch the server's GET /v1/slo objectives and fail (exit nonzero) on any violation: a server-side burning objective, a measured latency quantile over its declared threshold, or wrong verdicts against a zero-tolerance objective")
+		clust     = fs.Bool("cluster", false, "discover the shard map via GET /v1/cluster on -addr, spread workers across the member addresses, rotate away from a shard on transport error or 503, and report per-shard latency")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -138,6 +140,7 @@ func parseFlags(args []string) (*config, error) {
 		jsonPath:     *jsonOut,
 		slowest:      *slowest,
 		slo:          *sloCheck,
+		cluster:      *clust,
 	}, nil
 }
 
@@ -191,6 +194,10 @@ type sample struct {
 	resumes  int32
 	ns       int64
 	trace    trace.TraceID
+	// shard names the shard that served the request (-cluster mode): the
+	// reply's X-Adhoc-Shard when the owner differed from the entry shard,
+	// otherwise the entry shard itself. "" in single-server mode.
+	shard string
 }
 
 // worker runs the closed loop until deadline, appending samples to its
@@ -198,6 +205,7 @@ type sample struct {
 type worker struct {
 	gen     *generator
 	rng     *rand.Rand
+	tgt     *target
 	picks   []int8 // weighted scenario table
 	samples []sample
 }
@@ -208,9 +216,88 @@ type generator struct {
 	client  *http.Client
 	nodes   int64  // boot network size, for random src/dst
 	worldID string // shared world, when the mix includes "world"
+	// shards is the discovered cluster member list (-cluster); empty means
+	// single-server mode and every request goes to -addr.
+	shards []shardAddr
+	// rotations counts shard switches forced by transport errors or 503s.
+	rotations atomic.Int64
 	// compileSeq makes every compile-storm spec distinct, guaranteeing a
 	// registry miss (the cold path under test).
 	compileSeq atomic.Int64
+}
+
+// shardAddr is one discovered cluster member.
+type shardAddr struct {
+	name string
+	base string
+}
+
+// target is one worker's view of where requests go: a cursor over the
+// discovered shard list. Workers start at distinct offsets so connections
+// spread across the cluster; rotate moves to the next member when the
+// current one stops answering (transport error or 503 — a draining or dead
+// shard must not pin its workers).
+type target struct {
+	g   *generator
+	cur int
+}
+
+func (t *target) base() string {
+	if len(t.g.shards) == 0 {
+		return t.g.cfg.addr
+	}
+	return t.g.shards[t.cur%len(t.g.shards)].base
+}
+
+// name is the entry shard's name ("" in single-server mode) — the sample
+// tag fallback when the reply carries no X-Adhoc-Shard header.
+func (t *target) name() string {
+	if len(t.g.shards) == 0 {
+		return ""
+	}
+	return t.g.shards[t.cur%len(t.g.shards)].name
+}
+
+func (t *target) rotate() {
+	if len(t.g.shards) > 1 {
+		t.cur++
+		t.g.rotations.Add(1)
+	}
+}
+
+// discoverShards resolves the cluster's member list from any one shard's
+// GET /v1/cluster. Members come back sorted by name so worker spreading is
+// deterministic for a given cluster.
+func (g *generator) discoverShards() error {
+	resp, err := g.client.Get(g.cfg.addr + "/v1/cluster")
+	if err != nil {
+		return fmt.Errorf("discover %s/v1/cluster: %w (is adhocd running with -cluster?)", g.cfg.addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("discover: GET /v1/cluster = %d (is adhocd running with -cluster?)", resp.StatusCode)
+	}
+	var info struct {
+		Members []struct {
+			Name string `json:"name"`
+			Addr string `json:"addr"`
+		} `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return fmt.Errorf("discover: decode cluster info: %w", err)
+	}
+	if len(info.Members) == 0 {
+		return fmt.Errorf("discover: cluster reports no members")
+	}
+	g.shards = g.shards[:0]
+	for _, m := range info.Members {
+		if m.Name == "" || m.Addr == "" {
+			return fmt.Errorf("discover: member %+v missing name or addr", m)
+		}
+		g.shards = append(g.shards, shardAddr{name: m.Name, base: strings.TrimSuffix(m.Addr, "/")})
+	}
+	sort.Slice(g.shards, func(i, j int) bool { return g.shards[i].name < g.shards[j].name })
+	return nil
 }
 
 // probe fetches the boot network summary so src/dst can be drawn from
@@ -273,29 +360,34 @@ func setupRetry(step func() error) error {
 	return err
 }
 
-// postFull issues one POST with the given traceparent and returns the HTTP
-// status (0 on a transport error) plus the Retry-After header. When out is
-// non-nil a 2xx body is decoded into it; otherwise the body is drained so
-// the connection is reused.
-func (g *generator) postFull(path, body, traceparent string, out any) (int, string) {
-	req, err := http.NewRequest(http.MethodPost, g.cfg.addr+path, strings.NewReader(body))
+// postFull issues one POST through the worker's current target and returns
+// the HTTP status (0 on a transport error), the Retry-After header, and
+// the name of the shard that served the reply. When out is non-nil a 2xx
+// body is decoded into it; otherwise the body is drained so the connection
+// is reused.
+func (g *generator) postFull(t *target, path, body, traceparent string, out any) (int, string, string) {
+	req, err := http.NewRequest(http.MethodPost, t.base()+path, strings.NewReader(body))
 	if err != nil {
-		return 0, ""
+		return 0, "", t.name()
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("traceparent", traceparent)
 	resp, err := g.client.Do(req)
 	if err != nil {
-		return 0, ""
+		return 0, "", t.name()
 	}
 	defer resp.Body.Close()
+	shard := resp.Header.Get("X-Adhoc-Shard")
+	if shard == "" {
+		shard = t.name()
+	}
 	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return 0, ""
+			return 0, "", shard
 		}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, resp.Header.Get("Retry-After")
+	return resp.StatusCode, resp.Header.Get("Retry-After"), shard
 }
 
 // Backoff policy for 429 (admission rejection) and 503 (draining server):
@@ -310,16 +402,26 @@ const (
 
 // postRetry is postFull with the backoff policy: it re-sends on 429/503
 // until another status, the attempt cap, or the run deadline, and returns
-// the final status plus how many retries were absorbed.
-func (g *generator) postRetry(path, body, traceparent string, rng *rand.Rand, deadline time.Time, out any) (int, int32) {
+// the final status, how many retries were absorbed, and the serving shard.
+// In cluster mode a transport error (status 0) or 503 also rotates the
+// worker's target to the next shard — a dead or draining member must not
+// pin its workers — and status 0 becomes retryable since the re-send goes
+// somewhere else.
+func (g *generator) postRetry(t *target, path, body, traceparent string, rng *rand.Rand, deadline time.Time, out any) (int, int32, string) {
 	backoff := retryBase
+	multi := len(g.shards) > 1
 	for attempt := int32(0); ; attempt++ {
-		status, advice := g.postFull(path, body, traceparent, out)
-		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
-			return status, attempt
+		status, advice, shard := g.postFull(t, path, body, traceparent, out)
+		retryable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable ||
+			(status == 0 && multi)
+		if !retryable {
+			return status, attempt, shard
+		}
+		if status == 0 || status == http.StatusServiceUnavailable {
+			t.rotate()
 		}
 		if attempt >= retryMax || !time.Now().Before(deadline) {
-			return status, attempt
+			return status, attempt, shard
 		}
 		wait := backoff
 		if secs, err := strconv.Atoi(advice); err == nil && secs > 0 {
@@ -345,18 +447,19 @@ type outcome struct {
 	wrong   bool
 	retries int32
 	resumes int32
+	shard   string
 }
 
-// ok2xx folds a postRetry status into an outcome.
-func ok2xx(status int, retries int32) outcome {
-	return outcome{ok: status >= 200 && status < 300, retries: retries}
+// ok2xx folds a postRetry result into an outcome.
+func ok2xx(status int, retries int32, shard string) outcome {
+	return outcome{ok: status >= 200 && status < 300, retries: retries, shard: shard}
 }
 
 // do runs one request of the given scenario under the given traceparent.
-func (g *generator) do(s int8, rng *rand.Rand, traceparent string, deadline time.Time) outcome {
+func (g *generator) do(s int8, t *target, rng *rand.Rand, traceparent string, deadline time.Time) outcome {
 	switch scenarioNames[s] {
 	case "route":
-		return ok2xx(g.postRetry("/v1/route",
+		return ok2xx(g.postRetry(t, "/v1/route",
 			fmt.Sprintf(`{"src":%d,"dst":%d}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)),
 			traceparent, rng, deadline, nil))
 	case "batch":
@@ -369,19 +472,19 @@ func (g *generator) do(s int8, rng *rand.Rand, traceparent string, deadline time
 			fmt.Fprintf(&b, "[%d,%d]", rng.Int63n(g.nodes), rng.Int63n(g.nodes))
 		}
 		b.WriteString(`]}`)
-		return ok2xx(g.postRetry("/v1/batch", b.String(), traceparent, rng, deadline, nil))
+		return ok2xx(g.postRetry(t, "/v1/batch", b.String(), traceparent, rng, deadline, nil))
 	case "world":
-		return ok2xx(g.postRetry("/v1/worlds/"+g.worldID+"/route",
+		return ok2xx(g.postRetry(t, "/v1/worlds/"+g.worldID+"/route",
 			fmt.Sprintf(`{"src":%d,"dst":%d,"hops_per_epoch":-1}`, rng.Int63n(g.nodes), rng.Int63n(g.nodes)),
 			traceparent, rng, deadline, nil))
 	case "compile":
 		// Every spec is new (seq-distinct protocol seed): a guaranteed
 		// registry miss, compiling an 8x8 grid and churning the LRU.
-		return ok2xx(g.postRetry("/v1/networks",
+		return ok2xx(g.postRetry(t, "/v1/networks",
 			fmt.Sprintf(`{"kind":"grid","rows":8,"cols":8,"seed":%d}`, g.compileSeq.Add(1)),
 			traceparent, rng, deadline, nil))
 	case "resume":
-		return g.doResume(rng, traceparent, deadline)
+		return g.doResume(t, rng, traceparent, deadline)
 	}
 	return outcome{}
 }
@@ -390,14 +493,14 @@ func (g *generator) do(s int8, rng *rand.Rand, traceparent string, deadline time
 // the reference verdict, then the same pair chopped into -resume-budget
 // hop segments, each resumed from the server's signed token. The verdicts
 // must agree — a disagreement is the wrong_verdicts CI gate firing.
-func (g *generator) doResume(rng *rand.Rand, traceparent string, deadline time.Time) outcome {
+func (g *generator) doResume(t *target, rng *rand.Rand, traceparent string, deadline time.Time) outcome {
 	src, dst := rng.Int63n(g.nodes), rng.Int63n(g.nodes)
 	var ref struct {
 		Status string `json:"status"`
 	}
-	status, retries := g.postRetry("/v1/route",
+	status, retries, shard := g.postRetry(t, "/v1/route",
 		fmt.Sprintf(`{"src":%d,"dst":%d}`, src, dst), traceparent, rng, deadline, &ref)
-	res := outcome{retries: retries}
+	res := outcome{retries: retries, shard: shard}
 	if status < 200 || status >= 300 {
 		return res
 	}
@@ -409,7 +512,7 @@ func (g *generator) doResume(rng *rand.Rand, traceparent string, deadline time.T
 		}
 		body := fmt.Sprintf(`{"src":%d,"dst":%d,"budget_hops":%d,"resume":%q}`,
 			src, dst, g.cfg.resumeBudget, resume)
-		status, retries = g.postRetry("/v1/route", body, traceparent, rng, deadline, &rep)
+		status, retries, res.shard = g.postRetry(t, "/v1/route", body, traceparent, rng, deadline, &rep)
 		res.retries += retries
 		if status < 200 || status >= 300 {
 			return res
@@ -435,11 +538,11 @@ func (w *worker) loop(deadline time.Time) {
 		tid := trace.NewTraceID()
 		tp := trace.Traceparent(tid, trace.NewSpanID(), trace.FlagSampled)
 		t0 := time.Now()
-		o := w.gen.do(s, w.rng, tp, deadline)
+		o := w.gen.do(s, w.tgt, w.rng, tp, deadline)
 		w.samples = append(w.samples, sample{
 			scenario: s, ok: o.ok, wrong: o.wrong,
 			retries: o.retries, resumes: o.resumes,
-			ns: int64(time.Since(t0)), trace: tid,
+			ns: int64(time.Since(t0)), trace: tid, shard: o.shard,
 		})
 	}
 }
@@ -475,6 +578,19 @@ type SlowRequest struct {
 	US      float64 `json:"us"`
 }
 
+// ShardReport is one cluster member's share of the run (-cluster):
+// samples are tagged with the shard that actually served them (the
+// X-Adhoc-Shard header when the owner differed from the entry shard), so
+// a member that silently served nothing shows up as an empty row — the
+// per-shard p99 is what the cluster smoke job gates on.
+type ShardReport struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50US    float64 `json:"p50_us"`
+	P99US    float64 `json:"p99_us"`
+}
+
 // Report is the loadgen output shape (-json).
 type Report struct {
 	Addr        string           `json:"addr"`
@@ -483,6 +599,11 @@ type Report struct {
 	Mix         map[string]int   `json:"mix"`
 	Total       ScenarioReport   `json:"total"`
 	Scenarios   []ScenarioReport `json:"scenarios"`
+	// Shards breaks the run down by serving shard (-cluster mode), and
+	// Rotations counts how many times a worker switched shards because its
+	// target stopped answering (transport error or 503).
+	Shards    []ShardReport `json:"shards,omitempty"`
+	Rotations int64         `json:"rotations,omitempty"`
 	// SLOViolations lists every objective the run violated (-slo mode):
 	// non-empty makes loadgen exit nonzero — the CI gate.
 	SLOViolations []string `json:"slo_violations,omitempty"`
@@ -557,6 +678,11 @@ func run(args []string, out io.Writer) error {
 	if err := setupRetry(gen.probe); err != nil {
 		return err
 	}
+	if cfg.cluster {
+		if err := setupRetry(gen.discoverShards); err != nil {
+			return err
+		}
+	}
 	if cfg.mix["world"] > 0 {
 		if err := setupRetry(gen.setupWorld); err != nil {
 			return err
@@ -577,8 +703,11 @@ func run(args []string, out io.Writer) error {
 	deadline := start.Add(cfg.d)
 	for i := range workers {
 		workers[i] = &worker{
-			gen:   gen,
-			rng:   rand.New(rand.NewSource(cfg.seed + int64(i)*7919)),
+			gen: gen,
+			rng: rand.New(rand.NewSource(cfg.seed + int64(i)*7919)),
+			// Distinct starting offsets spread worker connections across the
+			// discovered shards instead of dogpiling the -addr one.
+			tgt:   &target{g: gen, cur: i},
 			picks: picks,
 		}
 		wg.Add(1)
@@ -634,6 +763,10 @@ func run(args []string, out io.Writer) error {
 		}
 		rep.Scenarios = append(rep.Scenarios, summarize(name, perReq[i], perErr[i], perTal[i], perOK[i], elapsed, cfg.slowest))
 	}
+	if cfg.cluster {
+		rep.Shards = shardBreakdown(gen.shards, workers)
+		rep.Rotations = gen.rotations.Load()
+	}
 
 	if cfg.slo {
 		if err := gen.evalSLO(&rep); err != nil {
@@ -662,6 +795,53 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// shardBreakdown groups every sample by the shard that served it and
+// computes per-shard latency quantiles. Discovered members come first (in
+// name order, zero rows kept — a shard that served nothing is a finding);
+// shards seen only in reply headers (joined after discovery) are appended.
+func shardBreakdown(discovered []shardAddr, workers []*worker) []ShardReport {
+	order := make([]string, 0, len(discovered))
+	byName := make(map[string]*ShardReport, len(discovered))
+	lats := make(map[string][]int64, len(discovered))
+	add := func(name string) *ShardReport {
+		r, ok := byName[name]
+		if !ok {
+			r = &ShardReport{Name: name}
+			byName[name] = r
+			order = append(order, name)
+		}
+		return r
+	}
+	for _, sa := range discovered {
+		add(sa.name)
+	}
+	for _, w := range workers {
+		for _, s := range w.samples {
+			name := s.shard
+			if name == "" {
+				name = "unknown"
+			}
+			r := add(name)
+			r.Requests++
+			if !s.ok {
+				r.Errors++
+				continue
+			}
+			lats[name] = append(lats[name], s.ns)
+		}
+	}
+	out := make([]ShardReport, 0, len(order))
+	for _, name := range order {
+		r := byName[name]
+		sorted := lats[name]
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.P50US = float64(percentile(sorted, 0.50)) / 1e3
+		r.P99US = float64(percentile(sorted, 0.99)) / 1e3
+		out = append(out, *r)
+	}
+	return out
+}
+
 // writeText renders the human-readable report table.
 func writeText(out io.Writer, rep *Report) {
 	fmt.Fprintf(out, "loadgen: %s  c=%d  %.2fs\n", rep.Addr, rep.Concurrency, rep.DurationSec)
@@ -680,6 +860,13 @@ func writeText(out io.Writer, rep *Report) {
 	if t := rep.Total; t.Retries > 0 || t.Resumes > 0 || t.WrongVerdicts > 0 {
 		fmt.Fprintf(out, "resilience: retries=%d resumes=%d wrong_verdicts=%d\n",
 			t.Retries, t.Resumes, t.WrongVerdicts)
+	}
+	for _, s := range rep.Shards {
+		fmt.Fprintf(out, "shard %-12s %10d requests %7d errors %9.1fµs p50 %9.1fµs p99\n",
+			s.Name, s.Requests, s.Errors, s.P50US, s.P99US)
+	}
+	if rep.Rotations > 0 {
+		fmt.Fprintf(out, "rotations: %d (workers switched shards on transport error or 503)\n", rep.Rotations)
 	}
 	for _, v := range rep.SLOViolations {
 		fmt.Fprintf(out, "SLO VIOLATION: %s\n", v)

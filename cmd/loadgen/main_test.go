@@ -361,6 +361,155 @@ func TestRunWrongVerdictDetected(t *testing.T) {
 	}
 }
 
+// shardStub is one fake cluster member: it serves the probe and route
+// endpoints, stamps every reply with its shard name, and (on the member
+// whose URL loadgen was pointed at) the /v1/cluster discovery document.
+type shardStub struct {
+	name    string
+	hits    atomic.Int64
+	cluster func() string // non-nil on the discovery member
+}
+
+func (st *shardStub) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/network", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Adhoc-Shard", st.name)
+		_, _ = w.Write([]byte(`{"nodes":16,"links":24}`))
+	})
+	mux.HandleFunc("POST /v1/route", func(w http.ResponseWriter, _ *http.Request) {
+		st.hits.Add(1)
+		w.Header().Set("X-Adhoc-Shard", st.name)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"success"}`))
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		if st.cluster == nil {
+			http.Error(w, "not clustered", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(st.cluster()))
+	})
+	return mux
+}
+
+// TestRunClusterSpreadsAcrossShards: -cluster discovers the member list
+// from one shard and spreads workers over all of them; the report carries
+// a per-shard breakdown with every member's p99.
+func TestRunClusterSpreadsAcrossShards(t *testing.T) {
+	a := &shardStub{name: "shard-a"}
+	b := &shardStub{name: "shard-b"}
+	tsA := httptest.NewServer(a.handler())
+	defer tsA.Close()
+	tsB := httptest.NewServer(b.handler())
+	defer tsB.Close()
+	a.cluster = func() string {
+		return `{"self":"shard-a","members":[` +
+			`{"name":"shard-a","addr":"` + tsA.URL + `"},` +
+			`{"name":"shard-b","addr":"` + tsB.URL + `"}]}`
+	}
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", tsA.URL, "-cluster", "-c", "4", "-d", "200ms",
+		"-mix", "route=1", "-json", "-",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if a.hits.Load() == 0 || b.hits.Load() == 0 {
+		t.Fatalf("load not spread: shard-a=%d shard-b=%d", a.hits.Load(), b.hits.Load())
+	}
+	i := strings.IndexByte(out.String(), '{')
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()[i:]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shards) != 2 {
+		t.Fatalf("shard rows = %+v, want 2", rep.Shards)
+	}
+	for _, s := range rep.Shards {
+		if s.Name != "shard-a" && s.Name != "shard-b" {
+			t.Fatalf("unexpected shard row %+v", s)
+		}
+		if s.Requests == 0 || s.Errors != 0 {
+			t.Fatalf("shard %s: %+v, want traffic and no errors", s.Name, s)
+		}
+		if s.P99US <= 0 || s.P50US > s.P99US {
+			t.Fatalf("shard %s: broken quantiles %+v", s.Name, s)
+		}
+	}
+	if !strings.Contains(out.String(), "shard shard-a") || !strings.Contains(out.String(), "shard shard-b") {
+		t.Fatalf("text report missing shard rows:\n%s", out.String())
+	}
+}
+
+// TestRunClusterRotatesOffDeadShard: a discovered member that never
+// answers (connection refused) must not sink its workers' requests — they
+// rotate to a live shard, the run stays error-free, and the rotation count
+// surfaces in the report.
+func TestRunClusterRotatesOffDeadShard(t *testing.T) {
+	a := &shardStub{name: "shard-a"}
+	tsA := httptest.NewServer(a.handler())
+	defer tsA.Close()
+	// A listener that is immediately closed: a member in the map whose
+	// process is gone.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	a.cluster = func() string {
+		return `{"self":"shard-a","members":[` +
+			`{"name":"shard-a","addr":"` + tsA.URL + `"},` +
+			`{"name":"shard-dead","addr":"` + deadURL + `"}]}`
+	}
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", tsA.URL, "-cluster", "-c", "2", "-d", "200ms",
+		"-mix", "route=1", "-json", "-",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	i := strings.IndexByte(out.String(), '{')
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()[i:]), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Errors != 0 {
+		t.Fatalf("errors despite a live shard: %+v", rep.Total)
+	}
+	if rep.Rotations == 0 {
+		t.Fatal("no rotations recorded; the dead shard was never hit or never evaded")
+	}
+	var deadRow *ShardReport
+	for idx := range rep.Shards {
+		if rep.Shards[idx].Name == "shard-dead" {
+			deadRow = &rep.Shards[idx]
+		}
+	}
+	if deadRow == nil {
+		t.Fatalf("dead member missing from shard rows: %+v", rep.Shards)
+	}
+	if deadRow.Requests != 0 {
+		t.Fatalf("dead shard credited with %d served requests", deadRow.Requests)
+	}
+}
+
+// TestRunClusterRequiresClusterEndpoint: -cluster against a server without
+// GET /v1/cluster fails with a pointed error instead of silently running
+// single-server.
+func TestRunClusterRequiresClusterEndpoint(t *testing.T) {
+	st := &stubServer{}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+	var out bytes.Buffer
+	err := run([]string{"-addr", ts.URL, "-cluster", "-d", "100ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-cluster") {
+		t.Fatalf("err = %v, want discovery failure mentioning -cluster", err)
+	}
+}
+
 // TestPostRetryHonorsRetryAfter: when the server advises Retry-After, the
 // backoff waits at least half the advised interval (full jitter halves at
 // worst) instead of the much shorter exponential default.
@@ -372,7 +521,7 @@ func TestPostRetryHonorsRetryAfter(t *testing.T) {
 	g := &generator{cfg: &config{addr: ts.URL}, client: ts.Client()}
 	rng := rand.New(rand.NewSource(1))
 	t0 := time.Now()
-	status, retries := g.postRetry("/v1/route", `{"src":0,"dst":1}`, "", rng, time.Now().Add(5*time.Second), nil)
+	status, retries, _ := g.postRetry(&target{g: g}, "/v1/route", `{"src":0,"dst":1}`, "", rng, time.Now().Add(5*time.Second), nil)
 	if status != http.StatusOK || retries != 1 {
 		t.Fatalf("status %d retries %d, want 200 after 1 retry", status, retries)
 	}

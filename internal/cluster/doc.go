@@ -1,0 +1,36 @@
+// Package cluster is the distribution layer that turns a set of adhocd
+// processes into one sharded fleet: a gossip membership protocol decides
+// who is in the cluster and alive, and a consistent-hash ring built from
+// that view places registry networks and named dynamic worlds across the
+// members.
+//
+// The split of responsibilities mirrors the paper's own economy: the
+// routing protocol is stateless-by-construction (the O(log n) header plus
+// a signed cursor capture a whole walk), so the cluster layer never has to
+// move walk state — only decide, identically on every member, which shard
+// owns which key. Ownership is a pure function of (membership view,
+// vnodes, key): two members with converged views compute the same owner
+// for every key, which is what makes the thin proxy tier (any shard
+// forwards a misrouted request one hop to the owner) correct without any
+// coordination service.
+//
+// Membership is a SWIM-flavored push-pull gossip: each member keeps a
+// versioned state per peer (alive/suspect/dead with an incarnation
+// number and a self-incremented heartbeat), periodically exchanges its
+// whole view with a few random peers, and merges by precedence — higher
+// incarnation wins, then the more doomed status, then the larger
+// heartbeat. A member that stops ticking stops advancing its heartbeat,
+// gets suspected after SuspectAfterTicks of silence and declared dead
+// after DeadAfterTicks more; a live member that learns it is suspected
+// refutes by bumping its own incarnation (Haas/Halpern/Li's gossip made
+// fleet infrastructure — see PAPERS.md).
+//
+// The ring hashes every alive member onto Vnodes points of a 64-bit
+// circle; a key is owned by the member whose point follows the key's
+// hash clockwise, with an (astronomically rare) equal-point collision
+// broken by rendezvous hashing on (key, member) so the answer still never
+// depends on iteration order. Virtual nodes bound the disruption of a
+// membership change: a join or leave moves only the keys adjacent to the
+// changed member's points — about K/N of K keys across N members — and
+// every other key keeps its owner (pinned by property tests).
+package cluster

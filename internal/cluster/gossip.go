@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// Transport delivers one push-pull exchange to a peer address: it sends
+// the local view and returns the peer's view. Implementations: the HTTP
+// transport (production), an in-memory transport (tests), and the chaos
+// wrapper that drops/delays either.
+type Transport interface {
+	Exchange(ctx context.Context, addr string, states []PeerState) ([]PeerState, error)
+}
+
+// Config assembles a gossip instance.
+type Config struct {
+	// Self is this member's identity and advertised address.
+	Self PeerState
+	// Seeds are peer addresses to contact while they are not yet part of
+	// the view — how a member bootstraps into an existing cluster.
+	Seeds []string
+	// Fanout is how many peers each tick exchanges with (0 = 2).
+	Fanout int
+	// SuspectAfterTicks / DeadAfterTicks are the failure-detector timers
+	// (0 = package defaults).
+	SuspectAfterTicks int
+	DeadAfterTicks    int
+	// Transport carries the exchanges (required).
+	Transport Transport
+	// Seed drives target selection; fixed seeds make a tick sequence
+	// replayable.
+	Seed uint64
+	// OnChange, if set, fires after any tick or merge that changed the
+	// alive set (the ring's input). It runs on the goroutine that caused
+	// the change and must not block for long.
+	OnChange func()
+}
+
+// Stats counts a gossip instance's protocol traffic.
+type Stats struct {
+	Ticks     int64 `json:"ticks"`
+	Exchanges int64 `json:"exchanges"`
+	Failures  int64 `json:"failures"`
+}
+
+// Gossip runs the membership protocol for one member. Ticks may be
+// driven by Run (production) or called directly (tests); both are safe
+// concurrently with HandleExchange serving inbound merges.
+type Gossip struct {
+	m      *Membership
+	tr     Transport
+	seeds  []string
+	fanout int
+
+	mu  sync.Mutex // guards rng
+	rng *prng.Source
+
+	onChange  func()
+	aliveHash atomic.Uint64
+
+	ticks, exchanges, failures atomic.Int64
+}
+
+// New builds a gossip instance; the view initially contains only self.
+func New(cfg Config) *Gossip {
+	fanout := cfg.Fanout
+	if fanout <= 0 {
+		fanout = 2
+	}
+	g := &Gossip{
+		m:        NewMembership(cfg.Self, cfg.SuspectAfterTicks, cfg.DeadAfterTicks),
+		tr:       cfg.Transport,
+		seeds:    append([]string(nil), cfg.Seeds...),
+		fanout:   fanout,
+		rng:      prng.New(cfg.Seed ^ hash64("gossip", cfg.Self.Name)),
+		onChange: cfg.OnChange,
+	}
+	g.aliveHash.Store(BuildRing(g.m.Alive(), 1).Version())
+	return g
+}
+
+// Membership exposes the underlying view (for ring builds and the
+// /v1/cluster report).
+func (g *Gossip) Membership() *Membership { return g.m }
+
+// Stats snapshots the protocol counters.
+func (g *Gossip) Stats() Stats {
+	return Stats{Ticks: g.ticks.Load(), Exchanges: g.exchanges.Load(), Failures: g.failures.Load()}
+}
+
+// notifyIfChanged fires OnChange when the alive set differs from the last
+// observed one. The content hash makes the check cheap and idempotent
+// under concurrent callers.
+func (g *Gossip) notifyIfChanged() {
+	h := BuildRing(g.m.Alive(), 1).Version()
+	if g.aliveHash.Swap(h) != h && g.onChange != nil {
+		g.onChange()
+	}
+}
+
+// HandleExchange is the receiving half of push-pull: merge the remote
+// view, return the merged local view.
+func (g *Gossip) HandleExchange(remote []PeerState) []PeerState {
+	out := g.m.Merge(remote)
+	g.notifyIfChanged()
+	return out
+}
+
+// Tick runs one protocol round: advance local time (heartbeat + failure
+// detector), then exchange views with up to Fanout random non-dead peers
+// (seed addresses count as peers until they answer with a name).
+func (g *Gossip) Tick(ctx context.Context) {
+	g.ticks.Add(1)
+	g.m.Tick()
+	g.notifyIfChanged()
+
+	targets := g.m.gossipTargets(g.seeds)
+	if len(targets) > 1 {
+		g.mu.Lock()
+		g.rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+		g.mu.Unlock()
+	}
+	if len(targets) > g.fanout {
+		targets = targets[:g.fanout]
+	}
+	for _, addr := range targets {
+		g.exchanges.Add(1)
+		reply, err := g.tr.Exchange(ctx, addr, g.m.Snapshot())
+		if err != nil {
+			// A failed exchange is not itself a death verdict — the peer's
+			// heartbeat simply does not advance, and the suspect/dead
+			// timers do the rest. This keeps one dropped message from
+			// flapping the ring.
+			g.failures.Add(1)
+			continue
+		}
+		g.m.Merge(reply)
+	}
+	g.notifyIfChanged()
+}
+
+// Run drives Tick at the given cadence until stop closes. The first tick
+// fires immediately so a booting member joins without waiting a full
+// interval.
+func (g *Gossip) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		g.Tick(ctx)
+		cancel()
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Leave broadcasts a deliberate departure: self goes dead at a bumped
+// incarnation (so the verdict wins everywhere), and one final exchange is
+// pushed to every reachable peer so the cluster learns immediately
+// instead of waiting out the failure detector.
+func (g *Gossip) Leave(ctx context.Context) {
+	g.m.Leave()
+	g.aliveHash.Store(BuildRing(g.m.Alive(), 1).Version())
+	for _, addr := range g.m.gossipTargets(nil) {
+		g.exchanges.Add(1)
+		if _, err := g.tr.Exchange(ctx, addr, g.m.Snapshot()); err != nil {
+			g.failures.Add(1)
+		}
+	}
+}

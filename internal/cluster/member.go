@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Status is a peer's health as seen by some member. The order matters:
+// merging prefers the larger value at equal incarnation ("more doomed
+// wins"), so a death verdict spreads even while stale alive states are
+// still circulating.
+type Status int8
+
+// Peer states, in merge-precedence order.
+const (
+	StatusAlive Status = iota
+	StatusSuspect
+	StatusDead
+)
+
+var statusNames = [...]string{"alive", "suspect", "dead"}
+
+func (s Status) String() string {
+	if s < 0 || int(s) >= len(statusNames) {
+		return fmt.Sprintf("status(%d)", int8(s))
+	}
+	return statusNames[s]
+}
+
+// MarshalJSON renders the status as its lowercase name — the wire and
+// /v1/cluster form.
+func (s Status) MarshalJSON() ([]byte, error) {
+	if s < 0 || int(s) >= len(statusNames) {
+		return nil, fmt.Errorf("cluster: cannot marshal status %d", int8(s))
+	}
+	return json.Marshal(statusNames[s])
+}
+
+// UnmarshalJSON parses the lowercase name form. Unknown names are an
+// error: a membership view must not silently degrade into zero values.
+func (s *Status) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range statusNames {
+		if n == name {
+			*s = Status(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: unknown peer status %q", name)
+}
+
+// PeerState is one member's versioned view of one peer — the unit the
+// gossip exchanges. Incarnation is bumped only by the peer itself (to
+// refute a suspicion, or when rejoining over its own tombstone);
+// Heartbeat is incremented by the peer on every protocol tick and is how
+// silence is detected: a peer whose heartbeat stops advancing is
+// suspected, then declared dead.
+type PeerState struct {
+	Name        string `json:"name"`
+	Addr        string `json:"addr"`
+	Incarnation uint64 `json:"incarnation"`
+	Heartbeat   uint64 `json:"heartbeat"`
+	Status      Status `json:"status"`
+}
+
+// supersedes reports whether n should replace o in a view merge: higher
+// incarnation always wins; at equal incarnation the more doomed status
+// wins (suspicion and death verdicts spread); at equal status a larger
+// heartbeat is simply newer news.
+func supersedes(n, o PeerState) bool {
+	if n.Incarnation != o.Incarnation {
+		return n.Incarnation > o.Incarnation
+	}
+	if n.Status != o.Status {
+		return n.Status > o.Status
+	}
+	return n.Heartbeat > o.Heartbeat
+}
+
+// Membership is one member's view of the cluster: its own state plus the
+// freshest known state of every peer ever heard of (dead peers are kept
+// as tombstones so stale gossip cannot resurrect them — rejoining
+// requires the peer itself to bump its incarnation past the tombstone).
+// Safe for concurrent use.
+type Membership struct {
+	mu     sync.Mutex
+	self   string
+	states map[string]*PeerState
+	// lastBeat records the local tick at which each peer's heartbeat last
+	// advanced; the suspect/dead timers measure silence against it.
+	lastBeat     map[string]uint64
+	tick         uint64
+	suspectAfter uint64
+	deadAfter    uint64
+	// left marks a deliberate departure: self-refutation is disabled so
+	// the member's own death verdict (broadcast by Leave) sticks.
+	left bool
+}
+
+// Membership timer defaults, in protocol ticks.
+const (
+	DefaultSuspectAfterTicks = 3
+	DefaultDeadAfterTicks    = 3
+)
+
+// NewMembership builds a view containing only self, alive. suspectAfter
+// is the ticks of heartbeat silence before a peer is suspected, and
+// deadAfter the further silence before it is declared dead (<= 0 takes
+// the defaults).
+func NewMembership(self PeerState, suspectAfter, deadAfter int) *Membership {
+	if suspectAfter <= 0 {
+		suspectAfter = DefaultSuspectAfterTicks
+	}
+	if deadAfter <= 0 {
+		deadAfter = DefaultDeadAfterTicks
+	}
+	self.Status = StatusAlive
+	m := &Membership{
+		self:         self.Name,
+		states:       map[string]*PeerState{self.Name: &self},
+		lastBeat:     map[string]uint64{self.Name: 0},
+		suspectAfter: uint64(suspectAfter),
+		deadAfter:    uint64(deadAfter),
+	}
+	return m
+}
+
+// SetSelfAddr updates the advertised address of self (used when the
+// listener is bound after the membership is constructed, e.g. on :0).
+func (m *Membership) SetSelfAddr(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.states[m.self].Addr = addr
+}
+
+// Self returns the current self state.
+func (m *Membership) Self() PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return *m.states[m.self]
+}
+
+// Snapshot returns every known peer state (tombstones included), sorted
+// by name — the payload of a gossip exchange.
+func (m *Membership) Snapshot() []PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+
+func (m *Membership) snapshotLocked() []PeerState {
+	out := make([]PeerState, 0, len(m.states))
+	for _, st := range m.states {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Merge folds a remote view in by the supersedes precedence and returns
+// the full local view after the merge (the push-pull reply). A claim
+// about self that is not alive is refuted by bumping the local
+// incarnation past it — unless the member has deliberately left.
+func (m *Membership) Merge(remote []PeerState) []PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range remote {
+		if r.Name == "" {
+			continue
+		}
+		if r.Name == m.self {
+			self := m.states[m.self]
+			if r.Status != StatusAlive && r.Incarnation >= self.Incarnation && !m.left {
+				// Refute: only the subject may raise its incarnation, and a
+				// higher incarnation beats any status at the lower one.
+				self.Incarnation = r.Incarnation + 1
+				self.Status = StatusAlive
+			}
+			continue
+		}
+		cur, ok := m.states[r.Name]
+		if !ok {
+			st := r
+			m.states[r.Name] = &st
+			m.lastBeat[r.Name] = m.tick
+			continue
+		}
+		if supersedes(r, *cur) {
+			if r.Heartbeat > cur.Heartbeat || r.Incarnation > cur.Incarnation {
+				m.lastBeat[r.Name] = m.tick
+			}
+			*cur = r
+		}
+	}
+	return m.snapshotLocked()
+}
+
+// Tick advances protocol time one step: self's heartbeat increments, and
+// every other peer's silence is measured against the suspect/dead
+// timers. Call at the gossip cadence.
+func (m *Membership) Tick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	self := m.states[m.self]
+	self.Heartbeat++
+	m.lastBeat[m.self] = m.tick
+	for name, st := range m.states {
+		if name == m.self {
+			continue
+		}
+		silence := m.tick - m.lastBeat[name]
+		switch st.Status {
+		case StatusAlive:
+			if silence > m.suspectAfter {
+				st.Status = StatusSuspect
+			}
+		case StatusSuspect:
+			if silence > m.suspectAfter+m.deadAfter {
+				st.Status = StatusDead
+			}
+		}
+	}
+}
+
+// Leave marks self deliberately dead — incarnation bumped so the verdict
+// beats every circulating alive state, refutation disabled so it sticks.
+// The caller should gossip once more to spread the news.
+func (m *Membership) Leave() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.left = true
+	self := m.states[m.self]
+	self.Incarnation++
+	self.Status = StatusDead
+}
+
+// Alive returns the alive peers (self included unless left), sorted by
+// name — the ring's input.
+func (m *Membership) Alive() []PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerState, 0, len(m.states))
+	for _, st := range m.states {
+		if st.Status == StatusAlive {
+			out = append(out, *st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// gossipTargets returns the addresses worth exchanging with: every known
+// non-dead peer other than self, plus any seed address not yet matched by
+// a known peer (how a fresh member bootstraps into an existing cluster).
+func (m *Membership) gossipTargets(seeds []string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	known := make(map[string]bool, len(m.states))
+	var out []string
+	for name, st := range m.states {
+		known[st.Addr] = true
+		if name == m.self || st.Status == StatusDead || st.Addr == "" {
+			continue
+		}
+		out = append(out, st.Addr)
+	}
+	selfAddr := m.states[m.self].Addr
+	for _, s := range seeds {
+		if s != "" && s != selfAddr && !known[s] {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

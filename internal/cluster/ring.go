@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per member when none is
+// configured. 64 points per member keeps the per-member load imbalance
+// near 1/sqrt(64) ≈ 12% and the disruption bound tight, while a whole
+// fleet's ring still rebuilds in microseconds.
+const DefaultVnodes = 64
+
+// Member is one placement target on the ring: the name is the stable
+// shard identity, the addr is where its HTTP surface lives.
+type Member struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// ringPoint is one virtual node: a position on the 64-bit circle owned by
+// a member.
+type ringPoint struct {
+	hash   uint64
+	member int32 // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over the alive members of a
+// membership view. Build a new one on every view change; lookups are
+// lock-free on the snapshot.
+type Ring struct {
+	members []Member
+	points  []ringPoint
+	version uint64
+}
+
+// hash64 is the ring's hash: FNV-1a over the bytes, pushed through a
+// murmur-style finalizer. Raw FNV output clusters badly on short similar
+// inputs ("shard-0", "shard-1", …) — its high bits barely move — and a
+// consistent-hash circle needs uniform point spread; the finalizer's
+// avalanche fixes that. Placement only needs speed, determinism across
+// processes, and dispersion — not cryptographic strength (spec IDs
+// already are sha256-derived).
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p))
+		_, _ = h.Write([]byte{0}) // unambiguous part boundary
+	}
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3 64-bit finalizer: full avalanche, so every
+// input bit flips about half the output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// BuildRing constructs the ring over the alive peers of a view (dead and
+// suspect peers take no keys: a suspect peer may still be serving, but
+// placement must be pessimistic so two members with the same view never
+// disagree about an owner). vnodes <= 0 takes DefaultVnodes. The ring
+// version is a content hash of the alive set, so two members with
+// converged views report identical versions — the convergence signal the
+// tests and metrics key on.
+func BuildRing(peers []PeerState, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	alive := make([]PeerState, 0, len(peers))
+	for _, p := range peers {
+		if p.Status == StatusAlive && p.Name != "" {
+			alive = append(alive, p)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].Name < alive[j].Name })
+	r := &Ring{
+		members: make([]Member, len(alive)),
+		points:  make([]ringPoint, 0, len(alive)*vnodes),
+	}
+	vh := fnv.New64a()
+	for i, p := range alive {
+		r.members[i] = Member{Name: p.Name, Addr: p.Addr}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64("vnode", p.Name, fmt.Sprintf("%d", v)),
+				member: int32(i),
+			})
+		}
+		_, _ = vh.Write([]byte(p.Name))
+		_, _ = vh.Write([]byte{0})
+		_, _ = vh.Write([]byte(p.Addr))
+		_, _ = vh.Write([]byte{0})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Equal points sort by member name so the ring layout itself is
+		// iteration-order independent; the key-level tiebreak in Owner
+		// picks among them by rendezvous hash.
+		return r.members[r.points[i].member].Name < r.members[r.points[j].member].Name
+	})
+	r.version = vh.Sum64()
+	return r
+}
+
+// Version is the content hash of the alive set the ring was built from.
+// Two members whose gossip views have converged build rings with equal
+// versions — and therefore agree on every key's owner.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Members returns the ring's members, sorted by name.
+func (r *Ring) Members() []Member {
+	out := make([]Member, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member that owns key: the first virtual node at or
+// clockwise after the key's hash. When several members collide on that
+// exact point (a 64-bit coincidence), rendezvous hashing on (key, member)
+// breaks the tie, so the answer is still a pure function of the view and
+// the key. ok is false only on an empty ring.
+func (r *Ring) Owner(key string) (Member, bool) {
+	if len(r.points) == 0 {
+		return Member{}, false
+	}
+	kh := hash64("key", key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	// Gather the (almost always single) run of points sharing this hash.
+	h := r.points[i].hash
+	best := r.members[r.points[i].member]
+	bestScore := hash64("rendezvous", key, best.Name)
+	for j := i + 1; j < len(r.points) && r.points[j].hash == h; j++ {
+		cand := r.members[r.points[j].member]
+		if score := hash64("rendezvous", key, cand.Name); score > bestScore ||
+			(score == bestScore && cand.Name < best.Name) {
+			best, bestScore = cand, score
+		}
+	}
+	return best, true
+}

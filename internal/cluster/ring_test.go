@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// peers builds n alive peers named shard-0..n-1.
+func peers(n int) []PeerState {
+	out := make([]PeerState, n)
+	for i := range out {
+		out[i] = PeerState{
+			Name:   fmt.Sprintf("shard-%d", i),
+			Addr:   fmt.Sprintf("http://10.0.0.%d:8080", i+1),
+			Status: StatusAlive,
+		}
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("net-%016x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossPeers: placement is a pure function of the
+// (view, vnodes, key) triple — the same membership view presented in any
+// order, built on any "member", yields identical owners for every key.
+// This is the property that lets every shard route without coordination.
+func TestRingDeterministicAcrossPeers(t *testing.T) {
+	ps := peers(7)
+	r1 := BuildRing(ps, 64)
+
+	// The same view, shuffled (a peer's map iteration order differs) and
+	// with suspect/dead noise that must not affect placement input.
+	shuffled := append([]PeerState(nil), ps...)
+	rand.New(rand.NewSource(42)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	r2 := BuildRing(shuffled, 64)
+
+	if r1.Version() != r2.Version() {
+		t.Fatalf("ring versions differ for the same alive set: %x vs %x", r1.Version(), r2.Version())
+	}
+	for _, k := range keys(5000) {
+		o1, ok1 := r1.Owner(k)
+		o2, ok2 := r2.Owner(k)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("owner(%q) differs across identically-informed rings: %v/%v vs %v/%v", k, o1, ok1, o2, ok2)
+		}
+	}
+}
+
+// TestRingExcludesNonAlive: suspect and dead peers take no keys, so two
+// converged views never disagree about whether a wobbly peer owns
+// anything.
+func TestRingExcludesNonAlive(t *testing.T) {
+	ps := peers(5)
+	ps[1].Status = StatusSuspect
+	ps[3].Status = StatusDead
+	r := BuildRing(ps, 64)
+	if r.Len() != 3 {
+		t.Fatalf("ring has %d members, want 3 alive", r.Len())
+	}
+	for _, k := range keys(2000) {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("owner lookup failed on a non-empty ring")
+		}
+		if o.Name == ps[1].Name || o.Name == ps[3].Name {
+			t.Fatalf("key %q placed on non-alive peer %s", k, o.Name)
+		}
+	}
+}
+
+// TestRingLeaveDisruption: removing one member moves ONLY the keys that
+// member owned (the consistent-hashing contract, exactly), and those are
+// about K/N of K keys.
+func TestRingLeaveDisruption(t *testing.T) {
+	const N, K = 8, 20000
+	ps := peers(N)
+	before := BuildRing(ps, 64)
+	dead := ps[3].Name
+	ps[3].Status = StatusDead
+	after := BuildRing(ps, 64)
+
+	moved := 0
+	for _, k := range keys(K) {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob.Name != dead && ob != oa {
+			t.Fatalf("key %q moved from surviving owner %s to %s on an unrelated leave", k, ob.Name, oa.Name)
+		}
+		if ob.Name == dead {
+			moved++
+			if oa.Name == dead {
+				t.Fatalf("key %q still owned by dead peer", k)
+			}
+		}
+	}
+	// The leaver's share is K/N in expectation; vnode variance keeps it
+	// well inside 2x. (The bounded-disruption claim: ≤ K/N + ε.)
+	if lim := 2 * K / N; moved > lim {
+		t.Fatalf("leave moved %d of %d keys, over the %d disruption bound", moved, K, lim)
+	}
+	if moved == 0 {
+		t.Fatal("leave moved no keys — dead peer owned nothing, which is itself a balance bug at these sizes")
+	}
+}
+
+// TestRingJoinDisruption: adding a member moves keys only TO the joiner,
+// and about K/(N+1) of them.
+func TestRingJoinDisruption(t *testing.T) {
+	const N, K = 8, 20000
+	ps := peers(N)
+	before := BuildRing(ps, 64)
+	joiner := PeerState{Name: "shard-new", Addr: "http://10.0.0.99:8080", Status: StatusAlive}
+	after := BuildRing(append(append([]PeerState(nil), ps...), joiner), 64)
+
+	moved := 0
+	for _, k := range keys(K) {
+		ob, _ := before.Owner(k)
+		oa, _ := after.Owner(k)
+		if ob != oa {
+			if oa.Name != joiner.Name {
+				t.Fatalf("key %q moved to %s, not the joiner — joins must only shed keys to the new member", k, oa.Name)
+			}
+			moved++
+		}
+	}
+	if lim := 2 * K / (N + 1); moved > lim {
+		t.Fatalf("join moved %d of %d keys, over the %d disruption bound", moved, K, lim)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys — new peer owns nothing")
+	}
+}
+
+// TestRingBalance: with 64 vnodes no member's share strays beyond ~2x of
+// fair — placement is a load-spreading mechanism, not just a directory.
+func TestRingBalance(t *testing.T) {
+	const N, K = 5, 50000
+	r := BuildRing(peers(N), 64)
+	counts := map[string]int{}
+	for _, k := range keys(K) {
+		o, _ := r.Owner(k)
+		counts[o.Name]++
+	}
+	fair := K / N
+	for name, c := range counts {
+		if c > 2*fair || c < fair/3 {
+			t.Fatalf("member %s owns %d of %d keys (fair share %d) — imbalance beyond vnode tolerance", name, c, K, fair)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: the degenerate shapes.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if _, ok := BuildRing(nil, 64).Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	one := BuildRing(peers(1), 64)
+	o, ok := one.Owner("anything")
+	if !ok || o.Name != "shard-0" {
+		t.Fatalf("single-member ring: got %v/%v", o, ok)
+	}
+}
+
+// TestRingRendezvousTiebreak drives the equal-hash-point path directly:
+// when several members collide on one point, the rendezvous score picks a
+// winner as a pure function of (key, member) — no iteration-order leaks.
+func TestRingRendezvousTiebreak(t *testing.T) {
+	// Hand-build a ring whose three points share one hash.
+	r := &Ring{
+		members: []Member{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		points: []ringPoint{
+			{hash: 1000, member: 0},
+			{hash: 1000, member: 1},
+			{hash: 1000, member: 2},
+		},
+		version: 1,
+	}
+	for _, key := range keys(64) {
+		want, _ := r.Owner(key)
+		// Any permutation of the same collision run picks the same owner.
+		perm := &Ring{
+			members: []Member{{Name: "c"}, {Name: "a"}, {Name: "b"}},
+			points: []ringPoint{
+				{hash: 1000, member: 0},
+				{hash: 1000, member: 1},
+				{hash: 1000, member: 2},
+			},
+			version: 1,
+		}
+		got, _ := perm.Owner(key)
+		if got.Name != want.Name {
+			t.Fatalf("tiebreak for %q depends on layout order: %s vs %s", key, want.Name, got.Name)
+		}
+	}
+	// And the tiebreak actually spreads keys: with 3 colliding members,
+	// all of them should win sometimes over enough keys.
+	winners := map[string]bool{}
+	for _, key := range keys(512) {
+		o, _ := r.Owner(key)
+		winners[o.Name] = true
+	}
+	if len(winners) != 3 {
+		t.Fatalf("rendezvous tiebreak always picks from %v, want all 3 members represented", winners)
+	}
+}
+
+// FuzzRingLookup: arbitrary membership views and keys must never panic,
+// never return a non-alive peer, and stay deterministic.
+func FuzzRingLookup(f *testing.F) {
+	f.Add(uint8(3), uint8(0b101), uint8(8), "net-abc")
+	f.Add(uint8(0), uint8(0), uint8(1), "")
+	f.Add(uint8(16), uint8(0xff), uint8(64), "world:w-1")
+	f.Fuzz(func(t *testing.T, n, deadMask, vnodes uint8, key string) {
+		count := int(n % 17)
+		ps := peers(count)
+		deadNames := map[string]bool{}
+		for i := range ps {
+			if deadMask&(1<<(i%8)) != 0 && i%3 == 0 {
+				ps[i].Status = StatusDead
+				deadNames[ps[i].Name] = true
+			} else if deadMask&(1<<(i%8)) != 0 {
+				ps[i].Status = StatusSuspect
+				deadNames[ps[i].Name] = true
+			}
+		}
+		r := BuildRing(ps, int(vnodes%100))
+		o1, ok1 := r.Owner(key)
+		if ok1 && deadNames[o1.Name] {
+			t.Fatalf("lookup returned non-alive peer %s", o1.Name)
+		}
+		aliveCount := 0
+		for _, p := range ps {
+			if p.Status == StatusAlive {
+				aliveCount++
+			}
+		}
+		if ok1 != (aliveCount > 0) {
+			t.Fatalf("ok=%v with %d alive members", ok1, aliveCount)
+		}
+		// Rebuild and re-ask: byte-for-byte deterministic.
+		o2, ok2 := BuildRing(ps, int(vnodes%100)).Owner(key)
+		if ok1 != ok2 || o1 != o2 {
+			t.Fatalf("lookup not deterministic: %v/%v vs %v/%v", o1, ok1, o2, ok2)
+		}
+	})
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	r := BuildRing(peers(16), 64)
+	ks := keys(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Owner(ks[i&1023]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkRingBuild(b *testing.B) {
+	ps := peers(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRing(ps, 64)
+	}
+}

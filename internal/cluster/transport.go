@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// GossipPath is the HTTP endpoint gossip exchanges travel over — adhocd
+// mounts its handler there and the HTTP transport posts to it.
+const GossipPath = "/v1/cluster/gossip"
+
+// Wire is the JSON body of a gossip exchange in both directions: the
+// sender's (or replier's) full membership view.
+type Wire struct {
+	From   string      `json:"from"`
+	States []PeerState `json:"states"`
+}
+
+// HTTPTransport carries exchanges as POST {addr}/v1/cluster/gossip with
+// a Wire body each way.
+type HTTPTransport struct {
+	// Client, if nil, is replaced by a client with a short timeout —
+	// gossip must fail fast, never hang a protocol tick.
+	Client *http.Client
+	// From stamps outgoing exchanges with the sender's name.
+	From string
+}
+
+// NewHTTPTransport builds the production transport.
+func NewHTTPTransport(from string) *HTTPTransport {
+	return &HTTPTransport{
+		Client: &http.Client{Timeout: 2 * time.Second},
+		From:   from,
+	}
+}
+
+// Exchange implements Transport.
+func (t *HTTPTransport) Exchange(ctx context.Context, addr string, states []PeerState) ([]PeerState, error) {
+	body, err := json.Marshal(Wire{From: t.From, States: states})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+GossipPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: gossip to %s: status %d", addr, resp.StatusCode)
+	}
+	var reply Wire
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("cluster: gossip reply from %s: %w", addr, err)
+	}
+	return reply.States, nil
+}
+
+// ChaosTransport wraps a transport with the repo's deterministic fault
+// injector: RequestDelay delays a message, RequestFault drops it (the
+// exchange fails as if the network ate it). Convergence tests re-run the
+// protocol under this wrapper to prove the timers and merge rules absorb
+// lossy, laggy links.
+type ChaosTransport struct {
+	T   Transport
+	Inj *chaos.Injector
+}
+
+// Exchange implements Transport with drop/delay injection ahead of the
+// real delivery.
+func (t *ChaosTransport) Exchange(ctx context.Context, addr string, states []PeerState) ([]PeerState, error) {
+	t.Inj.RequestDelay()
+	if err := t.Inj.RequestFault(); err != nil {
+		return nil, fmt.Errorf("cluster: message dropped: %w", err)
+	}
+	return t.T.Exchange(ctx, addr, states)
+}

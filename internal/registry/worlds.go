@@ -36,6 +36,12 @@ type WorldEntry struct {
 	NetworkID string
 	// Desc describes the schedule driving the world.
 	Desc string
+	// Schedule is the dynamics spec the world was created with. Schedules
+	// are epoch-deterministic, so (network spec, Schedule, epoch) fully
+	// determines a world's topology — which is what lets cluster mode
+	// migrate a world between shards by replaying it rather than
+	// serializing evolved state.
+	Schedule dynamic.Spec
 	// Eng is the engine the world was seeded from; dynamic routes take
 	// their protocol parameters (seed, bounds) from it.
 	Eng *engine.Engine

@@ -1,0 +1,54 @@
+package token
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// MinKeyBytes is the smallest key LoadKey accepts. HMAC-SHA256 is safe
+// with short keys only in the information-theoretic sense; operationally
+// a cluster secret below 16 bytes is a typo, not a choice.
+const MinKeyBytes = 16
+
+// LoadKey resolves the -token-key flag value to key bytes. Two forms:
+//
+//	env:NAME   — read hex from the environment variable NAME
+//	<path>     — read hex from the file at path
+//
+// The material itself is lowercase/uppercase hex (surrounding whitespace
+// trimmed), at least MinKeyBytes decoded bytes. Every shard of a cluster
+// must load the same key, or resume tokens minted on one shard fail
+// closed on the rest — LoadKey is how that shared secret gets into the
+// process without ever appearing on a command line.
+func LoadKey(src string) ([]byte, error) {
+	if src == "" {
+		return nil, fmt.Errorf("token: empty key source")
+	}
+	var raw string
+	if name, ok := strings.CutPrefix(src, "env:"); ok {
+		if name == "" {
+			return nil, fmt.Errorf("token: empty variable name in %q", src)
+		}
+		v, found := os.LookupEnv(name)
+		if !found {
+			return nil, fmt.Errorf("token: environment variable %s not set", name)
+		}
+		raw = v
+	} else {
+		b, err := os.ReadFile(src)
+		if err != nil {
+			return nil, fmt.Errorf("token: reading key file: %w", err)
+		}
+		raw = string(b)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(raw))
+	if err != nil {
+		return nil, fmt.Errorf("token: key material is not hex: %w", err)
+	}
+	if len(key) < MinKeyBytes {
+		return nil, fmt.Errorf("token: key is %d bytes, need at least %d", len(key), MinKeyBytes)
+	}
+	return key, nil
+}

@@ -1,0 +1,123 @@
+package token
+
+import (
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/route"
+)
+
+func writeKeyFile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "token.key")
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadKeyFromFile(t *testing.T) {
+	want := make([]byte, 32)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	p := writeKeyFile(t, "  "+hex.EncodeToString(want)+"\n")
+	got, err := LoadKey(p)
+	if err != nil {
+		t.Fatalf("LoadKey(file): %v", err)
+	}
+	if hex.EncodeToString(got) != hex.EncodeToString(want) {
+		t.Fatalf("key mismatch: got %x", got)
+	}
+}
+
+func TestLoadKeyFromEnv(t *testing.T) {
+	t.Setenv("ADHOC_TOKEN_KEY_TEST", "00112233445566778899aabbccddeeff")
+	got, err := LoadKey("env:ADHOC_TOKEN_KEY_TEST")
+	if err != nil {
+		t.Fatalf("LoadKey(env): %v", err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("got %d bytes, want 16", len(got))
+	}
+}
+
+func TestLoadKeyRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty source", ""},
+		{"missing file", filepath.Join(t.TempDir(), "nope")},
+		{"unset env var", "env:ADHOC_TOKEN_KEY_DEFINITELY_UNSET"},
+		{"empty env name", "env:"},
+		{"not hex", writeKeyFile(t, "this is not hex material")},
+		{"too short", writeKeyFile(t, "aabbccdd")},
+	}
+	for _, c := range cases {
+		if _, err := LoadKey(c.src); err == nil {
+			t.Errorf("%s: LoadKey(%q) succeeded, want error", c.name, c.src)
+		}
+	}
+}
+
+// TestSharedKeyCrossSigner is the cluster-critical property: two signers
+// built from the same key material are interchangeable — a token minted
+// on shard A verifies on shard B, byte-identical cursor included. This is
+// what makes budgeted walks resumable on a different shard than the one
+// that paused them.
+func TestSharedKeyCrossSigner(t *testing.T) {
+	key, err := LoadKey(writeKeyFile(t, "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardA, shardB := NewSigner(key), NewSigner(key)
+
+	cur := &route.Cursor{At: 17, Hops: 42, Bound: 8, Version: 3}
+	tok, err := shardA.Sign("world:w-demo", cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shardB.Verify("world:w-demo", tok)
+	if err != nil {
+		t.Fatalf("token minted on shard A failed on shard B: %v", err)
+	}
+	if got.At != cur.At || got.Hops != cur.Hops || got.Bound != cur.Bound || got.Version != cur.Version {
+		t.Fatalf("cursor mutated in cross-shard transit: %+v vs %+v", got, cur)
+	}
+
+	// Same key, same scope, same cursor → byte-identical token: the
+	// differential cluster test depends on this determinism.
+	tok2, err := shardB.Sign("world:w-demo", cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok != tok2 {
+		t.Fatal("two signers with one key minted different tokens for the same cursor")
+	}
+}
+
+// TestRotatedKeyFailsClosed: after a key rotation, outstanding tokens
+// are rejected with ErrInvalid — a clean refusal the HTTP layer maps to
+// 400, never a panic or a false accept.
+func TestRotatedKeyFailsClosed(t *testing.T) {
+	old, err := LoadKey(writeKeyFile(t, "000102030405060708090a0b0c0d0e0f000102030405060708090a0b0c0d0e0f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := LoadKey(writeKeyFile(t, "f0e0d0c0b0a090807060504030201000f0e0d0c0b0a090807060504030201000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := NewSigner(old).Sign("net:boot", &route.Cursor{At: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := NewSigner(rotated).Verify("net:boot", tok)
+	if cur != nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("rotated key: got cursor=%v err=%v, want nil + ErrInvalid", cur, err)
+	}
+}
